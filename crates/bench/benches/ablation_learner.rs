@@ -1,0 +1,59 @@
+//! Learner ablation: what does the user profile buy?
+//!
+//! The paper's Learner feeds the cost model the probability that query
+//! parts survive/persist. This ablation replays the same cohort with
+//! four probability sources on the 100 MB dataset:
+//!
+//! * **oracle** — the true generator parameters (upper bound),
+//! * **learner (counting)** — the paper's configuration, trained online,
+//! * **learner (logistic)** — the alternative hashed-feature estimator,
+//! * **uniform 0.5** — no knowledge (lower bound).
+
+use specdb_bench::{run_paired, BenchEnv};
+use specdb_core::learner::SurvivalMode;
+use specdb_core::{LearnerConfig, UniformProfile};
+use specdb_sim::build_base_db;
+use specdb_sim::replay::{ProfileKind, ReplayConfig};
+use specdb_trace::gen::oracle_profile;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let traces = env.cohort();
+    let spec = env.specs().remove(0); // 100MB
+    println!(
+        "learner ablation: {} dataset, {} traces x {} queries, divisor {}",
+        spec.label, env.users, env.queries, env.divisor
+    );
+    eprintln!("generating base database...");
+    let base = build_base_db(&spec).expect("base db");
+    let arms: Vec<(&str, ProfileKind)> = vec![
+        ("oracle", ProfileKind::Oracle(oracle_profile(&env.user_config()))),
+        ("learner (counting)", ProfileKind::Learner(LearnerConfig::default())),
+        (
+            "learner (logistic)",
+            ProfileKind::Learner(LearnerConfig {
+                mode: SurvivalMode::Logistic,
+                ..Default::default()
+            }),
+        ),
+        ("uniform 0.5", ProfileKind::Uniform(UniformProfile::default())),
+    ];
+    println!();
+    println!(
+        "{:<22} {:>12} {:>8} {:>10} {:>14}",
+        "profile", "improvement%", "issued", "completed", "non-compl.%"
+    );
+    for (name, profile) in arms {
+        eprintln!("replaying arm: {name}...");
+        let cfg = ReplayConfig { speculative: true, profile, ..Default::default() };
+        let cohort = run_paired(&base, &traces, &ReplayConfig::normal(), &cfg);
+        println!(
+            "{:<22} {:>12.1} {:>8} {:>10} {:>14.1}",
+            name,
+            cohort.improvement_pct(),
+            cohort.issued(),
+            cohort.completed(),
+            cohort.non_completion_pct()
+        );
+    }
+}

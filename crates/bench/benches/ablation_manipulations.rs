@@ -1,0 +1,56 @@
+//! Manipulation-type ablation (paper Sections 3.2 / 4.2).
+//!
+//! The paper states: "we verified experimentally that query
+//! materialization and query rewriting outperform histogram and index
+//! creation in terms of reducing query execution time" — but shows no
+//! figure. This bench regenerates that comparison: the same cohort is
+//! replayed with the manipulation space restricted to each operation
+//! type, on the 100 MB dataset.
+
+use specdb_bench::{run_paired, secs, BenchEnv};
+use specdb_core::{SpaceConfig, SpeculatorConfig};
+use specdb_sim::build_base_db;
+use specdb_sim::replay::ReplayConfig;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let traces = env.cohort();
+    let spec = env.specs().remove(0); // 100MB
+    println!(
+        "manipulation-type ablation: {} dataset, {} traces x {} queries, divisor {}",
+        spec.label, env.users, env.queries, env.divisor
+    );
+    eprintln!("generating base database...");
+    let base = build_base_db(&spec).expect("base db");
+    let arms: Vec<(&str, SpaceConfig)> = vec![
+        ("staging only", SpaceConfig::staging_only()),
+        ("histograms only", SpaceConfig::histograms_only()),
+        ("indexes only", SpaceConfig::indexes_only()),
+        ("materialization/rewriting", SpaceConfig::default()),
+        ("everything", SpaceConfig::everything()),
+    ];
+    println!();
+    println!(
+        "{:<28} {:>12} {:>8} {:>10} {:>12}",
+        "manipulation space", "improvement%", "issued", "completed", "mean build"
+    );
+    for (name, space) in arms {
+        eprintln!("replaying arm: {name}...");
+        let cfg = ReplayConfig {
+            speculative: true,
+            speculator: SpeculatorConfig { space, ..Default::default() },
+            ..Default::default()
+        };
+        let cohort = run_paired(&base, &traces, &ReplayConfig::normal(), &cfg);
+        println!(
+            "{:<28} {:>12.1} {:>8} {:>10} {:>12}",
+            name,
+            cohort.improvement_pct(),
+            cohort.issued(),
+            cohort.completed(),
+            secs(cohort.mean_manipulation())
+        );
+    }
+    println!();
+    println!("paper's claim: the materialization-based manipulations dominate.");
+}

@@ -1,0 +1,71 @@
+//! Figures 4 & 5 and the Section 6.1 headline numbers.
+//!
+//! One cohort replay per dataset size (100 MB / 500 MB / 1 GB, 32 MB
+//! buffer pool, single user) yields all three artefacts the paper
+//! derives from those runs:
+//!
+//! * **Figure 4** — average improvement per execution-time bucket,
+//! * **Figure 5** — max improvement / max penalty per bucket,
+//! * **Section 6.1 text** — overall average improvement per size
+//!   (paper: 42% / 28% / 20%), mean materialization time (6 s / 9 s /
+//!   10 s), and non-completion rate (17% / 25% / 30%).
+
+use specdb_bench::{render_panel, run_paired, secs, BenchEnv};
+use specdb_sim::build_base_db;
+use specdb_sim::replay::ReplayConfig;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let traces = env.cohort();
+    println!(
+        "single-user experiments: {} traces x {} queries, divisor {}",
+        env.users, env.queries, env.divisor
+    );
+    let paper = [("100MB", 42.0, 6.0, 17.0), ("500MB", 28.0, 9.0, 25.0), ("1GB", 20.0, 10.0, 30.0)];
+    let mut headline = Vec::new();
+    for spec in env.specs() {
+        eprintln!("[{}] generating base database...", spec.label);
+        let base = build_base_db(&spec).expect("base db");
+        eprintln!("[{}] replaying cohort (normal vs speculative)...", spec.label);
+        let cohort =
+            run_paired(&base, &traces, &ReplayConfig::normal(), &ReplayConfig::speculative());
+        println!();
+        println!(
+            "{}",
+            render_panel(
+                &format!("Figure 4: average improvement, {} dataset", spec.label),
+                &cohort.pairs,
+                spec.label,
+                false,
+            )
+        );
+        println!(
+            "{}",
+            render_panel(
+                &format!("Figure 5: max improvement / max penalty, {} dataset", spec.label),
+                &cohort.pairs,
+                spec.label,
+                true,
+            )
+        );
+        headline.push((spec.label, cohort));
+    }
+    println!();
+    println!("=== Section 6.1 headline numbers ===");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>12} {:>14} {:>14}",
+        "dataset", "paper avg%", "avg%", "paper mat", "mat avg", "paper !compl%", "!compl%"
+    );
+    for ((label, cohort), (_, p_imp, p_mat, p_nc)) in headline.iter().zip(paper.iter()) {
+        println!(
+            "{:<8} {:>12.0} {:>12.1} {:>11}s {:>12} {:>14.0} {:>14.1}",
+            label,
+            p_imp,
+            cohort.improvement_pct(),
+            p_mat,
+            secs(cohort.mean_manipulation()),
+            p_nc,
+            cohort.non_completion_pct()
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! Section 5 tables: user querying behaviour.
+//!
+//! Regenerates the paper's think-time distribution table
+//! (min/avg/max/25%/50%/75% of query-formulation duration) and the
+//! query-structure statistics (queries per trace, selections and
+//! relations per query, part persistence) from the synthetic cohort, so
+//! the calibration of the user model against the paper's reported human
+//! behaviour is directly checkable.
+
+use specdb_bench::BenchEnv;
+use specdb_trace::{TraceStats, UserModel};
+
+fn main() {
+    let mut env = BenchEnv::from_env();
+    // This table is cheap: always use the paper's full cohort shape.
+    env.users = env.users.max(15);
+    env.queries = env.queries.max(42);
+    let cfg = specdb_trace::UserModelConfig { queries: env.queries, ..Default::default() };
+    let traces =
+        UserModel::new(cfg, specdb_tpch::ExploreDomain::tpch()).generate_cohort(env.users, env.seed);
+    let stats = TraceStats::compute(&traces);
+
+    println!("=== Section 5: query formulation duration (seconds) ===");
+    println!("paper:     min=1   avg=28   max=680   25%=4   50%=11   75%=29");
+    let t = &stats.think_time;
+    println!(
+        "measured:  min={:.0}   avg={:.0}   max={:.0}   25%={:.0}   50%={:.0}   75%={:.0}",
+        t.min, t.avg, t.max, t.p25, t.p50, t.p75
+    );
+    println!();
+    println!("=== Section 5: query structure ===");
+    println!(
+        "paper:     {} queries/trace, 1-2 selections/query, 4 relations/query,",
+        42
+    );
+    println!("           selection persists ~3 queries, join ~10");
+    println!(
+        "measured:  {:.1} queries/trace, {:.2} selections/query, {:.2} relations/query,",
+        stats.queries_per_trace, stats.selections_per_query, stats.relations_per_query
+    );
+    println!(
+        "           selection persists {:.2} queries, join {:.2}",
+        stats.selection_persistence, stats.join_persistence
+    );
+}

@@ -1,0 +1,213 @@
+#![warn(missing_docs)]
+//! Shared orchestration for the experiment benches.
+//!
+//! Every table and figure of the paper has a bench target under
+//! `benches/` (custom harnesses that print the same rows/series the
+//! paper reports). This library holds the pieces they share: environment
+//! knobs, cohort generation, paired normal-vs-speculative runs, and
+//! figure rendering.
+//!
+//! Scale knobs (environment variables):
+//!
+//! | var | default | meaning |
+//! |-----|---------|---------|
+//! | `SPECDB_DIVISOR` | 50 | dataset scale divisor (DESIGN.md subst. 3) |
+//! | `SPECDB_USERS`   | 6  | traces per cohort (paper: 15) |
+//! | `SPECDB_QUERIES` | 30 | queries per trace (paper: 42) |
+//! | `SPECDB_SEED`    | 123 | cohort base seed |
+//!
+//! Raising users/queries toward the paper's 15/42 tightens the
+//! statistics at proportional wall-clock cost.
+
+use specdb_exec::Database;
+use specdb_sim::replay::{replay_trace, ReplayConfig, ReplayOutcome};
+use specdb_sim::report::{bucketize, improvement, pair_runs, render_rows, PairedRun};
+use specdb_sim::DatasetSpec;
+use specdb_storage::VirtualTime;
+use specdb_trace::{Trace, UserModel, UserModelConfig};
+
+/// Bench scale parameters (see module docs for the env vars).
+#[derive(Debug, Clone)]
+pub struct BenchEnv {
+    /// Dataset scale divisor.
+    pub divisor: u64,
+    /// Traces per cohort.
+    pub users: usize,
+    /// Queries per trace.
+    pub queries: usize,
+    /// Cohort base seed.
+    pub seed: u64,
+}
+
+impl BenchEnv {
+    /// Read the environment (falling back to defaults).
+    pub fn from_env() -> Self {
+        let get = |k: &str, d: u64| {
+            std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
+        };
+        BenchEnv {
+            divisor: get("SPECDB_DIVISOR", 50),
+            users: get("SPECDB_USERS", 6) as usize,
+            queries: get("SPECDB_QUERIES", 30) as usize,
+            seed: get("SPECDB_SEED", 123),
+        }
+    }
+
+    /// The paper's three dataset specs at this scale.
+    pub fn specs(&self) -> Vec<DatasetSpec> {
+        DatasetSpec::paper_trio(self.divisor)
+    }
+
+    /// Generate the user cohort.
+    pub fn cohort(&self) -> Vec<Trace> {
+        let cfg = UserModelConfig { queries: self.queries, ..Default::default() };
+        UserModel::new(cfg, specdb_tpch::ExploreDomain::tpch())
+            .generate_cohort(self.users, self.seed)
+    }
+
+    /// The user-model config the cohort uses (for oracle profiles).
+    pub fn user_config(&self) -> UserModelConfig {
+        UserModelConfig { queries: self.queries, ..Default::default() }
+    }
+}
+
+/// Aggregated result of replaying a cohort under two configurations.
+#[derive(Debug, Default)]
+pub struct PairedCohort {
+    /// Per-query (baseline, treatment) pairs across all traces.
+    pub pairs: Vec<PairedRun>,
+    /// Treatment-side replay outcomes (speculation statistics).
+    pub treatment: Vec<ReplayOutcome>,
+}
+
+impl PairedCohort {
+    /// Aggregate improvement of treatment over baseline.
+    pub fn improvement_pct(&self) -> f64 {
+        improvement(&self.pairs) * 100.0
+    }
+
+    /// Manipulations issued.
+    pub fn issued(&self) -> u64 {
+        self.treatment.iter().map(|o| o.issued).sum()
+    }
+
+    /// Manipulations completed.
+    pub fn completed(&self) -> u64 {
+        self.treatment.iter().map(|o| o.completed).sum()
+    }
+
+    /// Percentage of manipulations that did not complete in time.
+    pub fn non_completion_pct(&self) -> f64 {
+        let issued = self.issued();
+        if issued == 0 {
+            0.0
+        } else {
+            100.0 * (issued - self.completed()) as f64 / issued as f64
+        }
+    }
+
+    /// Mean completed-manipulation duration.
+    pub fn mean_manipulation(&self) -> VirtualTime {
+        let times: Vec<VirtualTime> =
+            self.treatment.iter().flat_map(|o| o.manipulation_times.iter().copied()).collect();
+        if times.is_empty() {
+            VirtualTime::ZERO
+        } else {
+            times.iter().copied().sum::<VirtualTime>() / times.len() as u64
+        }
+    }
+}
+
+/// Replay a cohort under `baseline` and `treatment` configs against
+/// clones of `base`, pairing the measurements per query.
+pub fn run_paired(
+    base: &Database,
+    traces: &[Trace],
+    baseline: &ReplayConfig,
+    treatment: &ReplayConfig,
+) -> PairedCohort {
+    let mut out = PairedCohort::default();
+    for trace in traces {
+        let mut db_b = base.clone();
+        let b = replay_trace(&mut db_b, trace, baseline).expect("baseline replay");
+        drop(db_b);
+        let mut db_t = base.clone();
+        let t = replay_trace(&mut db_t, trace, treatment).expect("treatment replay");
+        drop(db_t);
+        out.pairs.extend(pair_runs(&b.queries, &t.queries));
+        out.treatment.push(t);
+    }
+    out
+}
+
+/// The paper's bucket ranges per dataset label: `(lo, hi, step)` seconds.
+pub fn paper_buckets(label: &str) -> (f64, f64, f64) {
+    match label {
+        "100MB" => (3.0, 13.0, 1.0),
+        "500MB" => (10.0, 65.0, 5.0),
+        "1GB" => (30.0, 140.0, 10.0),
+        _ => (0.0, 1e6, 1e6),
+    }
+}
+
+/// Render one figure panel: bucket rows over the paper's range plus an
+/// all-queries summary line (coverage of the paper range included).
+pub fn render_panel(title: &str, pairs: &[PairedRun], label: &str, extremes: bool) -> String {
+    let (lo, hi, step) = paper_buckets(label);
+    let min_count = if pairs.len() >= 200 { 5 } else { 2 };
+    let rows = bucketize(pairs, lo, hi, step, min_count);
+    let covered: usize = rows.iter().map(|r| r.count).sum();
+    let mut s = render_rows(title, &rows, extremes);
+    s.push_str(&format!(
+        "   overall: {:+.1}% over {} queries ({} in the paper's {}-{}s range)\n",
+        improvement(pairs) * 100.0,
+        pairs.len(),
+        covered,
+        lo,
+        hi,
+    ));
+    s
+}
+
+/// Format a virtual time in seconds with one decimal.
+pub fn secs(t: VirtualTime) -> String {
+    format!("{:.1}s", t.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults() {
+        let env = BenchEnv::from_env();
+        assert!(env.divisor >= 1);
+        assert!(env.users >= 1);
+        assert_eq!(env.specs().len(), 3);
+    }
+
+    #[test]
+    fn paper_bucket_ranges() {
+        assert_eq!(paper_buckets("100MB"), (3.0, 13.0, 1.0));
+        assert_eq!(paper_buckets("1GB"), (30.0, 140.0, 10.0));
+    }
+
+    #[test]
+    fn paired_cohort_math() {
+        let mut c = PairedCohort::default();
+        c.pairs.push(PairedRun {
+            normal: VirtualTime::from_secs(10),
+            spec: VirtualTime::from_secs(6),
+        });
+        let o = ReplayOutcome {
+            issued: 4,
+            completed: 3,
+            manipulation_times: vec![VirtualTime::from_secs(6)],
+            ..Default::default()
+        };
+        c.treatment.push(o);
+        assert!((c.improvement_pct() - 40.0).abs() < 1e-9);
+        assert!((c.non_completion_pct() - 25.0).abs() < 1e-9);
+        assert_eq!(c.mean_manipulation(), VirtualTime::from_secs(6));
+    }
+}

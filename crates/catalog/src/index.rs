@@ -1,0 +1,355 @@
+//! Page-backed ordered indexes.
+//!
+//! The paper's *index creation* manipulation builds one of these on a
+//! column. The structure is a static two-level B-tree: sorted
+//! `(key, rid)` entries packed into leaf pages (stored through the buffer
+//! pool, so leaf I/O is costed honestly) plus an in-memory fence array
+//! standing in for the inner nodes, which in a real system are almost
+//! always cached.
+//!
+//! Indexes here are built once over existing data and never updated in
+//! place — exactly the paper's setting, where the database is read-only
+//! during exploration and indexes are created speculatively.
+
+use crate::schema::Schema;
+use serde::{Deserialize, Serialize};
+use specdb_storage::{
+    AccessKind, BufferPool, HeapFile, StorageResult, Tuple, TupleId, Value,
+};
+use std::ops::Bound;
+
+/// A static ordered index mapping key values to tuple ids.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OrderedIndex {
+    /// Leaf storage: tuples of `(key, file, page_no, slot)` in key order.
+    leaves: HeapFile,
+    /// First key of each leaf page, parallel to leaf page numbers.
+    fences: Vec<Value>,
+    /// Total entries.
+    entries: u64,
+}
+
+impl OrderedIndex {
+    /// Build an index from `(key, rid)` pairs. Pairs need not be sorted.
+    /// Null keys are skipped (consistent with SQL index semantics).
+    pub fn build(
+        pool: &mut BufferPool,
+        mut pairs: Vec<(Value, TupleId)>,
+    ) -> StorageResult<OrderedIndex> {
+        pairs.retain(|(k, _)| !k.is_null());
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        // Charge sort CPU: n log n comparisons approximated as n·log2(n) tuples.
+        let n = pairs.len() as u64;
+        if n > 0 {
+            pool.charge_cpu(n * (64 - n.leading_zeros() as u64).max(1));
+        }
+        let leaves = HeapFile::create(pool);
+        let mut loader = specdb_storage::heap::BulkLoader::new(leaves, pool);
+        let mut fences: Vec<Value> = Vec::new();
+        let mut last_page = u32::MAX;
+        for (key, tid) in &pairs {
+            let entry = Tuple::new(vec![
+                key.clone(),
+                Value::Int(tid.page.file.0 as i64),
+                Value::Int(tid.page.page_no as i64),
+                Value::Int(tid.slot as i64),
+            ]);
+            let placed = loader.push(pool, &entry)?;
+            if placed.page.page_no != last_page {
+                last_page = placed.page.page_no;
+                fences.push(key.clone());
+            }
+        }
+        loader.finish(pool)?;
+        Ok(OrderedIndex { leaves, fences, entries: n })
+    }
+
+    /// Number of entries.
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Number of leaf pages.
+    pub fn leaf_pages(&self, pool: &BufferPool) -> u32 {
+        self.leaves.pages(pool)
+    }
+
+    /// Look up all rids whose key falls in the given bounds.
+    pub fn lookup(
+        &self,
+        pool: &mut BufferPool,
+        lo: Bound<&Value>,
+        hi: Bound<&Value>,
+    ) -> StorageResult<Vec<TupleId>> {
+        let mut out = Vec::new();
+        if self.fences.is_empty() {
+            return Ok(out);
+        }
+        // Find the first leaf that could contain a qualifying key: the
+        // last leaf whose fence (first key) is *strictly below* the
+        // bound. A leaf whose fence equals the bound can have equal keys
+        // spilled into the tail of the previous leaf, so starting at the
+        // first equal fence would silently drop those entries.
+        let start_leaf = match &lo {
+            Bound::Unbounded => 0,
+            Bound::Included(v) | Bound::Excluded(v) => {
+                self.fences.partition_point(|f| f < *v).saturating_sub(1)
+            }
+        } as u32;
+        let total = self.leaves.pages(pool);
+        let mut first = true;
+        'pages: for page_no in start_leaf..total {
+            let pid = specdb_storage::PageId::new(self.leaves.file, page_no);
+            let kind = if first { AccessKind::Random } else { AccessKind::Sequential };
+            first = false;
+            let page = pool.read_page(pid, kind)?;
+            for (_, bytes) in page.iter() {
+                let entry = Tuple::decode(bytes)?;
+                let key = entry.get(0);
+                let below_lo = match &lo {
+                    Bound::Unbounded => false,
+                    Bound::Included(v) => key < *v,
+                    Bound::Excluded(v) => key <= *v,
+                };
+                if below_lo {
+                    continue;
+                }
+                let above_hi = match &hi {
+                    Bound::Unbounded => false,
+                    Bound::Included(v) => key > *v,
+                    Bound::Excluded(v) => key >= *v,
+                };
+                if above_hi {
+                    break 'pages;
+                }
+                out.push(decode_rid(&entry));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Point lookup convenience wrapper.
+    pub fn lookup_eq(&self, pool: &mut BufferPool, key: &Value) -> StorageResult<Vec<TupleId>> {
+        self.lookup(pool, Bound::Included(key), Bound::Included(key))
+    }
+
+    /// Drop the index's leaf pages.
+    pub fn destroy(self, pool: &mut BufferPool) {
+        self.leaves.destroy(pool);
+    }
+
+    /// Estimated leaf pages touched by a lookup matching `matched` entries.
+    pub fn probe_pages(&self, pool: &BufferPool, matched: u64) -> u64 {
+        let pages = self.leaves.pages(pool) as u64;
+        if pages == 0 || self.entries == 0 {
+            return 1;
+        }
+        let per_page = (self.entries / pages).max(1);
+        1 + matched / per_page
+    }
+}
+
+fn decode_rid(entry: &Tuple) -> TupleId {
+    let int = |i: usize| match entry.get(i) {
+        Value::Int(v) => *v,
+        other => panic!("index entry field {i} should be Int, got {other:?}"),
+    };
+    TupleId {
+        page: specdb_storage::PageId::new(
+            specdb_storage::FileId(int(1) as u32),
+            int(2) as u32,
+        ),
+        slot: int(3) as u16,
+    }
+}
+
+/// Extract `(key, rid)` pairs for a column from a heap file (index build input).
+pub fn column_pairs(
+    pool: &mut BufferPool,
+    heap: HeapFile,
+    schema: &Schema,
+    column: &str,
+) -> StorageResult<Vec<(Value, TupleId)>> {
+    let idx = schema
+        .index_of(column)
+        .unwrap_or_else(|| panic!("column {column} not in schema {schema}"));
+    let mut pairs = Vec::new();
+    heap.for_each(pool, |tid, tuple| {
+        pairs.push((tuple.get(idx).clone(), tid));
+        true
+    })?;
+    Ok(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specdb_storage::heap::BulkLoader;
+
+    fn setup(n: i64) -> (BufferPool, HeapFile, OrderedIndex) {
+        let mut pool = BufferPool::new(256);
+        let heap = HeapFile::create(&mut pool);
+        let mut loader = BulkLoader::new(heap, &pool);
+        let mut pairs = Vec::new();
+        for i in 0..n {
+            // Insert keys in scrambled order to exercise the sort.
+            let key = (i * 37) % n;
+            let t = Tuple::new(vec![Value::Int(key), Value::Str(format!("r{key}"))]);
+            let tid = loader.push(&mut pool, &t).unwrap();
+            pairs.push((Value::Int(key), tid));
+        }
+        loader.finish(&mut pool).unwrap();
+        let idx = OrderedIndex::build(&mut pool, pairs).unwrap();
+        (pool, heap, idx)
+    }
+
+    #[test]
+    fn point_lookup_finds_exactly_one() {
+        let (mut pool, heap, idx) = setup(1000);
+        let rids = idx.lookup_eq(&mut pool, &Value::Int(123)).unwrap();
+        assert_eq!(rids.len(), 1);
+        let t = heap.get(&mut pool, rids[0]).unwrap();
+        assert_eq!(t.get(0), &Value::Int(123));
+    }
+
+    #[test]
+    fn range_lookup_bounds_semantics() {
+        let (mut pool, _, idx) = setup(100);
+        let count = |lo: Bound<&Value>, hi: Bound<&Value>, pool: &mut BufferPool| {
+            idx.lookup(pool, lo, hi).unwrap().len()
+        };
+        let v10 = Value::Int(10);
+        let v20 = Value::Int(20);
+        assert_eq!(count(Bound::Included(&v10), Bound::Included(&v20), &mut pool), 11);
+        assert_eq!(count(Bound::Excluded(&v10), Bound::Included(&v20), &mut pool), 10);
+        assert_eq!(count(Bound::Included(&v10), Bound::Excluded(&v20), &mut pool), 10);
+        assert_eq!(count(Bound::Unbounded, Bound::Excluded(&v10), &mut pool), 10);
+        assert_eq!(count(Bound::Included(&v10), Bound::Unbounded, &mut pool), 90);
+        assert_eq!(count(Bound::Unbounded, Bound::Unbounded, &mut pool), 100);
+    }
+
+    #[test]
+    fn duplicate_keys_all_found() {
+        let mut pool = BufferPool::new(256);
+        let heap = HeapFile::create(&mut pool);
+        let mut loader = BulkLoader::new(heap, &pool);
+        let mut pairs = Vec::new();
+        for i in 0..300i64 {
+            let key = i % 3;
+            let tid = loader.push(&mut pool, &Tuple::new(vec![Value::Int(key)])).unwrap();
+            pairs.push((Value::Int(key), tid));
+        }
+        loader.finish(&mut pool).unwrap();
+        let idx = OrderedIndex::build(&mut pool, pairs).unwrap();
+        assert_eq!(idx.lookup_eq(&mut pool, &Value::Int(0)).unwrap().len(), 100);
+        assert_eq!(idx.lookup_eq(&mut pool, &Value::Int(2)).unwrap().len(), 100);
+    }
+
+    #[test]
+    fn duplicates_straddling_leaf_pages_all_found() {
+        // Enough duplicate keys to guarantee a key spans multiple leaves.
+        let mut pool = BufferPool::new(1024);
+        let heap = HeapFile::create(&mut pool);
+        let mut loader = BulkLoader::new(heap, &pool);
+        let mut pairs = Vec::new();
+        for i in 0..2000i64 {
+            let key = if i < 1000 { 5 } else { i };
+            let tid = loader.push(&mut pool, &Tuple::new(vec![Value::Int(key)])).unwrap();
+            pairs.push((Value::Int(key), tid));
+        }
+        loader.finish(&mut pool).unwrap();
+        let idx = OrderedIndex::build(&mut pool, pairs).unwrap();
+        assert!(idx.leaf_pages(&pool) > 2);
+        assert_eq!(idx.lookup_eq(&mut pool, &Value::Int(5)).unwrap().len(), 1000);
+    }
+
+    #[test]
+    fn duplicates_spilling_into_previous_leaf_tail_all_found() {
+        // Regression: keys equal to a leaf's fence can also sit at the
+        // *end of the previous leaf*. Build: ~185 ones filling most of
+        // leaf 0, then 20 fives straddling the leaf boundary. A point
+        // lookup for 5 must find all 20, including those in leaf 0.
+        let mut pool = BufferPool::new(1024);
+        let heap = HeapFile::create(&mut pool);
+        let mut loader = BulkLoader::new(heap, &pool);
+        let mut pairs = Vec::new();
+        for i in 0..400i64 {
+            let key = if i < 185 { 1 } else if i < 205 { 5 } else { 9 + i };
+            let tid = loader.push(&mut pool, &Tuple::new(vec![Value::Int(key)])).unwrap();
+            pairs.push((Value::Int(key), tid));
+        }
+        loader.finish(&mut pool).unwrap();
+        let idx = OrderedIndex::build(&mut pool, pairs).unwrap();
+        assert!(idx.leaf_pages(&pool) >= 2, "fixture must span leaves");
+        assert_eq!(idx.lookup_eq(&mut pool, &Value::Int(5)).unwrap().len(), 20);
+        assert_eq!(idx.lookup_eq(&mut pool, &Value::Int(1)).unwrap().len(), 185);
+        // Range starting exactly at a fence-adjacent key.
+        let v5 = Value::Int(5);
+        assert_eq!(
+            idx.lookup(&mut pool, Bound::Included(&v5), Bound::Unbounded).unwrap().len(),
+            400 - 185
+        );
+        assert_eq!(
+            idx.lookup(&mut pool, Bound::Excluded(&v5), Bound::Unbounded).unwrap().len(),
+            400 - 205
+        );
+    }
+
+    #[test]
+    fn null_keys_are_skipped() {
+        let mut pool = BufferPool::new(64);
+        let heap = HeapFile::create(&mut pool);
+        let mut loader = BulkLoader::new(heap, &pool);
+        let mut pairs = Vec::new();
+        for i in 0..10i64 {
+            let key = if i % 2 == 0 { Value::Null } else { Value::Int(i) };
+            let tid = loader.push(&mut pool, &Tuple::new(vec![key.clone()])).unwrap();
+            pairs.push((key, tid));
+        }
+        loader.finish(&mut pool).unwrap();
+        let idx = OrderedIndex::build(&mut pool, pairs).unwrap();
+        assert_eq!(idx.entries(), 5);
+        assert_eq!(idx.lookup(&mut pool, Bound::Unbounded, Bound::Unbounded).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn empty_index_lookups() {
+        let mut pool = BufferPool::new(16);
+        let idx = OrderedIndex::build(&mut pool, Vec::new()).unwrap();
+        assert_eq!(idx.entries(), 0);
+        assert!(idx.lookup_eq(&mut pool, &Value::Int(1)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn lookup_charges_random_then_sequential() {
+        let (mut pool, _, idx) = setup(5000);
+        pool.clear();
+        let before = pool.snapshot();
+        let v0 = Value::Int(0);
+        let v4999 = Value::Int(4999);
+        idx.lookup(&mut pool, Bound::Included(&v0), Bound::Included(&v4999)).unwrap();
+        let d = pool.demand_since(before);
+        assert_eq!(d.rand_reads, 1, "first leaf is a random read");
+        assert!(d.seq_reads > 0, "subsequent leaves are sequential");
+    }
+
+    #[test]
+    fn column_pairs_extracts_keys() {
+        let mut pool = BufferPool::new(64);
+        let heap = HeapFile::create(&mut pool);
+        let mut loader = BulkLoader::new(heap, &pool);
+        for i in 0..5i64 {
+            loader
+                .push(&mut pool, &Tuple::new(vec![Value::Str(format!("n{i}")), Value::Int(i)]))
+                .unwrap();
+        }
+        loader.finish(&mut pool).unwrap();
+        let schema = Schema::new(vec![
+            crate::schema::ColumnDef::new("name", crate::schema::DataType::Str),
+            crate::schema::ColumnDef::new("v", crate::schema::DataType::Int),
+        ]);
+        let pairs = column_pairs(&mut pool, heap, &schema, "v").unwrap();
+        assert_eq!(pairs.len(), 5);
+        assert_eq!(pairs[3].0, Value::Int(3));
+    }
+}

@@ -1,0 +1,189 @@
+//! Column and table schemas.
+
+use serde::{Deserialize, Serialize};
+use specdb_storage::Value;
+use std::fmt;
+
+/// Column data types (the minimum the TPC-H subset workload needs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit integer (also dates, as day numbers).
+    Int,
+    /// 64-bit float.
+    Float,
+    /// Variable-length string.
+    Str,
+}
+
+impl DataType {
+    /// Whether a value inhabits this type (null inhabits every type).
+    pub fn admits(&self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (_, Value::Null)
+                | (DataType::Int, Value::Int(_))
+                | (DataType::Float, Value::Float(_))
+                | (DataType::Float, Value::Int(_))
+                | (DataType::Str, Value::Str(_))
+        )
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => write!(f, "INT"),
+            DataType::Float => write!(f, "FLOAT"),
+            DataType::Str => write!(f, "VARCHAR"),
+        }
+    }
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    /// Column name (unqualified).
+    pub name: String,
+    /// Column type.
+    pub ty: DataType,
+}
+
+impl ColumnDef {
+    /// Construct a column definition.
+    pub fn new(name: impl Into<String>, ty: DataType) -> Self {
+        ColumnDef { name: name.into(), ty }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+}
+
+impl Schema {
+    /// Construct from column definitions.
+    pub fn new(columns: Vec<ColumnDef>) -> Self {
+        Schema { columns }
+    }
+
+    /// The columns, in order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of a column by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Column definition by name.
+    pub fn column(&self, name: &str) -> Option<&ColumnDef> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Concatenate two schemas (join output schema).
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        Schema { columns }
+    }
+
+    /// Schema with every column name prefixed `prefix.name` (used when a
+    /// join output needs unambiguous names).
+    pub fn qualified(&self, prefix: &str) -> Schema {
+        Schema {
+            columns: self
+                .columns
+                .iter()
+                .map(|c| ColumnDef::new(format!("{prefix}.{}", c.name), c.ty))
+                .collect(),
+        }
+    }
+
+    /// Schema restricted to the given column indexes (projection output).
+    pub fn project(&self, cols: &[usize]) -> Schema {
+        Schema { columns: cols.iter().map(|&i| self.columns[i].clone()).collect() }
+    }
+
+    /// Average encoded tuple width in bytes, assuming ~16-byte strings.
+    /// Used for page-count estimation before data exists.
+    pub fn estimated_tuple_bytes(&self) -> usize {
+        2 + self
+            .columns
+            .iter()
+            .map(|c| match c.ty {
+                DataType::Int | DataType::Float => 9,
+                DataType::Str => 21,
+            })
+            .sum::<usize>()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn emp() -> Schema {
+        Schema::new(vec![
+            ColumnDef::new("name", DataType::Str),
+            ColumnDef::new("age", DataType::Int),
+            ColumnDef::new("salary", DataType::Float),
+        ])
+    }
+
+    #[test]
+    fn index_and_lookup() {
+        let s = emp();
+        assert_eq!(s.index_of("age"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+        assert_eq!(s.column("salary").unwrap().ty, DataType::Float);
+        assert_eq!(s.arity(), 3);
+    }
+
+    #[test]
+    fn concat_preserves_order() {
+        let s = emp().concat(&emp().qualified("e2"));
+        assert_eq!(s.arity(), 6);
+        assert_eq!(s.index_of("e2.age"), Some(4));
+    }
+
+    #[test]
+    fn project_selects_columns() {
+        let s = emp().project(&[2, 0]);
+        assert_eq!(s.columns()[0].name, "salary");
+        assert_eq!(s.columns()[1].name, "name");
+    }
+
+    #[test]
+    fn admits_checks_types() {
+        use specdb_storage::Value;
+        assert!(DataType::Int.admits(&Value::Int(3)));
+        assert!(DataType::Float.admits(&Value::Int(3)), "ints coerce to float columns");
+        assert!(!DataType::Int.admits(&Value::Str("x".into())));
+        assert!(DataType::Str.admits(&Value::Null));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", emp()), "(name VARCHAR, age INT, salary FLOAT)");
+    }
+}

@@ -1,0 +1,494 @@
+//! The Learner (paper Section 3.4) and the [`Profile`] abstraction.
+//!
+//! The Learner watches the user's on-screen actions and trains three
+//! families of estimators:
+//!
+//! 1. **survival** — once a part (selection or join edge) appears in the
+//!    partial query, will it still be present when GO is pressed? This
+//!    approximates the `f⊆(qm)` term of Theorem 3.1 (as the product of
+//!    per-part survival probabilities).
+//! 2. **persistence** — will a part of this final query reappear in the
+//!    next final query? (Drives the depth-n cost model and amortized
+//!    reuse of materializations.)
+//! 3. **think time** — how long do formulations last? (Drives the
+//!    completion-probability factor.)
+//!
+//! Counters ([`survival::KeyedCounters`]) are the default; an online
+//! logistic regression ([`logistic::OnlineLogistic`]) is available as an
+//! alternative survival estimator for the learner ablation.
+
+pub mod logistic;
+pub mod survival;
+pub mod think;
+
+use logistic::OnlineLogistic;
+use serde::{Deserialize, Serialize};
+use specdb_query::{EditOp, Join, PartialQuery, QueryGraph, Selection};
+use specdb_storage::VirtualTime;
+use survival::{DecayCounter, KeyedCounters};
+use think::ThinkTimeModel;
+use std::collections::HashMap;
+
+/// Supplies the probability terms the cost model needs.
+pub trait Profile {
+    /// P(this selection edge survives to the final query).
+    fn p_selection_survives(&self, s: &Selection) -> f64;
+    /// P(this join edge survives to the final query).
+    fn p_join_survives(&self, j: &Join) -> f64;
+    /// P(a selection edge of the final query persists into the next one).
+    fn p_selection_persists(&self) -> f64;
+    /// P(a join edge of the final query persists into the next one).
+    fn p_join_persists(&self) -> f64;
+    /// P(think time exceeds `elapsed + additional`, given `elapsed`).
+    fn p_think_exceeds(&self, elapsed: VirtualTime, additional: VirtualTime) -> f64;
+
+    /// `f⊆(qm)`: P(every part of `qm` survives to the final query),
+    /// under per-part independence.
+    fn p_contained(&self, qm: &QueryGraph) -> f64 {
+        let sels: f64 = qm.selections().map(|s| self.p_selection_survives(s)).product();
+        let joins: f64 = qm.joins().map(|j| self.p_join_survives(j)).product();
+        (sels * joins).clamp(0.0, 1.0)
+    }
+
+    /// P(every part of `qm` persists into the next query).
+    fn p_graph_persists(&self, qm: &QueryGraph) -> f64 {
+        let s = self.p_selection_persists().powi(qm.selection_count() as i32);
+        let j = self.p_join_persists().powi(qm.join_count() as i32);
+        (s * j).clamp(0.0, 1.0)
+    }
+}
+
+/// A profile with fixed probabilities everywhere — the "no learning"
+/// baseline of the learner ablation.
+#[derive(Debug, Clone)]
+pub struct UniformProfile {
+    /// The constant probability returned for survival and persistence.
+    pub p: f64,
+    /// Mean think time (seconds) for the exponential think model.
+    pub think_mean_secs: f64,
+}
+
+impl Default for UniformProfile {
+    fn default() -> Self {
+        UniformProfile { p: 0.5, think_mean_secs: 28.0 }
+    }
+}
+
+impl Profile for UniformProfile {
+    fn p_selection_survives(&self, _: &Selection) -> f64 {
+        self.p
+    }
+    fn p_join_survives(&self, _: &Join) -> f64 {
+        self.p
+    }
+    fn p_selection_persists(&self) -> f64 {
+        self.p
+    }
+    fn p_join_persists(&self) -> f64 {
+        self.p
+    }
+    fn p_think_exceeds(&self, _elapsed: VirtualTime, additional: VirtualTime) -> f64 {
+        (-additional.as_secs_f64() / self.think_mean_secs.max(1e-6)).exp()
+    }
+}
+
+/// A profile configured with the *true* parameters of the synthetic user
+/// model — the upper bound of the learner ablation.
+#[derive(Debug, Clone)]
+pub struct OracleProfile {
+    /// True selection survival probability.
+    pub sel_survival: f64,
+    /// True join survival probability.
+    pub join_survival: f64,
+    /// True selection persistence probability.
+    pub sel_persistence: f64,
+    /// True join persistence probability.
+    pub join_persistence: f64,
+    /// True mean think time in seconds.
+    pub think_mean_secs: f64,
+}
+
+impl Profile for OracleProfile {
+    fn p_selection_survives(&self, _: &Selection) -> f64 {
+        self.sel_survival
+    }
+    fn p_join_survives(&self, _: &Join) -> f64 {
+        self.join_survival
+    }
+    fn p_selection_persists(&self) -> f64 {
+        self.sel_persistence
+    }
+    fn p_join_persists(&self) -> f64 {
+        self.join_persistence
+    }
+    fn p_think_exceeds(&self, _elapsed: VirtualTime, additional: VirtualTime) -> f64 {
+        (-additional.as_secs_f64() / self.think_mean_secs.max(1e-6)).exp()
+    }
+}
+
+/// Which survival estimator the learner uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SurvivalMode {
+    /// Per-`(table, column)` decayed counters (default).
+    #[default]
+    Counting,
+    /// Online logistic regression over hashed features.
+    Logistic,
+}
+
+/// Learner configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LearnerConfig {
+    /// Forgetting factor for all counters.
+    pub decay: f64,
+    /// Prior survival probability (parts usually survive: the paper's
+    /// users kept selections for ~3 queries once placed).
+    pub survival_prior: f64,
+    /// Prior persistence probability.
+    pub persistence_prior: f64,
+    /// Pseudo-trials backing the priors.
+    pub prior_weight: f64,
+    /// Survival estimator choice.
+    pub mode: SurvivalMode,
+}
+
+impl Default for LearnerConfig {
+    fn default() -> Self {
+        LearnerConfig {
+            decay: 0.995,
+            survival_prior: 0.8,
+            persistence_prior: 0.6,
+            prior_weight: 4.0,
+            mode: SurvivalMode::Counting,
+        }
+    }
+}
+
+/// Keys for tracked parts during a formulation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+enum Part {
+    Sel(Selection),
+    Join(Join),
+}
+
+/// The Learner: observes the edit stream and implements [`Profile`].
+///
+/// Profiles are serializable: the paper's Learner "observes users over
+/// time", across sessions — persist with [`Learner::to_json`] and
+/// restore with [`Learner::from_json`].
+#[derive(Serialize, Deserialize)]
+pub struct Learner {
+    config: LearnerConfig,
+    sel_survival: KeyedCounters<(String, String)>,
+    join_survival: KeyedCounters<(String, String, String, String)>,
+    logistic: OnlineLogistic,
+    sel_persist: DecayCounter,
+    join_persist: DecayCounter,
+    think: ThinkTimeModel,
+    // Formulation-tracking state: transient, per-formulation — not part
+    // of the persisted profile.
+    #[serde(skip)]
+    mirror: PartialQuery,
+    #[serde(skip)]
+    seen: HashMap<Part, ()>,
+    #[serde(skip)]
+    formulation_start: Option<VirtualTime>,
+    #[serde(skip)]
+    prev_final: Option<QueryGraph>,
+    observed_gos: u64,
+}
+
+impl Default for Learner {
+    fn default() -> Self {
+        Self::new(LearnerConfig::default())
+    }
+}
+
+impl Learner {
+    /// Learner with the given configuration.
+    pub fn new(config: LearnerConfig) -> Self {
+        let decay = config.decay;
+        Learner {
+            sel_survival: KeyedCounters::new(decay, config.survival_prior, config.prior_weight),
+            join_survival: KeyedCounters::new(decay, config.survival_prior, config.prior_weight),
+            logistic: OnlineLogistic::default(),
+            sel_persist: DecayCounter::new(decay, config.persistence_prior, config.prior_weight),
+            join_persist: DecayCounter::new(decay, config.persistence_prior, config.prior_weight),
+            think: ThinkTimeModel::default(),
+            mirror: PartialQuery::new(),
+            seen: HashMap::new(),
+            formulation_start: None,
+            prev_final: None,
+            observed_gos: 0,
+            config,
+        }
+    }
+
+    /// Number of GO events observed (≈ training examples seen).
+    pub fn observed_gos(&self) -> u64 {
+        self.observed_gos
+    }
+
+    /// The learner's mirror of the current partial query.
+    pub fn partial(&self) -> &QueryGraph {
+        self.mirror.graph()
+    }
+
+    /// Virtual time the current formulation started, if one is active.
+    pub fn formulation_start(&self) -> Option<VirtualTime> {
+        self.formulation_start
+    }
+
+    /// Observe one user edit at virtual time `at`. GO events must be
+    /// reported through [`Learner::observe_go`] instead (the learner
+    /// needs the final graph).
+    pub fn observe_edit(&mut self, at: VirtualTime, op: &EditOp) {
+        if self.formulation_start.is_none() {
+            self.formulation_start = Some(at);
+        }
+        // Track which parts appear during this formulation. Removing a
+        // relation cascades, so capture the attached parts first.
+        match op {
+            EditOp::AddSelection(s) => {
+                self.seen.insert(Part::Sel(s.clone()), ());
+            }
+            EditOp::UpdateSelection { new, .. } => {
+                self.seen.insert(Part::Sel(new.clone()), ());
+            }
+            EditOp::AddJoin(j) => {
+                self.seen.insert(Part::Join(j.clone()), ());
+            }
+            _ => {}
+        }
+        self.mirror.apply(op);
+    }
+
+    /// Observe the GO event: train survival on every part seen during the
+    /// formulation, persistence against the previous final query, and the
+    /// think-time model on the formulation duration.
+    pub fn observe_go(&mut self, at: VirtualTime, final_graph: &QueryGraph) {
+        for (part, ()) in std::mem::take(&mut self.seen) {
+            match part {
+                Part::Sel(s) => {
+                    let survived = final_graph.selections().any(|fs| fs == &s);
+                    self.sel_survival.update((s.rel.clone(), s.pred.column.clone()), survived);
+                    self.logistic.update(&s, survived);
+                }
+                Part::Join(j) => {
+                    let survived = final_graph.joins().any(|fj| fj == &j);
+                    self.join_survival.update(
+                        (j.left.clone(), j.lcol.clone(), j.right.clone(), j.rcol.clone()),
+                        survived,
+                    );
+                }
+            }
+        }
+        if let Some(prev) = &self.prev_final {
+            for s in prev.selections() {
+                self.sel_persist.update(final_graph.selections().any(|fs| fs == s));
+            }
+            for j in prev.joins() {
+                self.join_persist.update(final_graph.joins().any(|fj| fj == j));
+            }
+        }
+        if let Some(start) = self.formulation_start.take() {
+            self.think.observe(at.saturating_sub(start));
+        }
+        self.prev_final = Some(final_graph.clone());
+        self.mirror = PartialQuery::from_query(specdb_query::Query::star(final_graph.clone()));
+        self.observed_gos += 1;
+    }
+
+    /// Access to the think-time model (read-only).
+    pub fn think_model(&self) -> &ThinkTimeModel {
+        &self.think
+    }
+
+    /// Serialize the trained profile (cross-session persistence).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("learner state is always serializable")
+    }
+
+    /// Restore a profile saved with [`Learner::to_json`].
+    pub fn from_json(json: &str) -> Result<Learner, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+impl Profile for Learner {
+    fn p_selection_survives(&self, s: &Selection) -> f64 {
+        match self.config.mode {
+            SurvivalMode::Counting => {
+                self.sel_survival.estimate(&(s.rel.clone(), s.pred.column.clone()))
+            }
+            SurvivalMode::Logistic => {
+                if self.logistic.updates() < 10 {
+                    self.config.survival_prior
+                } else {
+                    self.logistic.predict(s)
+                }
+            }
+        }
+    }
+
+    fn p_join_survives(&self, j: &Join) -> f64 {
+        self.join_survival.estimate(&(
+            j.left.clone(),
+            j.lcol.clone(),
+            j.right.clone(),
+            j.rcol.clone(),
+        ))
+    }
+
+    fn p_selection_persists(&self) -> f64 {
+        self.sel_persist.estimate()
+    }
+
+    fn p_join_persists(&self) -> f64 {
+        self.join_persist.estimate()
+    }
+
+    fn p_think_exceeds(&self, elapsed: VirtualTime, additional: VirtualTime) -> f64 {
+        self.think.p_exceeds(elapsed, additional)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specdb_query::{CompareOp, Predicate};
+
+    fn sel(col: &str, v: i64) -> Selection {
+        Selection::new("orders", Predicate::new(col, CompareOp::Lt, v))
+    }
+
+    fn secs(s: u64) -> VirtualTime {
+        VirtualTime::from_secs(s)
+    }
+
+    #[test]
+    fn survival_learned_from_removals() {
+        let mut l = Learner::default();
+        // Column "flaky" is always recanted; "solid" always survives.
+        for q in 0..40 {
+            let t0 = secs(q * 100);
+            let flaky = sel("flaky", q as i64);
+            let solid = sel("solid", q as i64);
+            l.observe_edit(t0, &EditOp::AddSelection(flaky.clone()));
+            l.observe_edit(t0 + secs(2), &EditOp::AddSelection(solid.clone()));
+            l.observe_edit(t0 + secs(4), &EditOp::RemoveSelection(flaky.clone()));
+            let mut final_graph = QueryGraph::new();
+            final_graph.add_selection(solid.clone());
+            l.observe_go(t0 + secs(10), &final_graph);
+        }
+        assert!(l.p_selection_survives(&sel("solid", 999)) > 0.85);
+        assert!(l.p_selection_survives(&sel("flaky", 999)) < 0.3);
+        assert_eq!(l.observed_gos(), 40);
+    }
+
+    #[test]
+    fn persistence_learned_across_queries() {
+        let mut l = Learner::default();
+        let keeper = sel("kept", 1);
+        for q in 0..30 {
+            let t0 = secs(q * 100);
+            let churn = sel("churn", q as i64);
+            l.observe_edit(t0, &EditOp::AddSelection(keeper.clone()));
+            l.observe_edit(t0, &EditOp::AddSelection(churn.clone()));
+            let mut fg = QueryGraph::new();
+            fg.add_selection(keeper.clone());
+            fg.add_selection(churn.clone());
+            l.observe_go(t0 + secs(10), &fg);
+        }
+        // Each query keeps `keeper` and replaces `churn`: of the two
+        // selections in the previous final, one persists → ~0.5.
+        let p = l.p_selection_persists();
+        assert!((0.35..0.7).contains(&p), "{p}");
+    }
+
+    #[test]
+    fn think_time_observed() {
+        let mut l = Learner::default();
+        l.observe_edit(secs(0), &EditOp::AddSelection(sel("a", 1)));
+        let mut fg = QueryGraph::new();
+        fg.add_selection(sel("a", 1));
+        l.observe_go(secs(42), &fg);
+        assert_eq!(l.think_model().samples(), 1);
+        assert!((l.think_model().mean_secs() - 42.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn p_contained_is_product() {
+        let profile = UniformProfile { p: 0.5, think_mean_secs: 28.0 };
+        let mut g = QueryGraph::new();
+        g.add_selection(sel("a", 1));
+        g.add_selection(sel("b", 2));
+        assert!((profile.p_contained(&g) - 0.25).abs() < 1e-9);
+        g.add_join(Join::new("orders", "o_custkey", "customer", "c_custkey"));
+        assert!((profile.p_contained(&g) - 0.125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oracle_profile_reports_configured_values() {
+        let o = OracleProfile {
+            sel_survival: 0.9,
+            join_survival: 0.95,
+            sel_persistence: 0.7,
+            join_persistence: 0.9,
+            think_mean_secs: 28.0,
+        };
+        assert_eq!(o.p_selection_survives(&sel("x", 1)), 0.9);
+        assert_eq!(o.p_join_persists(), 0.9);
+        let mut g = QueryGraph::new();
+        g.add_join(Join::new("a", "x", "b", "y"));
+        assert!((o.p_graph_persists(&g) - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn logistic_mode_falls_back_until_trained() {
+        let cfg = LearnerConfig { mode: SurvivalMode::Logistic, ..Default::default() };
+        let l = Learner::new(cfg);
+        assert!((l.p_selection_survives(&sel("a", 1)) - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profile_persists_across_sessions() {
+        // Train, save, restore: the restored profile must report the
+        // same learned probabilities.
+        let mut l = Learner::default();
+        for q in 0..30 {
+            let t0 = secs(q * 100);
+            let keep = sel("kept", 1);
+            let drop_ = sel("dropped", q as i64);
+            l.observe_edit(t0, &EditOp::AddSelection(keep.clone()));
+            l.observe_edit(t0, &EditOp::AddSelection(drop_.clone()));
+            l.observe_edit(t0 + secs(1), &EditOp::RemoveSelection(drop_));
+            let mut fg = QueryGraph::new();
+            fg.add_selection(keep);
+            l.observe_go(t0 + secs(20), &fg);
+        }
+        let json = l.to_json();
+        let restored = Learner::from_json(&json).expect("round trip");
+        for probe in [sel("kept", 99), sel("dropped", 99), sel("never_seen", 1)] {
+            assert!(
+                (l.p_selection_survives(&probe) - restored.p_selection_survives(&probe)).abs()
+                    < 1e-12,
+                "{probe:?}"
+            );
+        }
+        assert_eq!(l.observed_gos(), restored.observed_gos());
+        assert!(
+            (l.p_think_exceeds(secs(0), secs(10))
+                - restored.p_think_exceeds(secs(0), secs(10)))
+            .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn untrained_learner_uses_priors() {
+        let l = Learner::default();
+        assert!((l.p_selection_survives(&sel("a", 1)) - 0.8).abs() < 1e-9);
+        assert!((l.p_selection_persists() - 0.6).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,173 @@
+//! Decayed Bernoulli counters — the basic survival estimators.
+//!
+//! Each counter tracks a Bernoulli rate with exponential forgetting, so
+//! the profile adapts when the user's behaviour drifts (the paper's
+//! profile "is continuously updated with information on the most recent
+//! actions of the user"). A Beta-style prior keeps early estimates sane.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A decayed success/trial counter with a Beta prior.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecayCounter {
+    successes: f64,
+    trials: f64,
+    decay: f64,
+    prior_mean: f64,
+    prior_weight: f64,
+}
+
+impl DecayCounter {
+    /// Counter with forgetting factor `decay` (1.0 = never forget) and a
+    /// `Beta`-like prior of `prior_weight` pseudo-trials at `prior_mean`.
+    pub fn new(decay: f64, prior_mean: f64, prior_weight: f64) -> Self {
+        assert!((0.0..=1.0).contains(&decay));
+        assert!((0.0..=1.0).contains(&prior_mean));
+        DecayCounter { successes: 0.0, trials: 0.0, decay, prior_mean, prior_weight }
+    }
+
+    /// Record one outcome.
+    pub fn update(&mut self, success: bool) {
+        self.successes = self.successes * self.decay + if success { 1.0 } else { 0.0 };
+        self.trials = self.trials * self.decay + 1.0;
+    }
+
+    /// Current rate estimate.
+    pub fn estimate(&self) -> f64 {
+        (self.successes + self.prior_mean * self.prior_weight)
+            / (self.trials + self.prior_weight)
+    }
+
+    /// Effective number of observed trials (decayed).
+    pub fn trials(&self) -> f64 {
+        self.trials
+    }
+}
+
+/// A family of [`DecayCounter`]s keyed by a feature (e.g. `(table,
+/// column)` for selection survival). Unknown keys report the prior.
+///
+/// Keys are tuples, which JSON cannot use as object keys, so the map
+/// serializes as a list of pairs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KeyedCounters<K: Eq + Hash + Clone> {
+    #[serde(with = "map_as_pairs", bound(serialize = "K: serde::Serialize", deserialize = "K: serde::de::DeserializeOwned"))]
+    counters: HashMap<K, DecayCounter>,
+    decay: f64,
+    prior_mean: f64,
+    prior_weight: f64,
+}
+
+/// Serialize a `HashMap` as a sequence of `(key, value)` pairs so that
+/// non-string keys survive JSON.
+mod map_as_pairs {
+    use super::DecayCounter;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use std::collections::HashMap;
+    use std::hash::Hash;
+
+    pub fn serialize<K, S>(
+        map: &HashMap<K, DecayCounter>,
+        serializer: S,
+    ) -> Result<S::Ok, S::Error>
+    where
+        K: Serialize + Eq + Hash,
+        S: Serializer,
+    {
+        serializer.collect_seq(map.iter())
+    }
+
+    pub fn deserialize<'de, K, D>(deserializer: D) -> Result<HashMap<K, DecayCounter>, D::Error>
+    where
+        K: serde::de::DeserializeOwned + Eq + Hash,
+        D: Deserializer<'de>,
+    {
+        let pairs: Vec<(K, DecayCounter)> = Vec::deserialize(deserializer)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+impl<K: Eq + Hash + Clone> KeyedCounters<K> {
+    /// Family with shared decay and prior.
+    pub fn new(decay: f64, prior_mean: f64, prior_weight: f64) -> Self {
+        KeyedCounters { counters: HashMap::new(), decay, prior_mean, prior_weight }
+    }
+
+    /// Record an outcome for a key.
+    pub fn update(&mut self, key: K, success: bool) {
+        let (decay, pm, pw) = (self.decay, self.prior_mean, self.prior_weight);
+        self.counters.entry(key).or_insert_with(|| DecayCounter::new(decay, pm, pw)).update(success);
+    }
+
+    /// Estimate for a key (prior mean when unseen).
+    pub fn estimate(&self, key: &K) -> f64 {
+        self.counters.get(key).map(|c| c.estimate()).unwrap_or(self.prior_mean)
+    }
+
+    /// Number of distinct keys observed.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// True if nothing was observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prior_dominates_early() {
+        let c = DecayCounter::new(1.0, 0.8, 2.0);
+        assert!((c.estimate() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn converges_to_observed_rate() {
+        let mut c = DecayCounter::new(1.0, 0.5, 2.0);
+        for i in 0..1000 {
+            c.update(i % 4 != 0); // 75% success
+        }
+        assert!((c.estimate() - 0.75).abs() < 0.02, "{}", c.estimate());
+    }
+
+    #[test]
+    fn decay_forgets_old_behaviour() {
+        let mut c = DecayCounter::new(0.9, 0.5, 1.0);
+        for _ in 0..50 {
+            c.update(true);
+        }
+        assert!(c.estimate() > 0.9);
+        for _ in 0..50 {
+            c.update(false);
+        }
+        assert!(c.estimate() < 0.2, "old successes must fade: {}", c.estimate());
+    }
+
+    #[test]
+    fn keyed_counters_isolate_keys() {
+        let mut k: KeyedCounters<&str> = KeyedCounters::new(1.0, 0.5, 1.0);
+        for _ in 0..20 {
+            k.update("a", true);
+            k.update("b", false);
+        }
+        assert!(k.estimate(&"a") > 0.9);
+        assert!(k.estimate(&"b") < 0.1);
+        assert!((k.estimate(&"unseen") - 0.5).abs() < 1e-9);
+        assert_eq!(k.len(), 2);
+    }
+
+    #[test]
+    fn trials_decay() {
+        let mut c = DecayCounter::new(0.5, 0.5, 0.0);
+        c.update(true);
+        c.update(true);
+        // trials = 1*0.5 + 1 = 1.5
+        assert!((c.trials() - 1.5).abs() < 1e-9);
+    }
+}

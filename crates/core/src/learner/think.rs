@@ -1,0 +1,128 @@
+//! Think-time modelling.
+//!
+//! The feasibility of speculation hinges on the user's formulation time
+//! exceeding the manipulation's execution time (paper Section 5). The
+//! model keeps an empirical sample of observed formulation durations and
+//! answers the conditional question the speculator asks mid-formulation:
+//! *given that the user has already been thinking for `elapsed`, what is
+//! the probability they keep thinking for at least `additional` more?*
+
+use serde::{Deserialize, Serialize};
+use specdb_storage::VirtualTime;
+
+/// Empirical think-time distribution with an exponential prior fallback.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThinkTimeModel {
+    samples: Vec<f64>,
+    cap: usize,
+    prior_mean_secs: f64,
+    next_slot: usize,
+}
+
+impl Default for ThinkTimeModel {
+    fn default() -> Self {
+        // Prior mean of 28 s: the average the paper reports in Section 5.
+        ThinkTimeModel { samples: Vec::new(), cap: 512, prior_mean_secs: 28.0, next_slot: 0 }
+    }
+}
+
+impl ThinkTimeModel {
+    /// Model with an explicit prior mean (seconds).
+    pub fn with_prior(prior_mean_secs: f64) -> Self {
+        ThinkTimeModel { prior_mean_secs, ..Default::default() }
+    }
+
+    /// Record one observed formulation duration.
+    pub fn observe(&mut self, duration: VirtualTime) {
+        let secs = duration.as_secs_f64();
+        if self.samples.len() < self.cap {
+            self.samples.push(secs);
+        } else {
+            // Ring-buffer replacement keeps the model adaptive.
+            self.samples[self.next_slot] = secs;
+            self.next_slot = (self.next_slot + 1) % self.cap;
+        }
+    }
+
+    /// Number of observed samples.
+    pub fn samples(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Mean of observed samples (prior mean when empty).
+    pub fn mean_secs(&self) -> f64 {
+        if self.samples.is_empty() {
+            self.prior_mean_secs
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// P(total think time > elapsed + additional | total > elapsed).
+    pub fn p_exceeds(&self, elapsed: VirtualTime, additional: VirtualTime) -> f64 {
+        let e = elapsed.as_secs_f64();
+        let a = additional.as_secs_f64();
+        if a <= 0.0 {
+            return 1.0;
+        }
+        let qualifying: Vec<&f64> = self.samples.iter().filter(|&&s| s > e).collect();
+        if qualifying.len() >= 8 {
+            let beyond = qualifying.iter().filter(|&&&s| s > e + a).count();
+            // Laplace smoothing keeps the tail probability nonzero.
+            (beyond as f64 + 0.5) / (qualifying.len() as f64 + 1.0)
+        } else {
+            // Exponential fallback (memoryless, so `elapsed` drops out).
+            (-a / self.mean_secs().max(1e-6)).exp()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> VirtualTime {
+        VirtualTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn prior_fallback_is_exponential() {
+        let m = ThinkTimeModel::with_prior(10.0);
+        let p = m.p_exceeds(secs(0.0), secs(10.0));
+        assert!((p - (-1.0f64).exp()).abs() < 1e-9);
+        assert_eq!(m.p_exceeds(secs(5.0), secs(0.0)), 1.0);
+    }
+
+    #[test]
+    fn empirical_tail_estimates() {
+        let mut m = ThinkTimeModel::default();
+        // 100 samples: half at 5 s, half at 50 s.
+        for i in 0..100 {
+            m.observe(secs(if i % 2 == 0 { 5.0 } else { 50.0 }));
+        }
+        // From t=0, probability of exceeding 20 s ≈ 0.5.
+        let p = m.p_exceeds(secs(0.0), secs(20.0));
+        assert!((p - 0.5).abs() < 0.05, "{p}");
+        // Given 10 s already elapsed, only the 50 s sessions qualify:
+        // exceeding 10+20=30 s is near-certain.
+        let p = m.p_exceeds(secs(10.0), secs(20.0));
+        assert!(p > 0.9, "{p}");
+    }
+
+    #[test]
+    fn ring_buffer_wraps() {
+        let mut m = ThinkTimeModel { cap: 4, ..Default::default() };
+        for i in 0..10 {
+            m.observe(secs(i as f64));
+        }
+        assert_eq!(m.samples(), 4);
+    }
+
+    #[test]
+    fn mean_tracks_observations() {
+        let mut m = ThinkTimeModel::default();
+        m.observe(secs(10.0));
+        m.observe(secs(20.0));
+        assert!((m.mean_secs() - 15.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,259 @@
+//! The Speculator (paper Section 3.5): choose, cancel, collect.
+//!
+//! On every partial-query change the speculator enumerates the
+//! manipulation space, scores each candidate with the cost model and the
+//! user profile, and picks the minimum — `m∅` (do nothing) when no
+//! candidate has negative expected cost. The surrounding runtime (the
+//! discrete-event harness in `specdb-sim`, or the live
+//! [`crate::session::SpeculativeSession`]) enforces the paper's three
+//! operating conventions: manipulations run asynchronously, at most one
+//! is outstanding, and results are garbage-collected when the partial
+//! query stops supporting them.
+
+use crate::cost_model::CostModel;
+use crate::learner::Profile;
+use crate::manipulation::Manipulation;
+use crate::space::{ManipulationSpace, SpaceConfig};
+use crate::CostModelConfig;
+use specdb_exec::Database;
+use specdb_query::QueryGraph;
+use specdb_storage::VirtualTime;
+
+/// Speculator configuration.
+#[derive(Debug, Clone, Default)]
+pub struct SpeculatorConfig {
+    /// Manipulation-space configuration.
+    pub space: SpaceConfig,
+    /// Cost-model configuration.
+    pub cost: CostModelConfig,
+    /// Minimum expected benefit (virtual seconds) before acting; filters
+    /// out noise-level wins that are not worth the system load.
+    pub min_benefit_secs: f64,
+}
+
+/// The speculator's choice for the current partial query.
+#[derive(Debug, Clone)]
+pub struct Decision {
+    /// Chosen manipulation (`Null` when speculation should idle).
+    pub manipulation: Manipulation,
+    /// Its `Cost⊆` score (negative = expected benefit).
+    pub score: f64,
+    /// Estimated execution time of the manipulation.
+    pub build: VirtualTime,
+    /// Raw per-query benefit estimate `cost(qm,m) − cost(qm,m∅)` in
+    /// seconds (negative = beneficial); used by the wait-at-GO policy.
+    pub delta_secs: f64,
+}
+
+impl Decision {
+    /// True if the decision is to do nothing.
+    pub fn is_idle(&self) -> bool {
+        self.manipulation.is_null()
+    }
+}
+
+/// The Speculator component.
+pub struct Speculator {
+    space: ManipulationSpace,
+    cost_model: CostModel,
+    min_benefit: f64,
+}
+
+impl Default for Speculator {
+    fn default() -> Self {
+        Self::new(SpeculatorConfig::default())
+    }
+}
+
+impl Speculator {
+    /// Speculator with the given configuration.
+    pub fn new(config: SpeculatorConfig) -> Self {
+        Speculator {
+            space: ManipulationSpace::new(config.space),
+            cost_model: CostModel::new(config.cost),
+            min_benefit: config.min_benefit_secs.max(0.0),
+        }
+    }
+
+    /// Enumerate, score, and pick the best manipulation for the current
+    /// partial query. `elapsed` is how long this formulation has run.
+    pub fn decide(
+        &self,
+        partial: &QueryGraph,
+        db: &Database,
+        profile: &dyn Profile,
+        elapsed: VirtualTime,
+    ) -> Decision {
+        let mut best = Decision {
+            manipulation: Manipulation::Null,
+            score: 0.0,
+            build: VirtualTime::ZERO,
+            delta_secs: 0.0,
+        };
+        for m in self.space.enumerate(partial, db) {
+            if m.is_null() {
+                continue;
+            }
+            let scored = self.cost_model.score(&m, partial, db, profile, elapsed);
+            if scored.score < best.score {
+                best = Decision {
+                    manipulation: m,
+                    score: scored.score,
+                    build: scored.build,
+                    delta_secs: scored.delta_secs,
+                };
+            }
+        }
+        if best.score > -self.min_benefit {
+            return Decision {
+                manipulation: Manipulation::Null,
+                score: 0.0,
+                build: VirtualTime::ZERO,
+                delta_secs: 0.0,
+            };
+        }
+        best
+    }
+
+    /// Should an in-flight manipulation be cancelled after an edit?
+    /// (Paper Section 3.1: "if the user modifies the partial query in a
+    /// manner that makes the expected benefits of a manipulation under
+    /// way disappear, then the manipulation is canceled".)
+    pub fn should_cancel(&self, outstanding: &Manipulation, partial: &QueryGraph) -> bool {
+        !outstanding.supported_by(partial)
+    }
+
+    /// Materialized relations no longer supported by the partial query —
+    /// the garbage-collection sweep (paper Section 3.1 convention 2).
+    pub fn gc_candidates(&self, db: &Database, partial: &QueryGraph) -> Vec<String> {
+        db.unsupported_views(partial)
+    }
+
+    /// Access to the cost model (for reporting).
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost_model
+    }
+
+    /// Access to the manipulation space (for reporting).
+    pub fn space(&self) -> &ManipulationSpace {
+        &self.space
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::learner::UniformProfile;
+    use specdb_exec::{CancelToken, DatabaseConfig};
+    use specdb_query::{CompareOp, Join, Predicate, Selection};
+    use specdb_tpch::{generate_into, TpchConfig};
+
+    fn db() -> Database {
+        let mut db = Database::new(DatabaseConfig::with_buffer_pages(2048));
+        generate_into(&mut db, &TpchConfig::new(2).build_aux(false)).unwrap();
+        db
+    }
+
+    fn confident() -> UniformProfile {
+        UniformProfile { p: 0.9, think_mean_secs: 120.0 }
+    }
+
+    fn partial() -> QueryGraph {
+        let mut g = QueryGraph::new();
+        g.add_join(Join::new("orders", "o_custkey", "customer", "c_custkey"));
+        g.add_selection(Selection::new(
+            "customer",
+            Predicate::new("c_nation", CompareOp::Eq, "FRANCE"),
+        ));
+        g
+    }
+
+    #[test]
+    fn decides_to_materialize_selective_predicate() {
+        let db = db();
+        let spec = Speculator::default();
+        let d = spec.decide(&partial(), &db, &confident(), VirtualTime::ZERO);
+        assert!(!d.is_idle(), "a selective predicate should trigger speculation");
+        assert!(d.score < 0.0);
+        assert!(d.manipulation.graph().is_some());
+    }
+
+    #[test]
+    fn idles_on_empty_partial_query() {
+        let db = db();
+        let spec = Speculator::default();
+        let d = spec.decide(&QueryGraph::new(), &db, &confident(), VirtualTime::ZERO);
+        assert!(d.is_idle());
+    }
+
+    #[test]
+    fn idles_when_user_is_too_fast() {
+        let db = db();
+        let spec = Speculator::default();
+        // Mean think time of 1 ms: completion probability ≈ 0, and with
+        // min_benefit filtering the speculator stays idle.
+        let spec_filtered = Speculator::new(SpeculatorConfig {
+            min_benefit_secs: 0.05,
+            ..Default::default()
+        });
+        let impatient = UniformProfile { p: 0.9, think_mean_secs: 0.001 };
+        let d = spec_filtered.decide(&partial(), &db, &impatient, VirtualTime::ZERO);
+        assert!(d.is_idle(), "score {}", d.score);
+        let _ = spec;
+    }
+
+    #[test]
+    fn cancellation_follows_support() {
+        let spec = Speculator::default();
+        let p = partial();
+        let sub = p.selection_subgraph(p.selections().next().unwrap());
+        let m = Manipulation::Rewrite { graph: sub };
+        assert!(!spec.should_cancel(&m, &p));
+        // The user removes the predicate.
+        let mut p2 = p.clone();
+        let s = p.selections().next().unwrap().clone();
+        p2.remove_selection(&s);
+        assert!(spec.should_cancel(&m, &p2));
+    }
+
+    #[test]
+    fn gc_candidates_surface_unsupported_views() {
+        let mut db = db();
+        let p = partial();
+        let sub = p.selection_subgraph(p.selections().next().unwrap());
+        db.materialize(&sub, CancelToken::new()).unwrap();
+        let spec = Speculator::default();
+        assert!(spec.gc_candidates(&db, &p).is_empty());
+        let empty = QueryGraph::new();
+        assert_eq!(spec.gc_candidates(&db, &empty).len(), 1);
+    }
+
+    #[test]
+    fn decision_respects_min_benefit_threshold() {
+        let db = db();
+        let generous = Speculator::new(SpeculatorConfig::default());
+        let strict = Speculator::new(SpeculatorConfig {
+            min_benefit_secs: 1e9, // absurd threshold: nothing qualifies
+            ..Default::default()
+        });
+        let d1 = generous.decide(&partial(), &db, &confident(), VirtualTime::ZERO);
+        let d2 = strict.decide(&partial(), &db, &confident(), VirtualTime::ZERO);
+        assert!(!d1.is_idle());
+        assert!(d2.is_idle());
+    }
+
+    #[test]
+    fn join_candidate_chosen_for_join_heavy_partial() {
+        // With survival certain and deep persistence, the join
+        // materialization (bigger saving) should win over the selection.
+        let db = db();
+        let spec = Speculator::new(SpeculatorConfig {
+            cost: CostModelConfig { depth: 3, use_completion_prob: false, ..Default::default() },
+            ..Default::default()
+        });
+        let profile = UniformProfile { p: 1.0, think_mean_secs: 1e6 };
+        let d = spec.decide(&partial(), &db, &profile, VirtualTime::ZERO);
+        let g = d.manipulation.graph().expect("materialization chosen");
+        assert_eq!(g.join_count(), 1, "join subgraph should win: {}", d.manipulation);
+    }
+}

@@ -1,0 +1,79 @@
+//! Execution context and cancellation.
+//!
+//! The paper's speculation conventions (Section 3.1) require that an
+//! in-flight manipulation can be cancelled when the user edits away its
+//! supporting query parts or presses GO. [`CancelToken`] is a cheap,
+//! clonable flag the executor checks once per page of work; execution
+//! aborts with [`specdb_storage::StorageError::Cancelled`].
+
+use specdb_storage::{BufferPool, StorageError, StorageResult};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cancellation flag shared between the issuing thread and the executor.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation; the executor notices at the next page boundary.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// Error out if cancelled.
+    pub fn check(&self) -> StorageResult<()> {
+        if self.is_cancelled() {
+            Err(StorageError::Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Mutable state threaded through plan execution.
+pub struct ExecCtx<'a> {
+    /// The buffer pool (I/O accounting flows through it).
+    pub pool: &'a mut BufferPool,
+    /// Cancellation flag.
+    pub cancel: CancelToken,
+}
+
+impl<'a> ExecCtx<'a> {
+    /// Context with no cancellation.
+    pub fn new(pool: &'a mut BufferPool) -> Self {
+        ExecCtx { pool, cancel: CancelToken::new() }
+    }
+
+    /// Context with a shared cancellation token.
+    pub fn with_cancel(pool: &'a mut BufferPool, cancel: CancelToken) -> Self {
+        ExecCtx { pool, cancel }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_starts_clean_and_cancels() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(t.check().is_ok());
+        let t2 = t.clone();
+        t2.cancel();
+        assert!(t.is_cancelled(), "clones share the flag");
+        assert_eq!(t.check(), Err(StorageError::Cancelled));
+    }
+}

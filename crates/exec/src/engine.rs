@@ -1,0 +1,1026 @@
+//! The `Database` engine facade.
+//!
+//! Binds storage, catalog, optimizer, executor, and the materialized-view
+//! registry into the one object the rest of the workspace (and a library
+//! user) talks to. Every operation that touches data returns its measured
+//! [`ResourceDemand`] and the virtual elapsed time the
+//! [`DiskModel`] assigns to it — the raw material for all of
+//! the paper's timing experiments.
+
+use crate::context::{CancelToken, ExecCtx};
+use crate::error::{ExecError, ExecResult};
+use crate::estimate::Estimator;
+use crate::optimizer::{self, qualify, JoinOrder};
+use crate::rewrite::{
+    rewrite_candidates_with, rewrite_greedy_with, MatchMode, ViewDef, ViewRegistry,
+};
+use crate::run;
+use specdb_catalog::{Catalog, ColumnDef, Schema, TableStats};
+use specdb_query::{canonical_key, ColumnResolver, Query, QueryGraph};
+use specdb_storage::{
+    BufferPool, DiskModel, HeapFile, ResourceDemand, Tuple, VirtualTime, PAGE_SIZE,
+};
+
+/// How materialized views participate in final-query planning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ViewMode {
+    /// The optimizer costs rewritten and original forms and keeps the
+    /// cheaper (the paper's *query materialization*).
+    CostBased,
+    /// Materialized sub-queries are always substituted (the paper's
+    /// *query rewriting*, used in its experiments).
+    #[default]
+    Forced,
+}
+
+/// Engine construction parameters.
+#[derive(Debug, Clone)]
+pub struct DatabaseConfig {
+    /// Buffer pool size in pages.
+    pub buffer_pages: usize,
+    /// Virtual-time disk model.
+    pub disk: DiskModel,
+    /// View participation mode.
+    pub view_mode: ViewMode,
+    /// View matching mode (exact, per the paper, or predicate
+    /// subsumption — see [`MatchMode`]).
+    pub match_mode: MatchMode,
+    /// Join-order search strategy.
+    pub join_order: JoinOrder,
+    /// Model hybrid hash-join spills when builds exceed the buffer pool.
+    pub spill_model: bool,
+}
+
+impl DatabaseConfig {
+    /// Config with a pool of `pages` pages and default disk model.
+    pub fn with_buffer_pages(pages: usize) -> Self {
+        DatabaseConfig {
+            buffer_pages: pages,
+            disk: DiskModel::default(),
+            view_mode: ViewMode::Forced,
+            match_mode: MatchMode::Exact,
+            join_order: JoinOrder::Greedy,
+            spill_model: true,
+        }
+    }
+
+    /// Config with a pool sized in bytes.
+    pub fn with_buffer_bytes(bytes: usize) -> Self {
+        Self::with_buffer_pages((bytes / PAGE_SIZE).max(1))
+    }
+
+    /// Replace the disk model.
+    pub fn disk(mut self, disk: DiskModel) -> Self {
+        self.disk = disk;
+        self
+    }
+
+    /// Replace the view mode.
+    pub fn view_mode(mut self, mode: ViewMode) -> Self {
+        self.view_mode = mode;
+        self
+    }
+
+    /// Replace the view matching mode.
+    pub fn match_mode(mut self, mode: MatchMode) -> Self {
+        self.match_mode = mode;
+        self
+    }
+
+    /// Replace the join-order strategy.
+    pub fn join_order(mut self, jo: JoinOrder) -> Self {
+        self.join_order = jo;
+        self
+    }
+
+    /// Toggle spill modelling (see [`specdb_storage::BufferPool::set_spill_model`]).
+    pub fn spill_model(mut self, on: bool) -> Self {
+        self.spill_model = on;
+        self
+    }
+}
+
+impl Default for DatabaseConfig {
+    fn default() -> Self {
+        Self::with_buffer_pages(4096) // 32 MB at 8 KB pages, the paper's pool
+    }
+}
+
+/// Result of a query execution.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    /// Result rows (empty if executed with `collect = false`).
+    pub rows: Vec<Tuple>,
+    /// Number of result rows (always populated).
+    pub row_count: u64,
+    /// Qualified output column names.
+    pub cols: Vec<String>,
+    /// Measured resource demand.
+    pub demand: ResourceDemand,
+    /// Virtual elapsed time under the engine's disk model.
+    pub elapsed: VirtualTime,
+    /// EXPLAIN-style plan rendering.
+    pub plan: String,
+    /// Names of materialized views the executed plan used.
+    pub used_views: Vec<String>,
+}
+
+/// Result of a DDL-ish operation (index/histogram creation, load).
+#[derive(Debug, Clone, Copy)]
+pub struct OpOutcome {
+    /// Measured resource demand.
+    pub demand: ResourceDemand,
+    /// Virtual elapsed time.
+    pub elapsed: VirtualTime,
+}
+
+/// Result of a materialization.
+#[derive(Debug, Clone)]
+pub struct MaterializeOutcome {
+    /// Catalog table name holding the result (`mv_<digest>`).
+    pub table: String,
+    /// Result rows.
+    pub rows: u64,
+    /// Result pages.
+    pub pages: u64,
+    /// Measured resource demand of the build.
+    pub demand: ResourceDemand,
+    /// Virtual elapsed time of the build.
+    pub elapsed: VirtualTime,
+    /// True if the view already existed and no work was done.
+    pub already_existed: bool,
+}
+
+/// Optimizer-estimated consequences of materializing a sub-query.
+#[derive(Debug, Clone, Copy)]
+pub struct MatEstimate {
+    /// Estimated build time (compute + write).
+    pub build: VirtualTime,
+    /// Estimated time to scan the materialized result afterwards.
+    pub scan_result: VirtualTime,
+    /// Estimated time to compute the sub-query from the current state
+    /// (this is `cost(qm, m∅)` in the paper's cost model).
+    pub compute_now: VirtualTime,
+    /// Estimated result rows.
+    pub rows: f64,
+    /// Estimated result pages.
+    pub pages: f64,
+}
+
+/// The database engine.
+///
+/// Cloning duplicates catalog/view metadata and shares page images via
+/// `Arc`; the experiment harness uses this to replay every trace against
+/// an identical starting state.
+#[derive(Clone)]
+pub struct Database {
+    pool: BufferPool,
+    catalog: Catalog,
+    views: ViewRegistry,
+    disk: DiskModel,
+    view_mode: ViewMode,
+    match_mode: MatchMode,
+    join_order: JoinOrder,
+    staged: std::collections::HashMap<String, u32>,
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new(config: DatabaseConfig) -> Self {
+        let mut pool = BufferPool::new(config.buffer_pages);
+        pool.set_spill_model(config.spill_model);
+        Database {
+            pool,
+            catalog: Catalog::new(),
+            views: ViewRegistry::new(),
+            disk: config.disk,
+            view_mode: config.view_mode,
+            match_mode: config.match_mode,
+            join_order: config.join_order,
+            staged: std::collections::HashMap::new(),
+        }
+    }
+
+    /// The catalog (read-only).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The buffer pool (read-only).
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// The view registry (read-only).
+    pub fn views(&self) -> &ViewRegistry {
+        &self.views
+    }
+
+    /// The disk model.
+    pub fn disk(&self) -> &DiskModel {
+        &self.disk
+    }
+
+    /// Current view mode.
+    pub fn view_mode(&self) -> ViewMode {
+        self.view_mode
+    }
+
+    /// Change the view mode.
+    pub fn set_view_mode(&mut self, mode: ViewMode) {
+        self.view_mode = mode;
+    }
+
+    /// Current view matching mode.
+    pub fn match_mode(&self) -> MatchMode {
+        self.match_mode
+    }
+
+    /// Change the view matching mode.
+    pub fn set_match_mode(&mut self, mode: MatchMode) {
+        self.match_mode = mode;
+    }
+
+    /// Evict all unpinned pages (cold restart, used between trace replays).
+    pub fn clear_buffer(&mut self) {
+        self.pool.clear();
+    }
+
+    /// Create an empty table.
+    pub fn create_table(&mut self, name: &str, schema: Schema) -> ExecResult<()> {
+        let heap = HeapFile::create(&mut self.pool);
+        let arity = schema.arity();
+        self.catalog.register(name, schema, heap, TableStats::empty(arity), false);
+        Ok(())
+    }
+
+    /// Bulk-load rows into a table and re-analyze its statistics.
+    /// Values are type-checked against the schema.
+    pub fn load(
+        &mut self,
+        name: &str,
+        rows: impl IntoIterator<Item = Tuple>,
+    ) -> ExecResult<OpOutcome> {
+        let snap = self.pool.snapshot();
+        let (heap, schema) = {
+            let t = self.catalog.table(name).ok_or_else(|| ExecError::UnknownTable(name.into()))?;
+            (t.heap, t.schema.clone())
+        };
+        let mut loader = specdb_storage::heap::BulkLoader::new(heap, &self.pool);
+        for row in rows {
+            for (i, v) in row.values().iter().enumerate() {
+                let col = schema.columns().get(i).ok_or_else(|| ExecError::TypeMismatch {
+                    table: name.into(),
+                    column: format!("arity {} > {}", row.arity(), schema.arity()),
+                })?;
+                if !col.ty.admits(v) {
+                    return Err(ExecError::TypeMismatch {
+                        table: name.into(),
+                        column: col.name.clone(),
+                    });
+                }
+            }
+            loader.push(&mut self.pool, &row)?;
+        }
+        loader.finish(&mut self.pool)?;
+        let stats = TableStats::analyze(&mut self.pool, heap, schema.arity())?;
+        let arity = schema.arity();
+        // Re-register with fresh stats (same heap, same schema).
+        let is_mat = self.catalog.table(name).map(|t| t.is_materialized).unwrap_or(false);
+        let _ = arity;
+        self.catalog.register(name, schema, heap, stats, is_mat);
+        Ok(self.outcome_since(snap))
+    }
+
+    /// Create an index on `table.column` (a speculative manipulation).
+    pub fn create_index(&mut self, table: &str, column: &str) -> ExecResult<OpOutcome> {
+        self.require_column(table, column)?;
+        let snap = self.pool.snapshot();
+        self.catalog.build_index(&mut self.pool, table, column)?;
+        Ok(self.outcome_since(snap))
+    }
+
+    /// Create a histogram on `table.column` (a speculative manipulation).
+    pub fn create_histogram(&mut self, table: &str, column: &str) -> ExecResult<OpOutcome> {
+        self.require_column(table, column)?;
+        let snap = self.pool.snapshot();
+        self.catalog.build_histogram(&mut self.pool, table, column)?;
+        Ok(self.outcome_since(snap))
+    }
+
+    /// Stage (pre-fetch and pin) the first `pages` pages of a table —
+    /// the paper's *data staging* manipulation, which its prototype could
+    /// not implement over a closed DBMS but this engine supports
+    /// natively. Pages stay pinned until [`Database::unstage`]. At most a
+    /// quarter of the buffer pool is ever pinned per call.
+    pub fn stage(&mut self, table: &str, pages: u32) -> ExecResult<OpOutcome> {
+        let heap =
+            self.catalog.table(table).ok_or_else(|| ExecError::UnknownTable(table.into()))?.heap;
+        let snap = self.pool.snapshot();
+        // Cap *total* staged pins at a quarter of the pool so staging can
+        // never starve the executor of evictable frames.
+        let already: u32 = self.staged.values().sum();
+        let cap = (self.pool.capacity() as u32 / 4).saturating_sub(already);
+        let n = pages.min(heap.pages(&self.pool)).min(cap);
+        for page_no in 0..n {
+            self.pool.pin_with(
+                specdb_storage::PageId::new(heap.file, page_no),
+                specdb_storage::AccessKind::Sequential,
+            )?;
+        }
+        self.staged.insert(table.to_string(), n);
+        Ok(self.outcome_since(snap))
+    }
+
+    /// Unpin a previously staged table (cancellation rollback / GC).
+    pub fn unstage(&mut self, table: &str) {
+        if let Some((_, n)) = self.staged.remove_entry(table) {
+            if let Some(t) = self.catalog.table(table) {
+                let file = t.heap.file;
+                for page_no in 0..n {
+                    self.pool.unpin(specdb_storage::PageId::new(file, page_no));
+                }
+            }
+        }
+    }
+
+    /// True if the table currently has staged pages.
+    pub fn is_staged(&self, table: &str) -> bool {
+        self.staged.contains_key(table)
+    }
+
+    /// Currently staged tables.
+    pub fn staged_tables(&self) -> Vec<String> {
+        self.staged.keys().cloned().collect()
+    }
+
+    /// Staged tables no longer present in `graph` (GC candidates,
+    /// symmetric to [`Database::unsupported_views`]).
+    pub fn unsupported_staged(&self, graph: &specdb_query::QueryGraph) -> Vec<String> {
+        self.staged.keys().filter(|t| !graph.has_relation(t)).cloned().collect()
+    }
+
+    /// Remove an index (cancellation rollback). Unknown names are a no-op.
+    pub fn drop_index(&mut self, table: &str, column: &str) {
+        self.catalog.drop_index(&mut self.pool, table, column);
+    }
+
+    /// Remove a histogram (cancellation rollback). Unknown names are a no-op.
+    pub fn drop_histogram(&mut self, table: &str, column: &str) {
+        self.catalog.drop_histogram(table, column);
+    }
+
+    /// True if an index exists on `table.column`.
+    pub fn has_index(&self, table: &str, column: &str) -> bool {
+        self.catalog.index(table, column).is_some()
+    }
+
+    /// True if a histogram exists on `table.column`.
+    pub fn has_histogram(&self, table: &str, column: &str) -> bool {
+        self.catalog.histogram(table, column).is_some()
+    }
+
+    /// Execute a query, collecting its rows.
+    pub fn execute(&mut self, query: &Query) -> ExecResult<QueryOutput> {
+        self.execute_inner(query, CancelToken::new(), true)
+    }
+
+    /// Execute a query, discarding rows (keeps `row_count`); used by the
+    /// experiment harness where only timing matters.
+    pub fn execute_discard(&mut self, query: &Query) -> ExecResult<QueryOutput> {
+        self.execute_inner(query, CancelToken::new(), false)
+    }
+
+    /// Execute with a cancellation token (live speculative runtime).
+    pub fn execute_cancellable(
+        &mut self,
+        query: &Query,
+        cancel: CancelToken,
+    ) -> ExecResult<QueryOutput> {
+        self.execute_inner(query, cancel, true)
+    }
+
+    fn execute_inner(
+        &mut self,
+        query: &Query,
+        cancel: CancelToken,
+        collect: bool,
+    ) -> ExecResult<QueryOutput> {
+        let (chosen, used_views) = self.choose_rewrite(query)?;
+        let plan = optimizer::plan_query_with(
+            &self.catalog,
+            &self.pool,
+            &self.disk,
+            &chosen,
+            self.join_order,
+        )?;
+        let snap = self.pool.snapshot();
+        let mut rows = Vec::new();
+        let mut row_count = 0u64;
+        {
+            let mut ctx = ExecCtx::with_cancel(&mut self.pool, cancel);
+            run::run(&plan, &self.catalog, &mut ctx, &mut |t| {
+                row_count += 1;
+                if collect {
+                    rows.push(t);
+                }
+                Ok(())
+            })?;
+        }
+        let demand = self.pool.demand_since(snap);
+        Ok(QueryOutput {
+            rows,
+            row_count,
+            cols: plan.cols.clone(),
+            demand,
+            elapsed: self.disk.time(&demand),
+            plan: plan.explain(),
+            used_views,
+        })
+    }
+
+    /// Pick the rewriting the current [`ViewMode`] dictates.
+    fn choose_rewrite(&self, query: &Query) -> ExecResult<(Query, Vec<String>)> {
+        if self.views.is_empty() {
+            return Ok((query.clone(), Vec::new()));
+        }
+        match self.view_mode {
+            ViewMode::Forced => Ok(rewrite_greedy_with(query, &self.views, self.match_mode)),
+            ViewMode::CostBased => {
+                // Conservative view matching: a rewriting must beat the
+                // original plan's estimate by a clear margin before the
+                // optimizer abandons base access paths — estimates carry
+                // error, and a wrong switch onto an unindexed view is far
+                // costlier than a missed marginal win (the paper's §6
+                // penalty analysis).
+                const SWITCH_MARGIN: f64 = 0.95;
+                let mut candidates =
+                    rewrite_candidates_with(query, &self.views, self.match_mode).into_iter();
+                let (orig_q, orig_used) =
+                    candidates.next().expect("candidates always include the original");
+                let orig_t = optimizer::estimate_query_time(
+                    &self.catalog,
+                    &self.pool,
+                    &self.disk,
+                    &orig_q,
+                )?;
+                let mut best = (orig_q, orig_used, orig_t);
+                let threshold = VirtualTime::from_micros(
+                    (orig_t.as_micros() as f64 * SWITCH_MARGIN) as u64,
+                );
+                for (cand, used) in candidates {
+                    let t = optimizer::estimate_query_time(
+                        &self.catalog,
+                        &self.pool,
+                        &self.disk,
+                        &cand,
+                    )?;
+                    if t < threshold && t < best.2 {
+                        best = (cand, used, t);
+                    }
+                }
+                Ok((best.0, best.1))
+            }
+        }
+    }
+
+    /// Materialize a sub-query's result as a new relation and register it
+    /// as a view (the paper's *query materialization* manipulation). The
+    /// build may itself use existing materializations (the enumeration
+    /// example in the paper's Section 3.5). Cancellation leaves no trace.
+    pub fn materialize(
+        &mut self,
+        graph: &QueryGraph,
+        cancel: CancelToken,
+    ) -> ExecResult<MaterializeOutcome> {
+        if let Some(existing) = self.views.get(graph) {
+            let t = self
+                .catalog
+                .table(&existing.name)
+                .ok_or_else(|| ExecError::UnknownTable(existing.name.clone()))?;
+            return Ok(MaterializeOutcome {
+                table: existing.name.clone(),
+                rows: t.stats.rows,
+                pages: t.stats.pages,
+                demand: ResourceDemand::default(),
+                elapsed: VirtualTime::ZERO,
+                already_existed: true,
+            });
+        }
+        // Target schema: qualified columns of the graph's base relations,
+        // in the graph's (sorted) relation order.
+        let mut columns: Vec<ColumnDef> = Vec::new();
+        for rel in graph.relations() {
+            let t =
+                self.catalog.table(rel).ok_or_else(|| ExecError::UnknownTable(rel.into()))?;
+            for c in t.schema.columns() {
+                columns.push(ColumnDef::new(qualify(rel, &c.name), c.ty));
+            }
+        }
+        let schema = Schema::new(columns);
+        let query = Query::star(graph.clone());
+        // Choose the cheapest build plan (views may help the build even
+        // in Forced mode — the paper reuses completed materializations).
+        let (chosen, _) = match self.view_mode {
+            ViewMode::Forced => rewrite_greedy_with(&query, &self.views, self.match_mode),
+            ViewMode::CostBased => self.choose_rewrite(&query)?,
+        };
+        let plan = optimizer::plan_query_with(
+            &self.catalog,
+            &self.pool,
+            &self.disk,
+            &chosen,
+            self.join_order,
+        )?;
+        // Reorder plan output into the canonical schema order.
+        let keep: Vec<usize> = schema
+            .columns()
+            .iter()
+            .map(|c| {
+                plan.col_index(&c.name).ok_or_else(|| ExecError::UnknownColumn {
+                    rel: "materialization".into(),
+                    column: c.name.clone(),
+                })
+            })
+            .collect::<ExecResult<Vec<_>>>()?;
+        let snap = self.pool.snapshot();
+        // The executor exclusively borrows the pool, so the result is
+        // staged in memory and written afterwards. Result sizes are
+        // bounded by the (scaled) dataset sizes the experiments use.
+        let mut staged: Vec<Tuple> = Vec::new();
+        {
+            let mut ctx = ExecCtx::with_cancel(&mut self.pool, cancel.clone());
+            run::run(&plan, &self.catalog, &mut ctx, &mut |t| {
+                staged.push(t.project(&keep));
+                Ok(())
+            })?;
+        }
+        let heap = HeapFile::create(&mut self.pool);
+        let mut loader = specdb_storage::heap::BulkLoader::new(heap, &self.pool);
+        for (i, t) in staged.iter().enumerate() {
+            if i % 1024 == 0 {
+                if let Err(e) = cancel.check() {
+                    heap.destroy(&mut self.pool);
+                    return Err(e.into());
+                }
+            }
+            loader.push(&mut self.pool, t)?;
+        }
+        let rows = loader.finish(&mut self.pool)?;
+        let pages = heap.pages(&self.pool) as u64;
+        let name = format!("mv_{}", specdb_query::canonical::short_digest(graph));
+        let stats = TableStats::analyze(&mut self.pool, heap, schema.arity())?;
+        self.catalog.register(&name, schema, heap, stats, true);
+        self.views.register(ViewDef { name: name.clone(), graph: graph.clone() });
+        let demand = self.pool.demand_since(snap);
+        Ok(MaterializeOutcome {
+            table: name,
+            rows,
+            pages,
+            demand,
+            elapsed: self.disk.time(&demand),
+            already_existed: false,
+        })
+    }
+
+    /// Drop a materialized view and its storage. Unknown names are a no-op.
+    pub fn drop_materialized(&mut self, name: &str) {
+        if self.views.remove_by_name(name).is_some() {
+            self.catalog.drop_table(&mut self.pool, name);
+        }
+    }
+
+    /// Names of views *not* supported by `graph` (candidates for the
+    /// paper's garbage-collection heuristic).
+    pub fn unsupported_views(&self, graph: &QueryGraph) -> Vec<String> {
+        let supported: std::collections::HashSet<&str> = self
+            .views
+            .supported_by_with(graph, self.match_mode)
+            .map(|v| v.name.as_str())
+            .collect();
+        self.views
+            .iter()
+            .filter(|v| !supported.contains(v.name.as_str()))
+            .map(|v| v.name.clone())
+            .collect()
+    }
+
+    /// True if a view over exactly this graph exists.
+    pub fn has_view(&self, graph: &QueryGraph) -> bool {
+        self.views.get(graph).is_some()
+    }
+
+    /// Optimizer estimate of the best execution time for `query` under
+    /// the current state (`cost(q, m∅)` relative to hypothetical
+    /// manipulations).
+    pub fn estimate_query_time(&self, query: &Query) -> ExecResult<VirtualTime> {
+        let (chosen, _) = self.choose_rewrite(query)?;
+        optimizer::estimate_query_time(&self.catalog, &self.pool, &self.disk, &chosen)
+    }
+
+    /// Optimizer estimates for materializing `graph` now.
+    pub fn estimate_materialization(&self, graph: &QueryGraph) -> ExecResult<MatEstimate> {
+        let query = Query::star(graph.clone());
+        let (chosen, _) = self.choose_rewrite(&query)?;
+        let plan = optimizer::plan_query_with(
+            &self.catalog,
+            &self.pool,
+            &self.disk,
+            &chosen,
+            self.join_order,
+        )?;
+        let est = Estimator::new(&self.catalog, &self.pool).estimate(&plan);
+        let width: usize = graph
+            .relations()
+            .filter_map(|r| self.catalog.table(r))
+            .map(|t| t.schema.estimated_tuple_bytes())
+            .sum();
+        let pages = (est.rows * width as f64 / PAGE_SIZE as f64).ceil().max(1.0);
+        let mut build_demand = est.demand();
+        build_demand.writes = pages as u64;
+        build_demand.cpu_tuples += est.rows as u64;
+        Ok(MatEstimate {
+            build: self.disk.time(&build_demand),
+            scan_result: self.disk.scan_time(pages as u64, est.rows as u64),
+            compute_now: est.time(&self.disk),
+            rows: est.rows,
+            pages,
+        })
+    }
+
+    /// Canonical key of a graph (exposed for bookkeeping layers).
+    pub fn graph_key(graph: &QueryGraph) -> String {
+        canonical_key(graph)
+    }
+
+    fn require_column(&self, table: &str, column: &str) -> ExecResult<()> {
+        let t = self.catalog.table(table).ok_or_else(|| ExecError::UnknownTable(table.into()))?;
+        if t.schema.index_of(column).is_none() {
+            return Err(ExecError::UnknownColumn { rel: table.into(), column: column.into() });
+        }
+        Ok(())
+    }
+
+    fn outcome_since(&self, snap: specdb_storage::IoSnapshot) -> OpOutcome {
+        let demand = self.pool.demand_since(snap);
+        OpOutcome { demand, elapsed: self.disk.time(&demand) }
+    }
+}
+
+impl ColumnResolver for Database {
+    fn resolve_column(&self, tables: &[String], column: &str) -> Option<String> {
+        let mut found = None;
+        for t in tables {
+            if let Some(table) = self.catalog.table(t) {
+                if table.schema.index_of(column).is_some() {
+                    if found.is_some() {
+                        return None; // ambiguous
+                    }
+                    found = Some(t.clone());
+                }
+            }
+        }
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specdb_catalog::DataType;
+    use specdb_query::{parse_sql, CompareOp, Join, Predicate, Selection};
+    use specdb_storage::Value;
+
+    fn emp_db() -> Database {
+        let mut db = Database::new(DatabaseConfig::with_buffer_pages(512));
+        db.create_table(
+            "employee",
+            Schema::new(vec![
+                ColumnDef::new("name", DataType::Str),
+                ColumnDef::new("age", DataType::Int),
+                ColumnDef::new("salary", DataType::Int),
+            ]),
+        )
+        .unwrap();
+        let rows = (0..2000i64).map(|i| {
+            Tuple::new(vec![
+                Value::Str(format!("emp{i}")),
+                Value::Int(20 + i % 40),
+                Value::Int(30_000 + (i * 13) % 50_000),
+            ])
+        });
+        db.load("employee", rows).unwrap();
+        db
+    }
+
+    fn age_query(limit: i64) -> Query {
+        let mut g = QueryGraph::new();
+        g.add_selection(Selection::new("employee", Predicate::new("age", CompareOp::Lt, limit)));
+        Query::star(g).project("employee", "name")
+    }
+
+    #[test]
+    fn paper_intro_flow() {
+        // The introduction's example: materialize σ(age<30)(employee)
+        // during think time, then the final query runs on the view.
+        let mut db = emp_db();
+        let q = age_query(30);
+        db.clear_buffer();
+        let normal = db.execute(&q).unwrap();
+        db.clear_buffer();
+        let mut sub = QueryGraph::new();
+        sub.add_selection(Selection::new("employee", Predicate::new("age", CompareOp::Lt, 30)));
+        let mat = db.materialize(&sub, CancelToken::new()).unwrap();
+        assert!(!mat.already_existed);
+        assert!(mat.rows > 0);
+        db.clear_buffer();
+        let spec = db.execute(&q).unwrap();
+        assert_eq!(spec.row_count, normal.row_count);
+        assert_eq!(spec.used_views, vec![mat.table.clone()]);
+        assert!(
+            spec.demand.disk_reads() < normal.demand.disk_reads(),
+            "rewritten query must read fewer pages ({} vs {})",
+            spec.demand.disk_reads(),
+            normal.demand.disk_reads()
+        );
+        assert!(spec.elapsed < normal.elapsed);
+    }
+
+    #[test]
+    fn sql_round_trip_execution() {
+        let mut db = emp_db();
+        let q = parse_sql(&db, "SELECT name FROM employee WHERE age < 25").unwrap();
+        let out = db.execute(&q).unwrap();
+        assert_eq!(out.row_count, 2000 / 40 * 5);
+        assert!(out.rows.iter().all(|r| r.arity() == 1));
+    }
+
+    #[test]
+    fn materialize_is_idempotent() {
+        let mut db = emp_db();
+        let mut sub = QueryGraph::new();
+        sub.add_selection(Selection::new("employee", Predicate::new("age", CompareOp::Lt, 30)));
+        let first = db.materialize(&sub, CancelToken::new()).unwrap();
+        let second = db.materialize(&sub, CancelToken::new()).unwrap();
+        assert!(!first.already_existed);
+        assert!(second.already_existed);
+        assert_eq!(first.table, second.table);
+        assert_eq!(second.elapsed, VirtualTime::ZERO);
+    }
+
+    #[test]
+    fn cancelled_materialization_leaves_no_trace() {
+        let mut db = emp_db();
+        let mut sub = QueryGraph::new();
+        sub.add_selection(Selection::new("employee", Predicate::new("age", CompareOp::Lt, 30)));
+        let token = CancelToken::new();
+        token.cancel();
+        let err = db.materialize(&sub, token).unwrap_err();
+        assert!(err.is_cancelled());
+        assert!(!db.has_view(&sub));
+        assert_eq!(db.views().len(), 0);
+    }
+
+    #[test]
+    fn drop_materialized_frees_everything() {
+        let mut db = emp_db();
+        let mut sub = QueryGraph::new();
+        sub.add_selection(Selection::new("employee", Predicate::new("age", CompareOp::Lt, 30)));
+        let mat = db.materialize(&sub, CancelToken::new()).unwrap();
+        db.drop_materialized(&mat.table);
+        assert!(!db.has_view(&sub));
+        assert!(db.catalog().table(&mat.table).is_none());
+        // The query still runs (against the base table).
+        let out = db.execute(&age_query(30)).unwrap();
+        assert!(out.used_views.is_empty());
+        assert!(out.row_count > 0);
+    }
+
+    #[test]
+    fn gc_candidates_follow_partial_query() {
+        let mut db = emp_db();
+        let mut sub = QueryGraph::new();
+        sub.add_selection(Selection::new("employee", Predicate::new("age", CompareOp::Lt, 30)));
+        db.materialize(&sub, CancelToken::new()).unwrap();
+        // Partial query still containing the predicate: no GC candidates.
+        assert!(db.unsupported_views(&sub).is_empty());
+        // Partial query without it: the view is condemned.
+        let empty = QueryGraph::relation("employee");
+        assert_eq!(db.unsupported_views(&empty).len(), 1);
+    }
+
+    #[test]
+    fn type_mismatch_on_load() {
+        let mut db = Database::new(DatabaseConfig::with_buffer_pages(16));
+        db.create_table("t", Schema::new(vec![ColumnDef::new("a", DataType::Int)])).unwrap();
+        let err = db
+            .load("t", vec![Tuple::new(vec![Value::Str("oops".into())])])
+            .unwrap_err();
+        assert!(matches!(err, ExecError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn estimates_track_reality_directionally() {
+        let mut db = emp_db();
+        let cheap = db.estimate_query_time(&age_query(21)).unwrap();
+        let expensive = db.estimate_query_time(&age_query(60)).unwrap();
+        assert!(cheap <= expensive);
+        let mut sub = QueryGraph::new();
+        sub.add_selection(Selection::new("employee", Predicate::new("age", CompareOp::Lt, 30)));
+        let est = db.estimate_materialization(&sub).unwrap();
+        assert!(est.rows > 0.0);
+        assert!(est.scan_result < est.compute_now, "scanning the view must beat recomputing");
+        let real = db.materialize(&sub, CancelToken::new()).unwrap();
+        let ratio = est.rows / real.rows as f64;
+        assert!((0.2..5.0).contains(&ratio), "estimate {} vs real {}", est.rows, real.rows);
+    }
+
+    #[test]
+    fn forced_vs_cost_based_modes() {
+        // Build a view that is *worse* than the base access path (the
+        // paper's penalty case): index on age makes the base fast, the
+        // view must be scanned.
+        let mut db = emp_db();
+        db.create_index("employee", "age").unwrap();
+        let mut sub = QueryGraph::new();
+        sub.add_selection(Selection::new("employee", Predicate::new("age", CompareOp::Lt, 58)));
+        db.materialize(&sub, CancelToken::new()).unwrap();
+        // Narrow final query: index would fetch few rows; forced rewrite
+        // scans the big view.
+        let mut g = QueryGraph::new();
+        g.add_selection(Selection::new("employee", Predicate::new("age", CompareOp::Lt, 58)));
+        g.add_selection(Selection::new("employee", Predicate::new("age", CompareOp::Lt, 21)));
+        let q = Query::star(g);
+        db.set_view_mode(ViewMode::Forced);
+        let forced = db.execute(&q).unwrap();
+        assert!(!forced.used_views.is_empty(), "forced mode must use the view");
+        db.set_view_mode(ViewMode::CostBased);
+        let cost_based = db.execute(&q).unwrap();
+        assert_eq!(cost_based.row_count, forced.row_count);
+    }
+
+    #[test]
+    fn index_and_histogram_manipulations_report_cost() {
+        let mut db = emp_db();
+        let idx = db.create_index("employee", "salary").unwrap();
+        assert!(idx.elapsed > VirtualTime::ZERO);
+        assert!(idx.demand.writes > 0, "index build writes leaf pages");
+        let h = db.create_histogram("employee", "age").unwrap();
+        assert!(h.elapsed > VirtualTime::ZERO);
+        assert!(db.has_index("employee", "salary"));
+        assert!(db.has_histogram("employee", "age"));
+        assert!(db.create_index("employee", "ghost").is_err());
+    }
+
+    #[test]
+    fn staging_pins_and_speeds_scans() {
+        let mut db = emp_db();
+        db.clear_buffer();
+        let pages = db.catalog().table("employee").unwrap().stats.pages as u32;
+        let out = db.stage("employee", pages).unwrap();
+        assert!(db.is_staged("employee"));
+        assert!(out.demand.seq_reads > 0, "staging reads the pages");
+        // A scan right after an unrelated buffer flood still hits the
+        // pinned pages.
+        db.clear_buffer(); // clear() keeps pinned frames
+        let q = age_query(60);
+        let warm = db.execute_discard(&q).unwrap();
+        assert_eq!(warm.demand.disk_reads(), 0, "staged pages must stay resident");
+        db.unstage("employee");
+        assert!(!db.is_staged("employee"));
+        db.clear_buffer();
+        let cold = db.execute_discard(&q).unwrap();
+        assert!(cold.demand.disk_reads() > 0, "after unstage the scan is cold again");
+    }
+
+    #[test]
+    fn staging_caps_at_quarter_pool() {
+        let mut db = emp_db(); // 512-page pool
+        db.stage("employee", u32::MAX).unwrap();
+        let staged_resident = db.pool().resident();
+        assert!(staged_resident <= 512, "sanity");
+        // Cap is pool/4 = 128 pins.
+        db.clear_buffer();
+        assert!(db.pool().resident() <= 128 + 1);
+        db.unstage("employee");
+    }
+
+    #[test]
+    fn unsupported_staged_tracks_graph() {
+        let mut db = emp_db();
+        db.stage("employee", 4).unwrap();
+        let mut g = QueryGraph::new();
+        g.add_relation("employee");
+        assert!(db.unsupported_staged(&g).is_empty());
+        let empty = QueryGraph::new();
+        assert_eq!(db.unsupported_staged(&empty), vec!["employee".to_string()]);
+    }
+
+    #[test]
+    fn execute_discard_counts_without_rows() {
+        let mut db = emp_db();
+        let out = db.execute_discard(&age_query(30)).unwrap();
+        assert!(out.rows.is_empty());
+        assert!(out.row_count > 0);
+    }
+
+    #[test]
+    fn aggregates_compute_correctly() {
+        let mut db = emp_db();
+        // Global aggregates over a filtered scan.
+        let q = parse_sql(
+            &db,
+            "SELECT count(*), min(age), max(age), sum(age), avg(age) \
+             FROM employee WHERE age < 25",
+        )
+        .unwrap();
+        let out = db.execute(&q).unwrap();
+        assert_eq!(out.row_count, 1);
+        let row = &out.rows[0];
+        // Ages cycle 20..59; ages 20-24 → 5/40 of 2000 = 250 rows.
+        assert_eq!(row.get(0), &Value::Int(250));
+        assert_eq!(row.get(1), &Value::Int(20));
+        assert_eq!(row.get(2), &Value::Int(24));
+        // sum = 250/5 * (20+21+22+23+24) = 50 * 110 = 5500.
+        assert_eq!(row.get(3), &Value::Float(5500.0));
+        assert_eq!(row.get(4), &Value::Float(22.0));
+        assert_eq!(out.cols, vec!["count(*)", "min(employee.age)", "max(employee.age)",
+            "sum(employee.age)", "avg(employee.age)"]);
+    }
+
+    #[test]
+    fn group_by_produces_sorted_groups() {
+        let mut db = emp_db();
+        let q = parse_sql(
+            &db,
+            "SELECT age, count(*) FROM employee WHERE age < 23 GROUP BY age",
+        )
+        .unwrap();
+        let out = db.execute(&q).unwrap();
+        assert_eq!(out.row_count, 3);
+        for (i, row) in out.rows.iter().enumerate() {
+            assert_eq!(row.get(0), &Value::Int(20 + i as i64));
+            assert_eq!(row.get(1), &Value::Int(50));
+        }
+    }
+
+    #[test]
+    fn empty_input_global_aggregate_yields_one_row() {
+        let mut db = emp_db();
+        let q = parse_sql(&db, "SELECT count(*) FROM employee WHERE age < 0").unwrap();
+        let out = db.execute(&q).unwrap();
+        assert_eq!(out.row_count, 1);
+        assert_eq!(out.rows[0].get(0), &Value::Int(0));
+        // ... but a grouped aggregate over nothing yields no rows.
+        let q = parse_sql(&db, "SELECT age, count(*) FROM employee WHERE age < 0 GROUP BY age")
+            .unwrap();
+        assert_eq!(db.execute(&q).unwrap().row_count, 0);
+    }
+
+    #[test]
+    fn aggregates_survive_view_rewriting() {
+        let mut db = emp_db();
+        let q = parse_sql(
+            &db,
+            "SELECT age, count(*) FROM employee WHERE age < 30 GROUP BY age",
+        )
+        .unwrap();
+        let before = db.execute(&q).unwrap();
+        let mut sub = QueryGraph::new();
+        sub.add_selection(Selection::new("employee", Predicate::new("age", CompareOp::Lt, 30)));
+        db.materialize(&sub, CancelToken::new()).unwrap();
+        let after = db.execute(&q).unwrap();
+        assert!(!after.used_views.is_empty(), "forced mode must rewrite the core");
+        assert_eq!(before.rows, after.rows, "aggregates over a view must agree");
+    }
+
+    #[test]
+    fn join_materialization_round_trip() {
+        // Two-table schema; materialize the join; final query uses it.
+        let mut db = emp_db();
+        db.create_table(
+            "dept",
+            Schema::new(vec![
+                ColumnDef::new("age", DataType::Int),
+                ColumnDef::new("label", DataType::Str),
+            ]),
+        )
+        .unwrap();
+        db.load(
+            "dept",
+            (20..60i64).map(|a| Tuple::new(vec![Value::Int(a), Value::Str(format!("d{a}"))])),
+        )
+        .unwrap();
+        let mut sub = QueryGraph::new();
+        sub.add_join(Join::new("employee", "age", "dept", "age"));
+        sub.add_selection(Selection::new("employee", Predicate::new("age", CompareOp::Lt, 30)));
+        let mat = db.materialize(&sub, CancelToken::new()).unwrap();
+        assert!(mat.rows > 0);
+        // Final query adds a predicate on dept on top of the join.
+        let mut g = sub.clone();
+        g.add_selection(Selection::new("dept", Predicate::new("label", CompareOp::Eq, "d25")));
+        let out = db.execute(&Query::star(g)).unwrap();
+        assert_eq!(out.used_views, vec![mat.table]);
+        assert_eq!(out.row_count, 2000 / 40);
+    }
+}

@@ -1,0 +1,63 @@
+//! Error types for planning and execution.
+
+use specdb_storage::StorageError;
+use std::fmt;
+
+/// Errors raised by the query processor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A referenced table does not exist.
+    UnknownTable(String),
+    /// A referenced column does not exist on its relation.
+    UnknownColumn {
+        /// The relation searched.
+        rel: String,
+        /// The missing column.
+        column: String,
+    },
+    /// Underlying storage failure (including cancellation).
+    Storage(StorageError),
+    /// A value of the wrong type was loaded into a column.
+    TypeMismatch {
+        /// Target table.
+        table: String,
+        /// Offending column.
+        column: String,
+    },
+    /// The query graph was empty (nothing to execute).
+    EmptyQuery,
+}
+
+impl ExecError {
+    /// True if this error is a cancellation (not a real failure).
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, ExecError::Storage(StorageError::Cancelled))
+    }
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnknownTable(t) => write!(f, "unknown table '{t}'"),
+            ExecError::UnknownColumn { rel, column } => {
+                write!(f, "unknown column '{column}' on '{rel}'")
+            }
+            ExecError::Storage(e) => write!(f, "storage error: {e}"),
+            ExecError::TypeMismatch { table, column } => {
+                write!(f, "type mismatch loading {table}.{column}")
+            }
+            ExecError::EmptyQuery => write!(f, "query graph is empty"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<StorageError> for ExecError {
+    fn from(e: StorageError) -> Self {
+        ExecError::Storage(e)
+    }
+}
+
+/// Result alias for the query processor.
+pub type ExecResult<T> = Result<T, ExecError>;

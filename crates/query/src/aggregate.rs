@@ -1,0 +1,133 @@
+//! Aggregates over conjunctive cores.
+//!
+//! The paper scopes its formalism to select-project-join queries and
+//! notes the "overall formulation would remain valid for general
+//! queries as well, e.g., queries with aggregates, but some of the
+//! details would require further elaboration". This module supplies that
+//! elaboration for the engine: an aggregate specification sits *on top
+//! of* the conjunctive core, so speculation (which materializes and
+//! rewrites sub-graphs of the core) is untouched — a final query
+//! `SELECT c_nation, count(*) ... GROUP BY c_nation` still benefits from
+//! a materialized `σ(...)(customer ⋈ orders)` exactly like its SPJ
+//! counterpart.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An aggregate function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggFunc {
+    /// `COUNT(*)` / `COUNT(col)` (non-null count when a column is given).
+    Count,
+    /// `SUM(col)`.
+    Sum,
+    /// `MIN(col)`.
+    Min,
+    /// `MAX(col)`.
+    Max,
+    /// `AVG(col)`.
+    Avg,
+}
+
+impl AggFunc {
+    /// SQL spelling.
+    pub fn sql(&self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Avg => "avg",
+        }
+    }
+
+    /// Parse a function name (case-insensitive).
+    pub fn parse(name: &str) -> Option<AggFunc> {
+        match name.to_ascii_lowercase().as_str() {
+            "count" => Some(AggFunc::Count),
+            "sum" => Some(AggFunc::Sum),
+            "min" => Some(AggFunc::Min),
+            "max" => Some(AggFunc::Max),
+            "avg" => Some(AggFunc::Avg),
+            _ => None,
+        }
+    }
+}
+
+/// One aggregate output: a function over a column (or `*`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Aggregate {
+    /// The function.
+    pub func: AggFunc,
+    /// `(relation, column)` argument; `None` for `COUNT(*)`.
+    pub arg: Option<(String, String)>,
+}
+
+impl Aggregate {
+    /// `COUNT(*)`.
+    pub fn count_star() -> Self {
+        Aggregate { func: AggFunc::Count, arg: None }
+    }
+
+    /// A function over a column.
+    pub fn over(func: AggFunc, rel: impl Into<String>, col: impl Into<String>) -> Self {
+        Aggregate { func, arg: Some((rel.into(), col.into())) }
+    }
+}
+
+impl fmt::Display for Aggregate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.arg {
+            None => write!(f, "{}(*)", self.func.sql()),
+            Some((rel, col)) => write!(f, "{}({rel}.{col})", self.func.sql()),
+        }
+    }
+}
+
+/// The aggregate layer of a query: GROUP BY keys plus aggregate outputs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct AggSpec {
+    /// Grouping `(relation, column)` keys (empty = one global group).
+    pub group_by: Vec<(String, String)>,
+    /// Aggregate outputs, in SELECT-list order.
+    pub aggs: Vec<Aggregate>,
+}
+
+impl AggSpec {
+    /// True if there is nothing to aggregate.
+    pub fn is_empty(&self) -> bool {
+        self.aggs.is_empty() && self.group_by.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_spell() {
+        for (name, f) in
+            [("count", AggFunc::Count), ("SUM", AggFunc::Sum), ("Avg", AggFunc::Avg)]
+        {
+            assert_eq!(AggFunc::parse(name), Some(f));
+            assert_eq!(AggFunc::parse(f.sql()), Some(f));
+        }
+        assert_eq!(AggFunc::parse("median"), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", Aggregate::count_star()), "count(*)");
+        assert_eq!(
+            format!("{}", Aggregate::over(AggFunc::Sum, "orders", "o_totalprice")),
+            "sum(orders.o_totalprice)"
+        );
+    }
+
+    #[test]
+    fn empty_spec() {
+        assert!(AggSpec::default().is_empty());
+        let s = AggSpec { group_by: vec![], aggs: vec![Aggregate::count_star()] };
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,522 @@
+//! Query graphs: the paper's representation of conjunctive queries.
+//!
+//! A [`QueryGraph`] is a set of atomic parts — relation vertices,
+//! selection edges, join edges — with set-algebra operations
+//! (containment, union, intersection, difference) matching the paper's
+//! Section 2 conventions. A [`Query`] adds the projection list, which
+//! participates in SQL rendering and execution but *not* in the graph
+//! algebra (materializations keep all attributes, `SELECT *`).
+
+use crate::predicate::Predicate;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A selection edge: a predicate attached to a relation vertex.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Selection {
+    /// Relation the predicate applies to.
+    pub rel: String,
+    /// The predicate.
+    pub pred: Predicate,
+}
+
+impl Selection {
+    /// Construct a selection edge.
+    pub fn new(rel: impl Into<String>, pred: Predicate) -> Self {
+        Selection { rel: rel.into(), pred }
+    }
+}
+
+impl fmt::Display for Selection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{} {} {}", self.rel, self.pred.column, self.pred.op, self.pred.value)
+    }
+}
+
+/// A join edge between two relation vertices: `left.lcol = right.rcol`.
+///
+/// Construction canonicalizes the operand order so that equal joins
+/// compare equal regardless of how the user wrote them.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Join {
+    /// Lexicographically smaller endpoint relation.
+    pub left: String,
+    /// Join column on `left`.
+    pub lcol: String,
+    /// Lexicographically larger endpoint relation.
+    pub right: String,
+    /// Join column on `right`.
+    pub rcol: String,
+}
+
+impl Join {
+    /// Construct a join edge, canonicalizing endpoint order.
+    pub fn new(
+        rel_a: impl Into<String>,
+        col_a: impl Into<String>,
+        rel_b: impl Into<String>,
+        col_b: impl Into<String>,
+    ) -> Self {
+        let (ra, ca, rb, cb) = (rel_a.into(), col_a.into(), rel_b.into(), col_b.into());
+        if (ra.as_str(), ca.as_str()) <= (rb.as_str(), cb.as_str()) {
+            Join { left: ra, lcol: ca, right: rb, rcol: cb }
+        } else {
+            Join { left: rb, lcol: cb, right: ra, rcol: ca }
+        }
+    }
+
+    /// True if `rel` is an endpoint.
+    pub fn touches(&self, rel: &str) -> bool {
+        self.left == rel || self.right == rel
+    }
+
+    /// Given one endpoint relation, return `(this_col, other_rel, other_col)`.
+    pub fn other(&self, rel: &str) -> Option<(&str, &str, &str)> {
+        if self.left == rel {
+            Some((&self.lcol, &self.right, &self.rcol))
+        } else if self.right == rel {
+            Some((&self.rcol, &self.left, &self.lcol))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Join {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{} = {}.{}", self.left, self.lcol, self.right, self.rcol)
+    }
+}
+
+/// A conjunctive query graph: sets of relations, selections, and joins.
+#[derive(Debug, Default, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct QueryGraph {
+    rels: BTreeSet<String>,
+    selections: BTreeSet<Selection>,
+    joins: BTreeSet<Join>,
+}
+
+impl QueryGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Graph over a single relation with no predicates.
+    pub fn relation(name: impl Into<String>) -> Self {
+        let mut g = Self::new();
+        g.add_relation(name);
+        g
+    }
+
+    /// Add a relation vertex.
+    pub fn add_relation(&mut self, name: impl Into<String>) -> &mut Self {
+        self.rels.insert(name.into());
+        self
+    }
+
+    /// Remove a relation vertex together with all attached selection and
+    /// join edges (what a visual interface does when a table is removed).
+    pub fn remove_relation(&mut self, name: &str) -> &mut Self {
+        self.rels.remove(name);
+        self.selections.retain(|s| s.rel != name);
+        self.joins.retain(|j| !j.touches(name));
+        self
+    }
+
+    /// Add a selection edge (implicitly adds its relation vertex).
+    pub fn add_selection(&mut self, s: Selection) -> &mut Self {
+        self.rels.insert(s.rel.clone());
+        self.selections.insert(s);
+        self
+    }
+
+    /// Remove a selection edge (the relation vertex stays).
+    pub fn remove_selection(&mut self, s: &Selection) -> &mut Self {
+        self.selections.remove(s);
+        self
+    }
+
+    /// Add a join edge (implicitly adds both relation vertices).
+    pub fn add_join(&mut self, j: Join) -> &mut Self {
+        self.rels.insert(j.left.clone());
+        self.rels.insert(j.right.clone());
+        self.joins.insert(j);
+        self
+    }
+
+    /// Remove a join edge (the relation vertices stay).
+    pub fn remove_join(&mut self, j: &Join) -> &mut Self {
+        self.joins.remove(j);
+        self
+    }
+
+    /// Relation vertices, sorted.
+    pub fn relations(&self) -> impl Iterator<Item = &str> {
+        self.rels.iter().map(String::as_str)
+    }
+
+    /// Selection edges, sorted.
+    pub fn selections(&self) -> impl Iterator<Item = &Selection> {
+        self.selections.iter()
+    }
+
+    /// Join edges, sorted.
+    pub fn joins(&self) -> impl Iterator<Item = &Join> {
+        self.joins.iter()
+    }
+
+    /// Selections attached to one relation.
+    pub fn selections_on<'a>(&'a self, rel: &'a str) -> impl Iterator<Item = &'a Selection> {
+        self.selections.iter().filter(move |s| s.rel == rel)
+    }
+
+    /// Joins touching one relation.
+    pub fn joins_on<'a>(&'a self, rel: &'a str) -> impl Iterator<Item = &'a Join> {
+        self.joins.iter().filter(move |j| j.touches(rel))
+    }
+
+    /// Number of relation vertices.
+    pub fn rel_count(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Number of selection edges.
+    pub fn selection_count(&self) -> usize {
+        self.selections.len()
+    }
+
+    /// Number of join edges.
+    pub fn join_count(&self) -> usize {
+        self.joins.len()
+    }
+
+    /// True if the graph has no atomic parts at all.
+    pub fn is_empty(&self) -> bool {
+        self.rels.is_empty()
+    }
+
+    /// True if a relation vertex is present.
+    pub fn has_relation(&self, rel: &str) -> bool {
+        self.rels.contains(rel)
+    }
+
+    /// Sub-graph containment: does `self` contain every atomic part of
+    /// `other`? This is the `qm ⊆ q` of the paper's property P1.
+    pub fn contains(&self, other: &QueryGraph) -> bool {
+        other.rels.is_subset(&self.rels)
+            && other.selections.is_subset(&self.selections)
+            && other.joins.is_subset(&self.joins)
+    }
+
+    /// Set union of atomic parts.
+    pub fn union(&self, other: &QueryGraph) -> QueryGraph {
+        QueryGraph {
+            rels: self.rels.union(&other.rels).cloned().collect(),
+            selections: self.selections.union(&other.selections).cloned().collect(),
+            joins: self.joins.union(&other.joins).cloned().collect(),
+        }
+    }
+
+    /// Set intersection of atomic parts.
+    pub fn intersection(&self, other: &QueryGraph) -> QueryGraph {
+        QueryGraph {
+            rels: self.rels.intersection(&other.rels).cloned().collect(),
+            selections: self.selections.intersection(&other.selections).cloned().collect(),
+            joins: self.joins.intersection(&other.joins).cloned().collect(),
+        }
+    }
+
+    /// Atomic parts of `self` not in `other`.
+    pub fn difference(&self, other: &QueryGraph) -> QueryGraph {
+        QueryGraph {
+            rels: self.rels.difference(&other.rels).cloned().collect(),
+            selections: self.selections.difference(&other.selections).cloned().collect(),
+            joins: self.joins.difference(&other.joins).cloned().collect(),
+        }
+    }
+
+    /// True if the two graphs share no atomic parts (`q1 ∩ q2 = ∅`,
+    /// property P2's disjointness condition).
+    pub fn is_disjoint(&self, other: &QueryGraph) -> bool {
+        self.intersection(other).is_empty()
+    }
+
+    /// True if the relation vertices form a single connected component
+    /// under the join edges (single-relation graphs are connected).
+    pub fn is_connected(&self) -> bool {
+        self.connected_components().len() <= 1
+    }
+
+    /// Connected components as sub-graphs: each component keeps its
+    /// relations, their selections, and the joins among them.
+    pub fn connected_components(&self) -> Vec<QueryGraph> {
+        let mut remaining: BTreeSet<&str> = self.rels.iter().map(String::as_str).collect();
+        let mut components = Vec::new();
+        while let Some(&seed) = remaining.iter().next() {
+            let mut comp: BTreeSet<&str> = BTreeSet::new();
+            let mut frontier = vec![seed];
+            while let Some(rel) = frontier.pop() {
+                if !comp.insert(rel) {
+                    continue;
+                }
+                remaining.remove(rel);
+                for j in self.joins_on(rel) {
+                    if let Some((_, other, _)) = j.other(rel) {
+                        if !comp.contains(other) {
+                            frontier.push(other);
+                        }
+                    }
+                }
+            }
+            let mut g = QueryGraph::new();
+            for &r in &comp {
+                g.add_relation(r);
+            }
+            for s in &self.selections {
+                if comp.contains(s.rel.as_str()) {
+                    g.selections.insert(s.clone());
+                }
+            }
+            for j in &self.joins {
+                if comp.contains(j.left.as_str()) && comp.contains(j.right.as_str()) {
+                    g.joins.insert(j.clone());
+                }
+            }
+            components.push(g);
+        }
+        components
+    }
+
+    /// The sub-graph for one selection edge (its relation + the edge).
+    /// This is one of the paper's enumerated materialization units.
+    pub fn selection_subgraph(&self, s: &Selection) -> QueryGraph {
+        let mut g = QueryGraph::new();
+        g.add_selection(s.clone());
+        g
+    }
+
+    /// The sub-graph for one join edge enhanced with all selection edges
+    /// attached to its endpoints — the paper's second enumeration unit
+    /// ("materializations of individual join edges enhanced with all
+    /// selection edges attached to the join edge").
+    pub fn join_subgraph(&self, j: &Join) -> QueryGraph {
+        let mut g = QueryGraph::new();
+        g.add_join(j.clone());
+        for s in &self.selections {
+            if s.rel == j.left || s.rel == j.right {
+                g.selections.insert(s.clone());
+            }
+        }
+        g
+    }
+}
+
+impl fmt::Display for QueryGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{rels: [")?;
+        for (i, r) in self.rels.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, "], sel: [")?;
+        for (i, s) in self.selections.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, "], join: [")?;
+        for (i, j) in self.joins.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{j}")?;
+        }
+        write!(f, "]}}")
+    }
+}
+
+/// A full query: a graph plus an (optional) projection list and an
+/// (optional) aggregate layer on top of the conjunctive core.
+#[derive(Debug, Default, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Query {
+    /// The query graph.
+    pub graph: QueryGraph,
+    /// Projected `(relation, column)` pairs; empty means `SELECT *`.
+    pub projections: Vec<(String, String)>,
+    /// Aggregates over the core (GROUP BY keys + functions); `None` for
+    /// plain SPJ queries. Speculation operates on `graph` either way.
+    #[serde(default)]
+    pub agg: Option<crate::aggregate::AggSpec>,
+}
+
+impl Query {
+    /// A `SELECT *` query over a graph.
+    pub fn star(graph: QueryGraph) -> Self {
+        Query { graph, projections: Vec::new(), agg: None }
+    }
+
+    /// Add a projection.
+    pub fn project(mut self, rel: impl Into<String>, col: impl Into<String>) -> Self {
+        self.projections.push((rel.into(), col.into()));
+        self
+    }
+
+    /// Attach an aggregate layer.
+    pub fn aggregate(mut self, agg: crate::aggregate::AggSpec) -> Self {
+        self.agg = Some(agg);
+        self
+    }
+}
+
+impl From<QueryGraph> for Query {
+    fn from(graph: QueryGraph) -> Self {
+        Query::star(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{CompareOp, Predicate};
+
+    fn sel(rel: &str, col: &str, v: i64) -> Selection {
+        Selection::new(rel, Predicate::new(col, CompareOp::Lt, v))
+    }
+
+    /// The R-S-W example from the paper's Figure 2.
+    fn figure2() -> QueryGraph {
+        let mut g = QueryGraph::new();
+        g.add_join(Join::new("R", "a", "S", "a"));
+        g.add_join(Join::new("S", "b", "W", "b"));
+        g.add_selection(Selection::new("R", Predicate::new("c", CompareOp::Gt, 10i64)));
+        g.add_selection(Selection::new("W", Predicate::new("d", CompareOp::Lt, 2000i64)));
+        g
+    }
+
+    #[test]
+    fn join_canonicalization() {
+        assert_eq!(Join::new("S", "a", "R", "a"), Join::new("R", "a", "S", "a"));
+        let j = Join::new("S", "b", "R", "a");
+        assert_eq!(j.left, "R");
+        assert_eq!(j.other("R"), Some(("a", "S", "b")));
+        assert_eq!(j.other("S"), Some(("b", "R", "a")));
+        assert_eq!(j.other("X"), None);
+    }
+
+    #[test]
+    fn figure2_shape() {
+        let g = figure2();
+        assert_eq!(g.rel_count(), 3);
+        assert_eq!(g.join_count(), 2);
+        assert_eq!(g.selection_count(), 2);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn containment_matches_paper_example() {
+        // q1 = σθ(R), q2 = R ⋈ S, q3 = σθ(R) ⋈ S (Theorem 3.1 example).
+        let mut q1 = QueryGraph::new();
+        q1.add_selection(sel("R", "c", 10));
+        let mut q2 = QueryGraph::new();
+        q2.add_join(Join::new("R", "a", "S", "a"));
+        let q3 = q1.union(&q2);
+        assert!(q3.contains(&q1));
+        assert!(q3.contains(&q2));
+        assert!(!q2.contains(&q1), "R ⋈ S does not contain σθ(R)");
+        assert!(!q1.contains(&q2));
+        assert!(q1.contains(&q1), "containment is reflexive");
+    }
+
+    #[test]
+    fn union_intersection_difference() {
+        let mut a = QueryGraph::new();
+        a.add_selection(sel("R", "c", 10));
+        let mut b = QueryGraph::new();
+        b.add_join(Join::new("R", "a", "S", "a"));
+        let u = a.union(&b);
+        assert_eq!(u.rel_count(), 2);
+        let i = a.intersection(&b);
+        // R vertex is shared between the two graphs.
+        assert_eq!(i.rel_count(), 1);
+        assert_eq!(i.selection_count(), 0);
+        let d = u.difference(&a);
+        assert!(d.joins().count() == 1 && d.selection_count() == 0);
+    }
+
+    #[test]
+    fn disjointness_for_p2() {
+        let mut a = QueryGraph::new();
+        a.add_selection(sel("R", "c", 10));
+        let mut b = QueryGraph::new();
+        b.add_selection(sel("S", "d", 5));
+        assert!(a.is_disjoint(&b));
+        let mut c = QueryGraph::new();
+        c.add_selection(sel("R", "x", 1));
+        assert!(!a.is_disjoint(&c), "shared relation vertex R");
+    }
+
+    #[test]
+    fn remove_relation_cascades() {
+        let mut g = figure2();
+        g.remove_relation("S");
+        assert_eq!(g.rel_count(), 2);
+        assert_eq!(g.join_count(), 0, "both joins touched S");
+        assert_eq!(g.selection_count(), 2, "selections on R and W remain");
+    }
+
+    #[test]
+    fn connected_components_split() {
+        let mut g = figure2();
+        g.add_relation("Z");
+        g.add_selection(sel("Z", "q", 7));
+        let comps = g.connected_components();
+        assert_eq!(comps.len(), 2);
+        assert!(!g.is_connected());
+        let z = comps.iter().find(|c| c.has_relation("Z")).unwrap();
+        assert_eq!(z.selection_count(), 1);
+        assert_eq!(z.join_count(), 0);
+        let rsw = comps.iter().find(|c| c.has_relation("R")).unwrap();
+        assert_eq!(rsw.join_count(), 2);
+        // Components partition the graph: their union is the original.
+        let reunited = comps.iter().fold(QueryGraph::new(), |acc, c| acc.union(c));
+        assert_eq!(reunited, g);
+    }
+
+    #[test]
+    fn join_subgraph_attaches_endpoint_selections() {
+        let g = figure2();
+        let j = Join::new("R", "a", "S", "a");
+        let sub = g.join_subgraph(&j);
+        assert_eq!(sub.rel_count(), 2);
+        assert_eq!(sub.join_count(), 1);
+        // Only R's selection attaches; W's does not touch this join.
+        assert_eq!(sub.selection_count(), 1);
+        assert_eq!(sub.selections().next().unwrap().rel, "R");
+        assert!(g.contains(&sub));
+    }
+
+    #[test]
+    fn selection_subgraph_is_minimal() {
+        let g = figure2();
+        let s = g.selections().next().unwrap().clone();
+        let sub = g.selection_subgraph(&s);
+        assert_eq!(sub.rel_count(), 1);
+        assert_eq!(sub.selection_count(), 1);
+        assert_eq!(sub.join_count(), 0);
+        assert!(g.contains(&sub));
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let e = QueryGraph::new();
+        assert!(e.is_empty());
+        assert!(e.is_connected(), "empty graph is vacuously connected");
+        assert!(figure2().contains(&e), "everything contains the empty graph");
+        assert!(e.is_disjoint(&figure2()));
+    }
+}

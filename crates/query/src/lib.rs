@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! Conjunctive query model.
+//!
+//! The paper (Section 2) works with select-project-join queries
+//! represented as *query graphs*: each relation is a vertex, each join
+//! an edge between relation vertices, and each selection an edge to a
+//! predicate vertex. The atomic parts of a query are exactly these
+//! vertices and edges, which makes `⊆`, `∪`, and `∩` meaningful on
+//! queries — the algebra Theorem 3.1's cost model is built on.
+//!
+//! * [`predicate`] — comparison predicates on columns,
+//! * [`graph`] — [`QueryGraph`]: sets of relations, selections, joins,
+//!   with the containment/union/intersection algebra,
+//! * [`partial`] — [`PartialQuery`] and [`EditOp`]: the incremental
+//!   edits a visual interface produces during query formulation,
+//! * [`sql`] — a small SQL front end (parser + printer) for examples and
+//!   round-tripping,
+//! * [`canonical`] — canonical string keys for graphs (materialized-view
+//!   registry keys).
+
+pub mod aggregate;
+pub mod canonical;
+pub mod graph;
+pub mod partial;
+pub mod predicate;
+pub mod sql;
+
+pub use aggregate::{AggFunc, AggSpec, Aggregate};
+pub use canonical::canonical_key;
+pub use graph::{Join, Query, QueryGraph, Selection};
+pub use partial::{EditOp, PartialQuery};
+pub use predicate::{CompareOp, Predicate};
+pub use sql::{parse_sql, ColumnResolver, ParseError};

@@ -1,0 +1,198 @@
+//! Partial queries and the edit operations that build them.
+//!
+//! During query formulation the user inserts, removes, and updates the
+//! atomic parts of the query (paper Section 2): the interface emits a
+//! stream of [`EditOp`]s, and the [`PartialQuery`] tracks the current
+//! state. Each intermediate state is itself a valid query ("with some
+//! straightforward conventions, any partial query may be considered as a
+//! complete query as well").
+
+use crate::graph::{Join, Query, QueryGraph, Selection};
+use serde::{Deserialize, Serialize};
+
+/// One user action on the visual query interface.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EditOp {
+    /// Place a relation on the canvas.
+    AddRelation(String),
+    /// Remove a relation (cascades to its selections and joins).
+    RemoveRelation(String),
+    /// Place a selection predicate.
+    AddSelection(Selection),
+    /// Remove a selection predicate.
+    RemoveSelection(Selection),
+    /// Change a selection predicate in place (e.g. edit the constant).
+    UpdateSelection {
+        /// The predicate being replaced.
+        old: Selection,
+        /// Its replacement.
+        new: Selection,
+    },
+    /// Draw a join edge.
+    AddJoin(Join),
+    /// Remove a join edge.
+    RemoveJoin(Join),
+    /// Tick a projection box.
+    AddProjection(String, String),
+    /// Untick a projection box.
+    RemoveProjection(String, String),
+    /// Press the "GO" button: submit the query.
+    Go,
+}
+
+impl EditOp {
+    /// True for the GO event.
+    pub fn is_go(&self) -> bool {
+        matches!(self, EditOp::Go)
+    }
+}
+
+/// The query under construction.
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartialQuery {
+    query: Query,
+}
+
+impl PartialQuery {
+    /// Start from an empty canvas.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start from an existing query (the paper's users typically refine
+    /// the previous query rather than starting over).
+    pub fn from_query(query: Query) -> Self {
+        PartialQuery { query }
+    }
+
+    /// The current graph.
+    pub fn graph(&self) -> &QueryGraph {
+        &self.query.graph
+    }
+
+    /// The current query (graph + projections).
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// Apply one edit. Returns `true` if it was the GO event.
+    pub fn apply(&mut self, op: &EditOp) -> bool {
+        match op {
+            EditOp::AddRelation(r) => {
+                self.query.graph.add_relation(r.clone());
+            }
+            EditOp::RemoveRelation(r) => {
+                self.query.graph.remove_relation(r);
+                self.query.projections.retain(|(rel, _)| rel != r);
+            }
+            EditOp::AddSelection(s) => {
+                self.query.graph.add_selection(s.clone());
+            }
+            EditOp::RemoveSelection(s) => {
+                self.query.graph.remove_selection(s);
+            }
+            EditOp::UpdateSelection { old, new } => {
+                self.query.graph.remove_selection(old);
+                self.query.graph.add_selection(new.clone());
+            }
+            EditOp::AddJoin(j) => {
+                self.query.graph.add_join(j.clone());
+            }
+            EditOp::RemoveJoin(j) => {
+                self.query.graph.remove_join(j);
+            }
+            EditOp::AddProjection(r, c) => {
+                let key = (r.clone(), c.clone());
+                if !self.query.projections.contains(&key) {
+                    self.query.projections.push(key);
+                }
+            }
+            EditOp::RemoveProjection(r, c) => {
+                self.query.projections.retain(|(rel, col)| rel != r || col != c);
+            }
+            EditOp::Go => return true,
+        }
+        false
+    }
+
+    /// Apply a sequence of edits, stopping after a GO. Returns the final
+    /// query if GO was reached.
+    pub fn apply_all<'a>(&mut self, ops: impl IntoIterator<Item = &'a EditOp>) -> Option<Query> {
+        for op in ops {
+            if self.apply(op) {
+                return Some(self.query.clone());
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{CompareOp, Predicate};
+
+    fn age_sel(v: i64) -> Selection {
+        Selection::new("employee", Predicate::new("age", CompareOp::Lt, v))
+    }
+
+    #[test]
+    fn figure1_formulation_sequence() {
+        // The paper's Figure 1: add age<30 at t1, project name at t2, GO at t3.
+        let mut pq = PartialQuery::new();
+        let ops = vec![
+            EditOp::AddRelation("employee".into()),
+            EditOp::AddSelection(age_sel(30)),
+            EditOp::AddProjection("employee".into(), "name".into()),
+            EditOp::Go,
+        ];
+        let finished = pq.apply_all(&ops).expect("GO reached");
+        assert_eq!(finished.graph.selection_count(), 1);
+        assert_eq!(finished.projections, vec![("employee".into(), "name".into())]);
+    }
+
+    #[test]
+    fn update_selection_replaces() {
+        let mut pq = PartialQuery::new();
+        pq.apply(&EditOp::AddSelection(age_sel(30)));
+        pq.apply(&EditOp::UpdateSelection { old: age_sel(30), new: age_sel(40) });
+        let sels: Vec<_> = pq.graph().selections().collect();
+        assert_eq!(sels.len(), 1);
+        assert_eq!(sels[0].pred.value, specdb_storage::Value::Int(40));
+    }
+
+    #[test]
+    fn remove_relation_drops_projections() {
+        let mut pq = PartialQuery::new();
+        pq.apply(&EditOp::AddRelation("employee".into()));
+        pq.apply(&EditOp::AddProjection("employee".into(), "name".into()));
+        pq.apply(&EditOp::RemoveRelation("employee".into()));
+        assert!(pq.query().projections.is_empty());
+        assert!(pq.graph().is_empty());
+    }
+
+    #[test]
+    fn duplicate_projection_ignored() {
+        let mut pq = PartialQuery::new();
+        pq.apply(&EditOp::AddProjection("t".into(), "a".into()));
+        pq.apply(&EditOp::AddProjection("t".into(), "a".into()));
+        assert_eq!(pq.query().projections.len(), 1);
+    }
+
+    #[test]
+    fn apply_all_without_go_returns_none() {
+        let mut pq = PartialQuery::new();
+        let ops = vec![EditOp::AddRelation("t".into())];
+        assert!(pq.apply_all(&ops).is_none());
+        assert!(pq.graph().has_relation("t"));
+    }
+
+    #[test]
+    fn edits_after_go_are_not_applied_by_apply_all() {
+        let mut pq = PartialQuery::new();
+        let ops =
+            vec![EditOp::AddRelation("a".into()), EditOp::Go, EditOp::AddRelation("b".into())];
+        pq.apply_all(&ops).unwrap();
+        assert!(!pq.graph().has_relation("b"));
+    }
+}

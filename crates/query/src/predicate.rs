@@ -1,0 +1,258 @@
+//! Comparison predicates on columns.
+
+use serde::{Deserialize, Serialize};
+use specdb_storage::Value;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A comparison operator.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum CompareOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CompareOp {
+    /// Evaluate `left op right`. Comparisons with NULL are false
+    /// (three-valued logic collapsed to false, as in a WHERE clause).
+    pub fn eval(&self, left: &Value, right: &Value) -> bool {
+        if left.is_null() || right.is_null() {
+            return false;
+        }
+        let ord = left.cmp(right);
+        match self {
+            CompareOp::Eq => ord == Ordering::Equal,
+            CompareOp::Ne => ord != Ordering::Equal,
+            CompareOp::Lt => ord == Ordering::Less,
+            CompareOp::Le => ord != Ordering::Greater,
+            CompareOp::Gt => ord == Ordering::Greater,
+            CompareOp::Ge => ord != Ordering::Less,
+        }
+    }
+
+    /// The operator with operands swapped (`a < b` ⇔ `b > a`).
+    pub fn flipped(&self) -> CompareOp {
+        match self {
+            CompareOp::Eq => CompareOp::Eq,
+            CompareOp::Ne => CompareOp::Ne,
+            CompareOp::Lt => CompareOp::Gt,
+            CompareOp::Le => CompareOp::Ge,
+            CompareOp::Gt => CompareOp::Lt,
+            CompareOp::Ge => CompareOp::Le,
+        }
+    }
+
+    /// SQL spelling.
+    pub fn sql(&self) -> &'static str {
+        match self {
+            CompareOp::Eq => "=",
+            CompareOp::Ne => "<>",
+            CompareOp::Lt => "<",
+            CompareOp::Le => "<=",
+            CompareOp::Gt => ">",
+            CompareOp::Ge => ">=",
+        }
+    }
+}
+
+impl fmt::Display for CompareOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.sql())
+    }
+}
+
+/// A predicate `column op constant` on some relation's column.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Predicate {
+    /// Column name (unqualified; the owning relation is tracked by the
+    /// enclosing [`crate::graph::Selection`]).
+    pub column: String,
+    /// Comparison operator.
+    pub op: CompareOp,
+    /// Constant operand.
+    pub value: Value,
+}
+
+impl Predicate {
+    /// Construct a predicate.
+    pub fn new(column: impl Into<String>, op: CompareOp, value: impl Into<Value>) -> Self {
+        Predicate { column: column.into(), op, value: value.into() }
+    }
+
+    /// Evaluate against a column value.
+    pub fn matches(&self, v: &Value) -> bool {
+        self.op.eval(v, &self.value)
+    }
+
+    /// Logical implication on the same column: does `self` holding imply
+    /// `other` holds, for every possible value? Sound but not complete:
+    /// `false` means "cannot prove", not "does not imply". This powers
+    /// *subsumption* view matching — a materialization of `age < 30` can
+    /// answer a query for `age < 20` with a residual filter.
+    pub fn implies(&self, other: &Predicate) -> bool {
+        if self.column != other.column {
+            return false;
+        }
+        use CompareOp::*;
+        let (a, x) = (self.op, &self.value);
+        let (b, y) = (other.op, &other.value);
+        match (a, b) {
+            // v = x ⟹ (v op y) iff x itself satisfies it.
+            (Eq, _) => b.eval(x, y),
+            // v < x ⟹ v < y iff x ≤ y;  v < x ⟹ v ≤ y iff x ≤ y
+            // (for v < x and x ≤ y: v < x ≤ y so v < y ≤ ... holds).
+            (Lt, Lt) | (Lt, Le) => x <= y,
+            // v ≤ x ⟹ v < y iff x < y;  v ≤ x ⟹ v ≤ y iff x ≤ y.
+            (Le, Lt) => x < y,
+            (Le, Le) => x <= y,
+            // Symmetric for the lower-bound family.
+            (Gt, Gt) | (Gt, Ge) => x >= y,
+            (Ge, Gt) => x > y,
+            (Ge, Ge) => x >= y,
+            // v < x ⟹ v ≠ y iff y ≥ x (y is outside the admitted range).
+            (Lt, Ne) => y >= x,
+            (Le, Ne) => y > x,
+            (Gt, Ne) => y <= x,
+            (Ge, Ne) => y < x,
+            (Ne, Ne) => x == y,
+            // Nothing else is provable with single-predicate reasoning.
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.column, self.op, self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_all_ops() {
+        let three = Value::Int(3);
+        let five = Value::Int(5);
+        assert!(CompareOp::Lt.eval(&three, &five));
+        assert!(CompareOp::Le.eval(&three, &three));
+        assert!(CompareOp::Gt.eval(&five, &three));
+        assert!(CompareOp::Ge.eval(&five, &five));
+        assert!(CompareOp::Eq.eval(&three, &three));
+        assert!(CompareOp::Ne.eval(&three, &five));
+        assert!(!CompareOp::Eq.eval(&three, &five));
+    }
+
+    #[test]
+    fn null_comparisons_are_false() {
+        for op in [
+            CompareOp::Eq,
+            CompareOp::Ne,
+            CompareOp::Lt,
+            CompareOp::Le,
+            CompareOp::Gt,
+            CompareOp::Ge,
+        ] {
+            assert!(!op.eval(&Value::Null, &Value::Int(1)));
+            assert!(!op.eval(&Value::Int(1), &Value::Null));
+        }
+    }
+
+    #[test]
+    fn flipped_is_involutive_and_correct() {
+        let a = Value::Int(1);
+        let b = Value::Int(2);
+        for op in [
+            CompareOp::Eq,
+            CompareOp::Ne,
+            CompareOp::Lt,
+            CompareOp::Le,
+            CompareOp::Gt,
+            CompareOp::Ge,
+        ] {
+            assert_eq!(op.flipped().flipped(), op);
+            assert_eq!(op.eval(&a, &b), op.flipped().eval(&b, &a));
+        }
+    }
+
+    #[test]
+    fn implication_table() {
+        use CompareOp::*;
+        let p = |op, v: i64| Predicate::new("age", op, v);
+        // Exact/weaker ranges.
+        assert!(p(Lt, 20).implies(&p(Lt, 30)));
+        assert!(p(Lt, 30).implies(&p(Lt, 30)));
+        assert!(!p(Lt, 31).implies(&p(Lt, 30)));
+        assert!(p(Lt, 30).implies(&p(Le, 30)));
+        assert!(p(Le, 29).implies(&p(Lt, 30)));
+        assert!(!p(Le, 30).implies(&p(Lt, 30)));
+        assert!(p(Gt, 40).implies(&p(Gt, 30)));
+        assert!(p(Ge, 31).implies(&p(Gt, 30)));
+        assert!(!p(Ge, 30).implies(&p(Gt, 30)));
+        // Equality implies anything it satisfies.
+        assert!(p(Eq, 25).implies(&p(Lt, 30)));
+        assert!(p(Eq, 25).implies(&p(Ge, 25)));
+        assert!(!p(Eq, 35).implies(&p(Lt, 30)));
+        assert!(p(Eq, 25).implies(&p(Ne, 30)));
+        assert!(!p(Eq, 30).implies(&p(Ne, 30)));
+        // Ranges imply disequality outside the range.
+        assert!(p(Lt, 30).implies(&p(Ne, 30)));
+        assert!(p(Lt, 30).implies(&p(Ne, 45)));
+        assert!(!p(Lt, 30).implies(&p(Ne, 10)));
+        assert!(p(Gt, 30).implies(&p(Ne, 30)));
+        // Different columns never imply.
+        assert!(!p(Lt, 20).implies(&Predicate::new("salary", Lt, 30i64)));
+        // Incomparable directions.
+        assert!(!p(Lt, 30).implies(&p(Gt, 10)));
+        assert!(!p(Ne, 30).implies(&p(Lt, 40)));
+    }
+
+    #[test]
+    fn implication_is_sound_by_brute_force() {
+        use CompareOp::*;
+        let ops = [Eq, Ne, Lt, Le, Gt, Ge];
+        for &a in &ops {
+            for &b in &ops {
+                for x in -3i64..=3 {
+                    for y in -3i64..=3 {
+                        let pa = Predicate::new("c", a, x);
+                        let pb = Predicate::new("c", b, y);
+                        if pa.implies(&pb) {
+                            for v in -6i64..=6 {
+                                let val = Value::Int(v);
+                                if pa.matches(&val) {
+                                    assert!(
+                                        pb.matches(&val),
+                                        "claimed {pa} => {pb} but v={v} breaks it"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn predicate_matches() {
+        let p = Predicate::new("age", CompareOp::Lt, 30i64);
+        assert!(p.matches(&Value::Int(25)));
+        assert!(!p.matches(&Value::Int(30)));
+        assert!(!p.matches(&Value::Null));
+        assert_eq!(format!("{p}"), "age < 30");
+    }
+}

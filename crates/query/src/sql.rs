@@ -1,0 +1,718 @@
+//! A small SQL front end for conjunctive queries.
+//!
+//! The paper's SQUID interface translated visual queries to SQL for the
+//! DBMS; this module provides the inverse pair: [`parse_sql`] turns flat
+//! `SELECT ... FROM ... WHERE c1 AND c2 ...` text into a [`Query`], and
+//! [`to_sql`] renders a [`Query`] back to SQL. Only the conjunctive
+//! fragment the paper studies is supported: comma-separated FROM lists,
+//! `AND`-connected comparisons, equi-joins.
+
+use crate::graph::{Join, Query, QueryGraph, Selection};
+use crate::predicate::{CompareOp, Predicate};
+use specdb_storage::Value;
+use std::fmt;
+
+/// Resolves unqualified column names against the tables in scope.
+pub trait ColumnResolver {
+    /// Given the FROM-clause tables and a bare column name, return the
+    /// owning table, or `None` if the column is unknown or ambiguous.
+    fn resolve_column(&self, tables: &[String], column: &str) -> Option<String>;
+}
+
+/// A resolver that accepts only qualified names (useful in tests).
+pub struct NoResolver;
+
+impl ColumnResolver for NoResolver {
+    fn resolve_column(&self, _tables: &[String], _column: &str) -> Option<String> {
+        None
+    }
+}
+
+/// SQL parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Generic syntax problem with a human-readable description.
+    Syntax(String),
+    /// A bare column could not be resolved to a table.
+    UnknownColumn(String),
+    /// A qualified name referenced a table not in the FROM clause.
+    UnknownTable(String),
+    /// Join conditions must be equalities.
+    NonEquiJoin(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Syntax(m) => write!(f, "syntax error: {m}"),
+            ParseError::UnknownColumn(c) => write!(f, "cannot resolve column '{c}'"),
+            ParseError::UnknownTable(t) => write!(f, "table '{t}' not in FROM clause"),
+            ParseError::NonEquiJoin(c) => write!(f, "join condition must use '=': {c}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Symbol(String),
+    Star,
+    Comma,
+    Dot,
+    LParen,
+    RParen,
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
+    let mut out = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '*' => {
+                chars.next();
+                out.push(Token::Star);
+            }
+            ',' => {
+                chars.next();
+                out.push(Token::Comma);
+            }
+            '(' => {
+                chars.next();
+                out.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                out.push(Token::RParen);
+            }
+            '.' => {
+                chars.next();
+                out.push(Token::Dot);
+            }
+            '\'' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\'') => break,
+                        Some(ch) => s.push(ch),
+                        None => {
+                            return Err(ParseError::Syntax("unterminated string literal".into()))
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            '=' | '<' | '>' | '!' => {
+                chars.next();
+                let mut sym = c.to_string();
+                if let Some(&next) = chars.peek() {
+                    if matches!((c, next), ('<', '=') | ('>', '=') | ('<', '>') | ('!', '=')) {
+                        sym.push(next);
+                        chars.next();
+                    }
+                }
+                out.push(Token::Symbol(sym));
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                chars.next();
+                let mut num = c.to_string();
+                let mut is_float = false;
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        num.push(d);
+                        chars.next();
+                    } else if d == '.' && !is_float {
+                        // Lookahead: "1.5" is a float, "t.c" is not reachable
+                        // here since idents don't start with digits.
+                        is_float = true;
+                        num.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if is_float {
+                    out.push(Token::Float(num.parse().map_err(|_| {
+                        ParseError::Syntax(format!("bad float literal '{num}'"))
+                    })?));
+                } else {
+                    out.push(Token::Int(num.parse().map_err(|_| {
+                        ParseError::Syntax(format!("bad integer literal '{num}'"))
+                    })?));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' {
+                        ident.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Ident(ident));
+            }
+            other => return Err(ParseError::Syntax(format!("unexpected character '{other}'"))),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a, R: ColumnResolver> {
+    tokens: Vec<Token>,
+    pos: usize,
+    resolver: &'a R,
+    tables: Vec<String>,
+}
+
+#[derive(Debug)]
+enum Operand {
+    Column(Option<String>, String),
+    Literal(Value),
+}
+
+impl<'a, R: ColumnResolver> Parser<'a, R> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Token::Ident(w)) if w.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(ParseError::Syntax(format!("expected {kw}, found {other:?}"))),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(w)) if w.eq_ignore_ascii_case(kw))
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(w)) => Ok(w),
+            other => Err(ParseError::Syntax(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn resolve(&self, table: Option<String>, column: &str) -> Result<String, ParseError> {
+        match table {
+            Some(t) => {
+                if self.tables.contains(&t) {
+                    Ok(t)
+                } else {
+                    Err(ParseError::UnknownTable(t))
+                }
+            }
+            None => self
+                .resolver
+                .resolve_column(&self.tables, column)
+                .ok_or_else(|| ParseError::UnknownColumn(column.to_string())),
+        }
+    }
+
+    fn operand(&mut self) -> Result<Operand, ParseError> {
+        match self.next() {
+            Some(Token::Int(i)) => Ok(Operand::Literal(Value::Int(i))),
+            Some(Token::Float(f)) => Ok(Operand::Literal(Value::Float(f))),
+            Some(Token::Str(s)) => Ok(Operand::Literal(Value::Str(s))),
+            Some(Token::Ident(first)) => {
+                if matches!(self.peek(), Some(Token::Dot)) {
+                    self.next();
+                    let col = self.ident()?;
+                    Ok(Operand::Column(Some(first), col))
+                } else {
+                    Ok(Operand::Column(None, first))
+                }
+            }
+            other => Err(ParseError::Syntax(format!("expected operand, found {other:?}"))),
+        }
+    }
+
+    fn compare_op(&mut self) -> Result<CompareOp, ParseError> {
+        match self.next() {
+            Some(Token::Symbol(s)) => match s.as_str() {
+                "=" => Ok(CompareOp::Eq),
+                "<>" | "!=" => Ok(CompareOp::Ne),
+                "<" => Ok(CompareOp::Lt),
+                "<=" => Ok(CompareOp::Le),
+                ">" => Ok(CompareOp::Gt),
+                ">=" => Ok(CompareOp::Ge),
+                other => Err(ParseError::Syntax(format!("unknown operator '{other}'"))),
+            },
+            other => Err(ParseError::Syntax(format!("expected operator, found {other:?}"))),
+        }
+    }
+
+    fn parse(&mut self) -> Result<Query, ParseError> {
+        self.expect_keyword("SELECT")?;
+        // Select list: '*', column refs, or aggregate calls. Resolution
+        // is deferred until the FROM clause is known.
+        enum RawItem {
+            Col(Option<String>, String),
+            Agg(crate::aggregate::AggFunc, Option<(Option<String>, String)>),
+        }
+        let mut raw_items: Vec<RawItem> = Vec::new();
+        let star = if matches!(self.peek(), Some(Token::Star)) {
+            self.next();
+            true
+        } else {
+            loop {
+                match self.next() {
+                    Some(Token::Ident(first)) => {
+                        if matches!(self.peek(), Some(Token::LParen)) {
+                            // Aggregate call: func(*) or func(col).
+                            let func = crate::aggregate::AggFunc::parse(&first).ok_or_else(
+                                || ParseError::Syntax(format!("unknown function '{first}'")),
+                            )?;
+                            self.next(); // consume '('
+                            let arg = if matches!(self.peek(), Some(Token::Star)) {
+                                self.next();
+                                if func != crate::aggregate::AggFunc::Count {
+                                    return Err(ParseError::Syntax(format!(
+                                        "{}(*) is only valid for count",
+                                        func.sql()
+                                    )));
+                                }
+                                None
+                            } else {
+                                match self.operand()? {
+                                    Operand::Column(t, c) => Some((t, c)),
+                                    Operand::Literal(_) => {
+                                        return Err(ParseError::Syntax(
+                                            "literal aggregate argument".into(),
+                                        ))
+                                    }
+                                }
+                            };
+                            match self.next() {
+                                Some(Token::RParen) => {}
+                                other => {
+                                    return Err(ParseError::Syntax(format!(
+                                        "expected ')', found {other:?}"
+                                    )))
+                                }
+                            }
+                            raw_items.push(RawItem::Agg(func, arg));
+                        } else if matches!(self.peek(), Some(Token::Dot)) {
+                            self.next();
+                            let col = self.ident()?;
+                            raw_items.push(RawItem::Col(Some(first), col));
+                        } else {
+                            raw_items.push(RawItem::Col(None, first));
+                        }
+                    }
+                    other => {
+                        return Err(ParseError::Syntax(format!(
+                            "expected select item, found {other:?}"
+                        )))
+                    }
+                }
+                if matches!(self.peek(), Some(Token::Comma)) {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+            false
+        };
+        self.expect_keyword("FROM")?;
+        loop {
+            let table = self.ident()?;
+            self.tables.push(table);
+            if matches!(self.peek(), Some(Token::Comma)) {
+                self.next();
+            } else {
+                break;
+            }
+        }
+        let mut graph = QueryGraph::new();
+        for t in &self.tables {
+            graph.add_relation(t.clone());
+        }
+        if self.at_keyword("WHERE") {
+            self.next();
+            loop {
+                let lhs = self.operand()?;
+                let op = self.compare_op()?;
+                let rhs = self.operand()?;
+                match (lhs, rhs) {
+                    (Operand::Column(t, c), Operand::Literal(v)) => {
+                        let rel = self.resolve(t, &c)?;
+                        graph.add_selection(Selection::new(rel, Predicate { column: c, op, value: v }));
+                    }
+                    (Operand::Literal(v), Operand::Column(t, c)) => {
+                        let rel = self.resolve(t, &c)?;
+                        graph.add_selection(Selection::new(
+                            rel,
+                            Predicate { column: c, op: op.flipped(), value: v },
+                        ));
+                    }
+                    (Operand::Column(t1, c1), Operand::Column(t2, c2)) => {
+                        if op != CompareOp::Eq {
+                            return Err(ParseError::NonEquiJoin(format!("{c1} {op} {c2}")));
+                        }
+                        let r1 = self.resolve(t1, &c1)?;
+                        let r2 = self.resolve(t2, &c2)?;
+                        graph.add_join(Join::new(r1, c1, r2, c2));
+                    }
+                    (Operand::Literal(_), Operand::Literal(_)) => {
+                        return Err(ParseError::Syntax(
+                            "comparison between two literals".into(),
+                        ))
+                    }
+                }
+                if self.at_keyword("AND") {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        // Optional GROUP BY clause.
+        let mut group_by: Vec<(String, String)> = Vec::new();
+        if self.at_keyword("GROUP") {
+            self.next();
+            self.expect_keyword("BY")?;
+            loop {
+                match self.operand()? {
+                    Operand::Column(t, c) => {
+                        let rel = self.resolve(t, &c)?;
+                        group_by.push((rel, c));
+                    }
+                    Operand::Literal(_) => {
+                        return Err(ParseError::Syntax("literal in GROUP BY".into()))
+                    }
+                }
+                if matches!(self.peek(), Some(Token::Comma)) {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        if self.pos != self.tokens.len() {
+            return Err(ParseError::Syntax(format!(
+                "trailing tokens starting at {:?}",
+                self.peek()
+            )));
+        }
+        let has_agg = raw_items.iter().any(|i| matches!(i, RawItem::Agg(..)));
+        if has_agg || !group_by.is_empty() {
+            if star {
+                return Err(ParseError::Syntax("SELECT * cannot be aggregated".into()));
+            }
+            let mut aggs = Vec::new();
+            for item in raw_items {
+                match item {
+                    RawItem::Agg(func, arg) => {
+                        let arg = match arg {
+                            None => None,
+                            Some((t, c)) => {
+                                let rel = self.resolve(t, &c)?;
+                                Some((rel, c))
+                            }
+                        };
+                        aggs.push(crate::aggregate::Aggregate { func, arg });
+                    }
+                    RawItem::Col(t, c) => {
+                        // Plain columns in an aggregated SELECT must be
+                        // grouping keys.
+                        let rel = self.resolve(t, &c)?;
+                        if !group_by.contains(&(rel.clone(), c.clone())) {
+                            return Err(ParseError::Syntax(format!(
+                                "column {rel}.{c} must appear in GROUP BY"
+                            )));
+                        }
+                    }
+                }
+            }
+            let agg = crate::aggregate::AggSpec { group_by, aggs };
+            return Ok(Query { graph, projections: Vec::new(), agg: Some(agg) });
+        }
+        let projections = if star {
+            Vec::new()
+        } else {
+            raw_items
+                .into_iter()
+                .map(|item| match item {
+                    RawItem::Col(t, c) => Ok((self.resolve(t, &c)?, c)),
+                    RawItem::Agg(..) => unreachable!("handled above"),
+                })
+                .collect::<Result<Vec<_>, ParseError>>()?
+        };
+        Ok(Query { graph, projections, agg: None })
+    }
+}
+
+/// Parse a conjunctive SQL query, resolving bare columns via `resolver`.
+pub fn parse_sql<R: ColumnResolver>(resolver: &R, sql: &str) -> Result<Query, ParseError> {
+    let tokens = tokenize(sql)?;
+    Parser { tokens, pos: 0, resolver, tables: Vec::new() }.parse()
+}
+
+/// Render a query back to SQL text.
+pub fn to_sql(q: &Query) -> String {
+    let mut s = String::from("SELECT ");
+    if let Some(agg) = &q.agg {
+        let mut items: Vec<String> =
+            agg.group_by.iter().map(|(r, c)| format!("{r}.{c}")).collect();
+        items.extend(agg.aggs.iter().map(|a| format!("{a}")));
+        s.push_str(&items.join(", "));
+    } else if q.projections.is_empty() {
+        s.push('*');
+    } else {
+        for (i, (rel, col)) in q.projections.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("{rel}.{col}"));
+        }
+    }
+    s.push_str(" FROM ");
+    for (i, r) in q.graph.relations().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(r);
+    }
+    let mut conds: Vec<String> = Vec::new();
+    for j in q.graph.joins() {
+        conds.push(format!("{}.{} = {}.{}", j.left, j.lcol, j.right, j.rcol));
+    }
+    for sel in q.graph.selections() {
+        conds.push(format!("{}.{} {} {}", sel.rel, sel.pred.column, sel.pred.op, sel.pred.value));
+    }
+    if !conds.is_empty() {
+        s.push_str(" WHERE ");
+        s.push_str(&conds.join(" AND "));
+    }
+    if let Some(agg) = &q.agg {
+        if !agg.group_by.is_empty() {
+            s.push_str(" GROUP BY ");
+            let keys: Vec<String> =
+                agg.group_by.iter().map(|(r, c)| format!("{r}.{c}")).collect();
+            s.push_str(&keys.join(", "));
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// Resolver backed by a static table→columns map.
+    struct MapResolver(HashMap<&'static str, Vec<&'static str>>);
+
+    impl MapResolver {
+        fn tpchish() -> Self {
+            let mut m = HashMap::new();
+            m.insert("employee", vec!["name", "age", "salary"]);
+            m.insert("dept", vec!["dno", "dname"]);
+            m.insert("works", vec!["ename", "dno"]);
+            MapResolver(m)
+        }
+    }
+
+    impl ColumnResolver for MapResolver {
+        fn resolve_column(&self, tables: &[String], column: &str) -> Option<String> {
+            let mut found = None;
+            for t in tables {
+                if self.0.get(t.as_str())?.contains(&column) {
+                    if found.is_some() {
+                        return None; // ambiguous
+                    }
+                    found = Some(t.clone());
+                }
+            }
+            found
+        }
+    }
+
+    #[test]
+    fn parses_paper_intro_query() {
+        let q = parse_sql(&MapResolver::tpchish(), "SELECT name FROM employee WHERE age<30")
+            .unwrap();
+        assert_eq!(q.projections, vec![("employee".into(), "name".into())]);
+        assert_eq!(q.graph.selection_count(), 1);
+        let s = q.graph.selections().next().unwrap();
+        assert_eq!(s.pred, Predicate::new("age", CompareOp::Lt, 30i64));
+    }
+
+    #[test]
+    fn parses_join_query() {
+        let q = parse_sql(
+            &MapResolver::tpchish(),
+            "SELECT * FROM employee, works, dept \
+             WHERE employee.name = works.ename AND works.dno = dept.dno AND salary >= 5000",
+        )
+        .unwrap();
+        assert_eq!(q.graph.rel_count(), 3);
+        assert_eq!(q.graph.join_count(), 2);
+        assert_eq!(q.graph.selection_count(), 1);
+        assert!(q.projections.is_empty());
+    }
+
+    #[test]
+    fn flipped_literal_first() {
+        let q =
+            parse_sql(&MapResolver::tpchish(), "SELECT * FROM employee WHERE 30 > age").unwrap();
+        let s = q.graph.selections().next().unwrap();
+        assert_eq!(s.pred.op, CompareOp::Lt);
+        assert_eq!(s.pred.value, Value::Int(30));
+    }
+
+    #[test]
+    fn string_and_float_literals() {
+        let q = parse_sql(
+            &MapResolver::tpchish(),
+            "SELECT * FROM employee WHERE name = 'bob' AND salary > 1234.5",
+        )
+        .unwrap();
+        let sels: Vec<_> = q.graph.selections().collect();
+        assert_eq!(sels.len(), 2);
+        assert!(sels.iter().any(|s| s.pred.value == Value::Str("bob".into())));
+        assert!(sels.iter().any(|s| s.pred.value == Value::Float(1234.5)));
+    }
+
+    #[test]
+    fn round_trip_through_to_sql() {
+        let r = MapResolver::tpchish();
+        let sql = "SELECT employee.name FROM dept, employee, works \
+                   WHERE employee.name = works.ename AND employee.age < 30";
+        let q1 = parse_sql(&r, sql).unwrap();
+        let q2 = parse_sql(&r, &to_sql(&q1)).unwrap();
+        assert_eq!(q1, q2);
+    }
+
+    #[test]
+    fn error_cases() {
+        let r = MapResolver::tpchish();
+        assert!(matches!(
+            parse_sql(&r, "SELECT * FROM employee WHERE nosuch = 1"),
+            Err(ParseError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            parse_sql(&r, "SELECT * FROM employee WHERE phantom.age = 1"),
+            Err(ParseError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            parse_sql(&r, "SELECT * FROM employee, works WHERE employee.age < works.dno"),
+            Err(ParseError::NonEquiJoin(_))
+        ));
+        assert!(matches!(
+            parse_sql(&r, "SELECT * FROM employee WHERE name = 'unterminated"),
+            Err(ParseError::Syntax(_))
+        ));
+        assert!(parse_sql(&r, "SELEKT * FROM employee").is_err());
+        assert!(parse_sql(&r, "SELECT * FROM employee garbage").is_err());
+    }
+
+    #[test]
+    fn ambiguous_bare_column_rejected() {
+        let r = MapResolver::tpchish();
+        // `dno` exists in both dept and works.
+        assert!(matches!(
+            parse_sql(&r, "SELECT * FROM dept, works WHERE dno = 3"),
+            Err(ParseError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        let q = parse_sql(
+            &MapResolver::tpchish(),
+            "select name from employee where age < 30 and salary > 10",
+        )
+        .unwrap();
+        assert_eq!(q.graph.selection_count(), 2);
+    }
+
+    #[test]
+    fn parses_aggregates_and_group_by() {
+        let q = parse_sql(
+            &MapResolver::tpchish(),
+            "SELECT dname, count(*), avg(salary) FROM employee, works, dept \
+             WHERE employee.name = works.ename AND works.dno = dept.dno \
+             GROUP BY dname",
+        )
+        .unwrap();
+        let agg = q.agg.as_ref().expect("aggregate layer");
+        assert_eq!(agg.group_by, vec![("dept".to_string(), "dname".to_string())]);
+        assert_eq!(agg.aggs.len(), 2);
+        assert_eq!(agg.aggs[0], crate::aggregate::Aggregate::count_star());
+        assert_eq!(
+            agg.aggs[1],
+            crate::aggregate::Aggregate::over(crate::aggregate::AggFunc::Avg, "employee", "salary")
+        );
+        assert!(q.projections.is_empty());
+    }
+
+    #[test]
+    fn global_aggregate_without_group_by() {
+        let q = parse_sql(
+            &MapResolver::tpchish(),
+            "SELECT count(*), min(age), max(age) FROM employee WHERE salary > 100",
+        )
+        .unwrap();
+        let agg = q.agg.unwrap();
+        assert!(agg.group_by.is_empty());
+        assert_eq!(agg.aggs.len(), 3);
+    }
+
+    #[test]
+    fn aggregate_error_cases() {
+        let r = MapResolver::tpchish();
+        assert!(matches!(
+            parse_sql(&r, "SELECT sum(*) FROM employee"),
+            Err(ParseError::Syntax(_))
+        ));
+        assert!(matches!(
+            parse_sql(&r, "SELECT name, count(*) FROM employee"),
+            Err(ParseError::Syntax(_)) // name not in GROUP BY
+        ));
+        assert!(matches!(
+            parse_sql(&r, "SELECT median(age) FROM employee"),
+            Err(ParseError::Syntax(_))
+        ));
+        assert!(matches!(
+            parse_sql(&r, "SELECT * FROM employee GROUP BY age"),
+            Err(ParseError::Syntax(_))
+        ));
+    }
+
+    #[test]
+    fn aggregate_round_trip_through_to_sql() {
+        let r = MapResolver::tpchish();
+        let sql = "SELECT dept.dname, count(*) FROM dept, works \
+                   WHERE works.dno = dept.dno GROUP BY dept.dname";
+        let q1 = parse_sql(&r, sql).unwrap();
+        let q2 = parse_sql(&r, &to_sql(&q1)).unwrap();
+        assert_eq!(q1, q2);
+    }
+
+    #[test]
+    fn negative_numbers() {
+        let q = parse_sql(&MapResolver::tpchish(), "SELECT * FROM employee WHERE age > -5")
+            .unwrap();
+        assert_eq!(q.graph.selections().next().unwrap().pred.value, Value::Int(-5));
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! Discrete-event experiment harness.
+//!
+//! Reproduces the paper's methodology (Section 4): traces are replayed
+//! against the engine twice — once under normal processing, once under
+//! speculative processing — on a *virtual* clock, and speculation's
+//! effect is reported as percentage improvement per execution-time
+//! bucket.
+//!
+//! * [`dataset`] — dataset specifications (the paper's 100 MB / 500 MB /
+//!   1 GB configurations, with the scaled-clock substitution from
+//!   DESIGN.md) and the all-subset-join materialized-view baseline of
+//!   Figure 6,
+//! * [`replay`] — single-user replay: the speculator issues cancellable
+//!   asynchronous manipulations during recorded think time,
+//! * [`multi`] — multi-user replay: several traces share the engine and
+//!   a processor-sharing disk (Figure 7),
+//! * [`report`] — the improvement metric, bucketing, and table rendering.
+
+pub mod dataset;
+pub mod multi;
+pub mod replay;
+pub mod report;
+
+pub use dataset::{
+    build_base_db, build_base_db_spilling, materialize_all_subset_joins,
+    materialize_subset_joins_up_to, DatasetSpec,
+};
+pub use multi::{replay_multi, MultiOutcome};
+pub use replay::{replay_trace, ProfileKind, QueryMeasurement, ReplayConfig, ReplayOutcome};
+pub use report::{bucketize, improvement, Bucket, BucketRow, PairedRun};

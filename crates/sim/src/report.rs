@@ -1,0 +1,213 @@
+//! The improvement metric, bucketing, and table rendering.
+//!
+//! The paper (Section 4.1) reports
+//! `improvement = 1 − Σ time_spec / Σ time_normal` over a query set,
+//! grouped into buckets by *normal-processing* execution time, keeping
+//! only buckets with at least five queries "so that the computed metric
+//! is statistically robust".
+
+use crate::replay::QueryMeasurement;
+use specdb_storage::VirtualTime;
+
+/// A normal-vs-speculative pair of measurements for the same query.
+#[derive(Debug, Clone, Copy)]
+pub struct PairedRun {
+    /// Normal-processing execution time.
+    pub normal: VirtualTime,
+    /// Speculative-processing execution time.
+    pub spec: VirtualTime,
+}
+
+impl PairedRun {
+    /// Per-query improvement fraction (positive = speculation faster).
+    pub fn improvement(&self) -> f64 {
+        let n = self.normal.as_secs_f64();
+        if n <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.spec.as_secs_f64() / n
+    }
+}
+
+/// Pair up two replays of the same trace (index-aligned).
+pub fn pair_runs(normal: &[QueryMeasurement], spec: &[QueryMeasurement]) -> Vec<PairedRun> {
+    assert_eq!(normal.len(), spec.len(), "replays must cover the same queries");
+    normal
+        .iter()
+        .zip(spec)
+        .map(|(n, s)| {
+            debug_assert_eq!(n.index, s.index);
+            PairedRun { normal: n.elapsed, spec: s.elapsed }
+        })
+        .collect()
+}
+
+/// The aggregate improvement metric over a set of pairs.
+pub fn improvement(pairs: &[PairedRun]) -> f64 {
+    let normal: f64 = pairs.iter().map(|p| p.normal.as_secs_f64()).sum();
+    let spec: f64 = pairs.iter().map(|p| p.spec.as_secs_f64()).sum();
+    if normal <= 0.0 {
+        0.0
+    } else {
+        1.0 - spec / normal
+    }
+}
+
+/// An execution-time bucket `[lo, hi)` in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bucket {
+    /// Inclusive lower bound (seconds of normal execution time).
+    pub lo: f64,
+    /// Exclusive upper bound.
+    pub hi: f64,
+}
+
+/// One rendered row of a Figure-4/5-style chart.
+#[derive(Debug, Clone, Copy)]
+pub struct BucketRow {
+    /// The bucket.
+    pub bucket: Bucket,
+    /// Queries in the bucket.
+    pub count: usize,
+    /// Aggregate improvement (Figure 4's bar), percent.
+    pub improvement_pct: f64,
+    /// Best per-query improvement (Figure 5 "Max"), percent.
+    pub max_improvement_pct: f64,
+    /// Worst per-query improvement (Figure 5 "Min"), percent.
+    pub max_penalty_pct: f64,
+}
+
+/// Group pairs into fixed-width buckets of normal execution time over
+/// `[lo, hi)`, keeping buckets with at least `min_count` queries (the
+/// paper uses 5).
+pub fn bucketize(
+    pairs: &[PairedRun],
+    lo: f64,
+    hi: f64,
+    step: f64,
+    min_count: usize,
+) -> Vec<BucketRow> {
+    assert!(step > 0.0 && hi > lo);
+    let nbuckets = ((hi - lo) / step).ceil() as usize;
+    let mut groups: Vec<Vec<PairedRun>> = vec![Vec::new(); nbuckets];
+    for p in pairs {
+        let t = p.normal.as_secs_f64();
+        if t < lo || t >= hi {
+            continue;
+        }
+        let idx = ((t - lo) / step) as usize;
+        groups[idx.min(nbuckets - 1)].push(*p);
+    }
+    groups
+        .into_iter()
+        .enumerate()
+        .filter(|(_, g)| g.len() >= min_count)
+        .map(|(i, g)| {
+            let imps: Vec<f64> = g.iter().map(|p| p.improvement()).collect();
+            BucketRow {
+                bucket: Bucket { lo: lo + i as f64 * step, hi: lo + (i + 1) as f64 * step },
+                count: g.len(),
+                improvement_pct: improvement(&g) * 100.0,
+                max_improvement_pct: imps.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+                    * 100.0,
+                max_penalty_pct: imps.iter().copied().fold(f64::INFINITY, f64::min) * 100.0,
+            }
+        })
+        .collect()
+}
+
+/// Render bucket rows as the text equivalent of a paper figure panel.
+pub fn render_rows(title: &str, rows: &[BucketRow], extremes: bool) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    writeln!(s, "## {title}").unwrap();
+    if extremes {
+        writeln!(s, "{:>12} {:>7} {:>9} {:>9} {:>9}", "bucket(s)", "queries", "avg%", "max%", "min%")
+            .unwrap();
+    } else {
+        writeln!(s, "{:>12} {:>7} {:>12}", "bucket(s)", "queries", "improvement%").unwrap();
+    }
+    for r in rows {
+        if extremes {
+            writeln!(
+                s,
+                "{:>5.0}-{:<6.0} {:>7} {:>9.1} {:>9.1} {:>9.1}",
+                r.bucket.lo, r.bucket.hi, r.count, r.improvement_pct, r.max_improvement_pct,
+                r.max_penalty_pct
+            )
+            .unwrap();
+        } else {
+            writeln!(
+                s,
+                "{:>5.0}-{:<6.0} {:>7} {:>12.1}",
+                r.bucket.lo, r.bucket.hi, r.count, r.improvement_pct
+            )
+            .unwrap();
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(normal: f64, spec: f64) -> PairedRun {
+        PairedRun {
+            normal: VirtualTime::from_secs_f64(normal),
+            spec: VirtualTime::from_secs_f64(spec),
+        }
+    }
+
+    #[test]
+    fn improvement_metric_matches_paper_definition() {
+        let pairs = vec![pair(10.0, 5.0), pair(10.0, 10.0)];
+        // 1 - 15/20 = 0.25.
+        assert!((improvement(&pairs) - 0.25).abs() < 1e-9);
+        assert!((pairs[0].improvement() - 0.5).abs() < 1e-9);
+        // Negative improvement = penalty.
+        assert!(pair(10.0, 12.0).improvement() < 0.0);
+    }
+
+    #[test]
+    fn bucketize_groups_and_filters() {
+        let mut pairs = Vec::new();
+        for i in 0..10 {
+            pairs.push(pair(3.5, 3.0 - i as f64 * 0.01)); // bucket [3,4): 10 queries
+        }
+        pairs.push(pair(5.5, 5.0)); // bucket [5,6): only 1 → filtered
+        pairs.push(pair(99.0, 1.0)); // out of range
+        let rows = bucketize(&pairs, 3.0, 13.0, 1.0, 5);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].count, 10);
+        assert_eq!(rows[0].bucket, Bucket { lo: 3.0, hi: 4.0 });
+        assert!(rows[0].improvement_pct > 0.0);
+    }
+
+    #[test]
+    fn extremes_are_per_query() {
+        let pairs =
+            vec![pair(4.0, 0.2), pair(4.0, 4.0), pair(4.2, 6.0), pair(4.1, 4.0), pair(4.3, 4.1)];
+        let rows = bucketize(&pairs, 3.0, 13.0, 2.0, 5);
+        assert_eq!(rows.len(), 1);
+        let r = rows[0];
+        assert!(r.max_improvement_pct > 90.0);
+        assert!(r.max_penalty_pct < -40.0);
+        assert!(r.improvement_pct < r.max_improvement_pct);
+    }
+
+    #[test]
+    fn render_contains_rows() {
+        let pairs = vec![pair(3.5, 3.0); 6];
+        let rows = bucketize(&pairs, 3.0, 13.0, 1.0, 5);
+        let text = render_rows("100MB Dataset", &rows, true);
+        assert!(text.contains("100MB"));
+        assert!(text.contains("3-4"));
+    }
+
+    #[test]
+    fn zero_normal_time_guard() {
+        assert_eq!(pair(0.0, 1.0).improvement(), 0.0);
+        assert_eq!(improvement(&[]), 0.0);
+    }
+}

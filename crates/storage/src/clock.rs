@@ -1,0 +1,168 @@
+//! Virtual time.
+//!
+//! All experiment timing in this workspace is *virtual*: durations are
+//! derived from I/O and CPU counts by the [`crate::disk::DiskModel`], and
+//! the simulation layer advances a virtual clock with them. Virtual time
+//! is measured in microseconds and wrapped in a newtype so it cannot be
+//! confused with wall-clock time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A point in (or span of) virtual time, in microseconds.
+///
+/// `VirtualTime` is used both as an instant (microseconds since the start
+/// of a simulation) and as a duration; the arithmetic operators make the
+/// common combinations ergonomic.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct VirtualTime(pub u64);
+
+impl VirtualTime {
+    /// The zero instant.
+    pub const ZERO: VirtualTime = VirtualTime(0);
+
+    /// Construct from whole seconds.
+    pub fn from_secs(secs: u64) -> Self {
+        VirtualTime(secs * 1_000_000)
+    }
+
+    /// Construct from fractional seconds (rounded to the nearest microsecond).
+    pub fn from_secs_f64(secs: f64) -> Self {
+        VirtualTime((secs.max(0.0) * 1e6).round() as u64)
+    }
+
+    /// Construct from milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        VirtualTime(ms * 1_000)
+    }
+
+    /// Construct from microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        VirtualTime(us)
+    }
+
+    /// This time expressed in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// This time expressed in microseconds.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction: `self - other`, clamped at zero.
+    pub fn saturating_sub(self, other: VirtualTime) -> VirtualTime {
+        VirtualTime(self.0.saturating_sub(other.0))
+    }
+
+    /// True if this is the zero instant / empty duration.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for VirtualTime {
+    type Output = VirtualTime;
+    fn add(self, rhs: VirtualTime) -> VirtualTime {
+        VirtualTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for VirtualTime {
+    fn add_assign(&mut self, rhs: VirtualTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for VirtualTime {
+    type Output = VirtualTime;
+    fn sub(self, rhs: VirtualTime) -> VirtualTime {
+        VirtualTime(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for VirtualTime {
+    type Output = VirtualTime;
+    fn mul(self, rhs: u64) -> VirtualTime {
+        VirtualTime(self.0 * rhs)
+    }
+}
+
+impl Mul<f64> for VirtualTime {
+    type Output = VirtualTime;
+    fn mul(self, rhs: f64) -> VirtualTime {
+        VirtualTime((self.0 as f64 * rhs).round() as u64)
+    }
+}
+
+impl Div<u64> for VirtualTime {
+    type Output = VirtualTime;
+    fn div(self, rhs: u64) -> VirtualTime {
+        VirtualTime(self.0 / rhs)
+    }
+}
+
+impl Sum for VirtualTime {
+    fn sum<I: Iterator<Item = VirtualTime>>(iter: I) -> VirtualTime {
+        iter.fold(VirtualTime::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.as_secs_f64();
+        if s >= 1.0 {
+            write!(f, "{s:.2}s")
+        } else {
+            write!(f, "{:.1}ms", s * 1e3)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(VirtualTime::from_secs(3).as_micros(), 3_000_000);
+        assert_eq!(VirtualTime::from_millis(5).as_micros(), 5_000);
+        assert_eq!(VirtualTime::from_micros(7).as_micros(), 7);
+        assert!((VirtualTime::from_secs_f64(1.5).as_secs_f64() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = VirtualTime::from_secs(2);
+        let b = VirtualTime::from_secs(1);
+        assert_eq!(a + b, VirtualTime::from_secs(3));
+        assert_eq!(a - b, VirtualTime::from_secs(1));
+        assert_eq!(a * 3, VirtualTime::from_secs(6));
+        assert_eq!(a / 2, VirtualTime::from_secs(1));
+        assert_eq!(b.saturating_sub(a), VirtualTime::ZERO);
+        let total: VirtualTime = vec![a, b, b].into_iter().sum();
+        assert_eq!(total, VirtualTime::from_secs(4));
+    }
+
+    #[test]
+    fn negative_f64_clamps_to_zero() {
+        assert_eq!(VirtualTime::from_secs_f64(-2.0), VirtualTime::ZERO);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", VirtualTime::from_secs(2)), "2.00s");
+        assert_eq!(format!("{}", VirtualTime::from_millis(5)), "5.0ms");
+    }
+
+    #[test]
+    fn mul_f64_rounds() {
+        let t = VirtualTime::from_micros(10);
+        assert_eq!(t * 1.25, VirtualTime::from_micros(13)); // 12.5 rounds to 13
+    }
+}

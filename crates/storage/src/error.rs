@@ -1,0 +1,50 @@
+//! Error types for the storage layer.
+
+use std::fmt;
+
+/// Errors raised by the storage substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A page id referenced a page that does not exist on the virtual disk.
+    PageNotFound(crate::page::PageId),
+    /// A tuple id referenced a slot that does not exist or was deleted.
+    TupleNotFound(crate::heap::TupleId),
+    /// A tuple was too large to fit in a single page.
+    TupleTooLarge {
+        /// Encoded tuple size in bytes.
+        size: usize,
+        /// Maximum payload a page accepts.
+        max: usize,
+    },
+    /// The buffer pool could not evict any frame (all pinned).
+    PoolExhausted {
+        /// Pool capacity in frames.
+        capacity: usize,
+    },
+    /// A tuple could not be decoded from its page bytes.
+    Corrupt(String),
+    /// Execution was cancelled via a cancellation token.
+    Cancelled,
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::PageNotFound(pid) => write!(f, "page not found: {pid:?}"),
+            StorageError::TupleNotFound(tid) => write!(f, "tuple not found: {tid:?}"),
+            StorageError::TupleTooLarge { size, max } => {
+                write!(f, "tuple of {size} bytes exceeds page capacity {max}")
+            }
+            StorageError::PoolExhausted { capacity } => {
+                write!(f, "buffer pool exhausted: all {capacity} frames pinned")
+            }
+            StorageError::Corrupt(msg) => write!(f, "corrupt page data: {msg}"),
+            StorageError::Cancelled => write!(f, "execution cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Convenient result alias for storage operations.
+pub type StorageResult<T> = Result<T, StorageError>;

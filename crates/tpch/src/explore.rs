@@ -1,0 +1,192 @@
+//! The exploration domain: what users filter and join on.
+//!
+//! The paper's subjects answered abstract questions ("find three
+//! suppliers that are expensive ...") by composing selections on skewed
+//! fields and foreign-key joins. This module captures that vocabulary:
+//! selection *templates* (column, usable operators, constant domain) and
+//! the FK join edges — the raw material the trace generator's user model
+//! samples from.
+
+use crate::gen::{BRANDS, NATIONS, SEGMENTS};
+use crate::schema::fk_joins;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use specdb_query::{CompareOp, Join, Predicate, Selection};
+use specdb_storage::Value;
+
+/// The constant domain of a selection template.
+#[derive(Debug, Clone)]
+pub enum Domain {
+    /// Integers in `[lo, hi]`.
+    IntRange(i64, i64),
+    /// Floats in `[lo, hi]`.
+    FloatRange(f64, f64),
+    /// One of a fixed set of strings.
+    Choice(Vec<&'static str>),
+}
+
+/// A column users are likely to filter on, with plausible predicates.
+#[derive(Debug, Clone)]
+pub struct SelectionTemplate {
+    /// Table name.
+    pub table: &'static str,
+    /// Column name.
+    pub column: &'static str,
+    /// Operators users apply to it.
+    pub ops: Vec<CompareOp>,
+    /// Constant domain.
+    pub domain: Domain,
+}
+
+impl SelectionTemplate {
+    /// Sample a concrete selection from this template.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Selection {
+        let op = *self.ops.choose(rng).expect("template has operators");
+        let value = match &self.domain {
+            Domain::IntRange(lo, hi) => Value::Int(rng.gen_range(*lo..=*hi)),
+            // Constants users would actually type: two decimal places.
+            // (Also keeps trace JSON round-trips byte-exact.)
+            Domain::FloatRange(lo, hi) => {
+                Value::Float((rng.gen_range(*lo..=*hi) * 100.0).round() / 100.0)
+            }
+            Domain::Choice(opts) => Value::Str(opts.choose(rng).unwrap().to_string()),
+        };
+        Selection::new(self.table, Predicate { column: self.column.into(), op, value })
+    }
+}
+
+/// The full exploration vocabulary for the TPC-H subset.
+#[derive(Debug, Clone)]
+pub struct ExploreDomain {
+    /// Selection templates.
+    pub selections: Vec<SelectionTemplate>,
+    /// FK join edges.
+    pub joins: Vec<Join>,
+}
+
+impl ExploreDomain {
+    /// The TPC-H subset domain used by all experiments.
+    pub fn tpch() -> Self {
+        use CompareOp::*;
+        let t = |table, column, ops: &[CompareOp], domain| SelectionTemplate {
+            table,
+            column,
+            ops: ops.to_vec(),
+            domain,
+        };
+        ExploreDomain {
+            selections: vec![
+                t("customer", "c_nation", &[Eq], Domain::Choice(NATIONS.to_vec())),
+                t("customer", "c_mktsegment", &[Eq], Domain::Choice(SEGMENTS.to_vec())),
+                t("customer", "c_acctbal", &[Gt, Lt], Domain::FloatRange(-999.0, 10_000.0)),
+                t("part", "p_size", &[Eq, Lt, Gt], Domain::IntRange(1, 50)),
+                t("part", "p_brand", &[Eq], Domain::Choice(BRANDS.to_vec())),
+                t("part", "p_retailprice", &[Gt, Lt], Domain::FloatRange(900.0, 2000.0)),
+                t("supplier", "s_nation", &[Eq], Domain::Choice(NATIONS.to_vec())),
+                t("supplier", "s_acctbal", &[Gt, Lt], Domain::FloatRange(-999.0, 10_000.0)),
+                t("partsupp", "ps_availqty", &[Gt, Lt], Domain::IntRange(1, 5000)),
+                t("partsupp", "ps_supplycost", &[Gt, Lt], Domain::FloatRange(1.0, 1000.0)),
+                t("orders", "o_orderdate", &[Gt, Lt, Ge, Le], Domain::IntRange(7600, 10_000)),
+                t("orders", "o_orderpriority", &[Eq, Le], Domain::IntRange(1, 5)),
+                t("orders", "o_totalprice", &[Gt, Lt], Domain::FloatRange(850.0, 500_850.0)),
+                t("lineitem", "l_quantity", &[Eq, Lt, Gt, Le], Domain::IntRange(1, 50)),
+                t("lineitem", "l_discount", &[Ge, Eq], Domain::IntRange(0, 10)),
+                t("lineitem", "l_shipdate", &[Gt, Lt], Domain::IntRange(7600, 10_000)),
+                t("lineitem", "l_extendedprice", &[Gt], Domain::FloatRange(900.0, 100_900.0)),
+            ],
+            joins: fk_joins(),
+        }
+    }
+
+    /// Templates applicable to one table.
+    pub fn templates_for(&self, table: &str) -> Vec<&SelectionTemplate> {
+        self.selections.iter().filter(|t| t.table == table).collect()
+    }
+
+    /// Sample a selection on a specific table (None if no templates).
+    pub fn sample_selection_on<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        table: &str,
+    ) -> Option<Selection> {
+        let opts = self.templates_for(table);
+        opts.choose(rng).map(|t| t.sample(rng))
+    }
+
+    /// Sample any selection.
+    pub fn sample_selection<R: Rng + ?Sized>(&self, rng: &mut R) -> Selection {
+        self.selections.choose(rng).expect("domain has templates").sample(rng)
+    }
+
+    /// Join edges touching a given set of relations on exactly one side —
+    /// the ways a user can grow the current query graph by one table.
+    pub fn expanding_joins(&self, present: &[&str]) -> Vec<&Join> {
+        self.joins
+            .iter()
+            .filter(|j| {
+                let l = present.contains(&j.left.as_str());
+                let r = present.contains(&j.right.as_str());
+                l != r
+            })
+            .collect()
+    }
+
+    /// All tables mentioned anywhere in the domain.
+    pub fn tables(&self) -> Vec<&'static str> {
+        crate::schema::TPCH_TABLES.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_valid_selections() {
+        let d = ExploreDomain::tpch();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = d.sample_selection(&mut rng);
+            assert!(d.tables().contains(&s.rel.as_str()), "table {}", s.rel);
+            assert!(!s.pred.value.is_null());
+        }
+    }
+
+    #[test]
+    fn per_table_sampling() {
+        let d = ExploreDomain::tpch();
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = d.sample_selection_on(&mut rng, "orders").unwrap();
+        assert_eq!(s.rel, "orders");
+        assert!(d.sample_selection_on(&mut rng, "nonexistent").is_none());
+    }
+
+    #[test]
+    fn expanding_joins_grow_graph() {
+        let d = ExploreDomain::tpch();
+        let from_orders = d.expanding_joins(&["orders"]);
+        assert_eq!(from_orders.len(), 2, "orders joins customer and lineitem");
+        let from_two = d.expanding_joins(&["orders", "customer"]);
+        assert_eq!(from_two.len(), 1, "only lineitem expands now");
+        // A join fully inside the set does not expand it.
+        let all: Vec<&str> = d.tables();
+        assert!(d.expanding_joins(&all).is_empty());
+    }
+
+    #[test]
+    fn sampled_constants_in_domain() {
+        let d = ExploreDomain::tpch();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let s = d.sample_selection_on(&mut rng, "part").unwrap();
+            if s.pred.column == "p_size" {
+                match &s.pred.value {
+                    specdb_storage::Value::Int(v) => assert!((1..=50).contains(v)),
+                    other => panic!("p_size must be int, got {other:?}"),
+                }
+            }
+        }
+    }
+}

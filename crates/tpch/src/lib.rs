@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+//! Skewed TPC-H subset dataset generator.
+//!
+//! The paper's evaluation (Section 4.2) used "a subset of the schema of
+//! the TPC-H benchmark ... six tables (orders, customer, lineitem,
+//! partsupp, supplier, part) mutually connected through various foreign
+//! keys ... populated with data of varying size ... and of high skew in
+//! fields that were likely to appear in selections in user queries".
+//!
+//! * [`schema`] — the six-table schema and its foreign-key join graph,
+//! * [`zipf`] — a seedable Zipf sampler (kept in-repo so the workspace
+//!   needs only the pre-approved `rand` crate),
+//! * [`gen`] — the deterministic, scale-configurable generator,
+//! * [`explore`] — the exploration domain: which columns users filter
+//!   on, with plausible constants — consumed by the trace generator.
+
+pub mod explore;
+pub mod gen;
+pub mod schema;
+pub mod zipf;
+
+pub use explore::ExploreDomain;
+pub use gen::{generate_into, TpchConfig};
+pub use schema::{fk_joins, table_schemas, TPCH_TABLES};
+pub use zipf::Zipf;

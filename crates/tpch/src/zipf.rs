@@ -1,0 +1,118 @@
+//! Seedable Zipf sampler.
+//!
+//! Samples ranks `0..n` with probability proportional to
+//! `1 / (rank + 1)^s`. Implemented with a precomputed CDF and binary
+//! search: construction is `O(n)`, sampling `O(log n)`. Implemented
+//! in-repo (rather than pulling `rand_distr`) to stay within the
+//! workspace's approved dependency set — see DESIGN.md.
+
+use rand::Rng;
+
+/// A Zipf(n, s) distribution over ranks `0..n`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` ranks with exponent `s` (s = 0 is
+    /// uniform; the paper-style "high skew" uses s ≈ 1).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Sample a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability mass of one rank.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank >= self.cdf.len() {
+            return 0.0;
+        }
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = Zipf::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn skewed_head_dominates() {
+        let z = Zipf::new(100, 1.0);
+        assert!(z.pmf(0) > 10.0 * z.pmf(50));
+        let total: f64 = (0..100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_matches_pmf_roughly() {
+        let z = Zipf::new(20, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0u32; 20];
+        const N: u32 = 50_000;
+        for _ in 0..N {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (k, &count) in counts.iter().enumerate() {
+            let observed = count as f64 / N as f64;
+            let expected = z.pmf(k);
+            assert!(
+                (observed - expected).abs() < 0.02,
+                "rank {k}: observed {observed:.3}, expected {expected:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let z = Zipf::new(50, 1.2);
+        let a: Vec<usize> =
+            (0..100).scan(StdRng::seed_from_u64(42), |r, _| Some(z.sample(r))).collect();
+        let b: Vec<usize> =
+            (0..100).scan(StdRng::seed_from_u64(42), |r, _| Some(z.sample(r))).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        Zipf::new(0, 1.0);
+    }
+}

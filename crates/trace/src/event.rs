@@ -1,0 +1,142 @@
+//! Timed edit streams and replay helpers.
+
+use serde::{Deserialize, Serialize};
+use specdb_query::{EditOp, PartialQuery, Query};
+use specdb_storage::VirtualTime;
+
+/// One user action with its virtual timestamp.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimedEdit {
+    /// When the action happened (virtual time since trace start).
+    pub at: VirtualTime,
+    /// The action.
+    pub op: EditOp,
+}
+
+/// A recorded (or generated) user trace: a timed stream of edits in
+/// which every query formulation ends with a GO event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// User label.
+    pub user: String,
+    /// Generator seed (0 for recorded traces).
+    pub seed: u64,
+    /// The timed edit stream.
+    pub edits: Vec<TimedEdit>,
+}
+
+/// A view of one query formulation within a trace: the edits leading up
+/// to (and including) a GO event.
+#[derive(Debug, Clone)]
+pub struct FormulationView<'a> {
+    /// Edits of this formulation; the last one is the GO.
+    pub edits: &'a [TimedEdit],
+    /// The final query submitted at GO.
+    pub final_query: Query,
+    /// When formulation started (first edit).
+    pub start: VirtualTime,
+    /// When GO was pressed.
+    pub go_at: VirtualTime,
+}
+
+impl FormulationView<'_> {
+    /// Total formulation duration (the user's think time for this query).
+    pub fn duration(&self) -> VirtualTime {
+        self.go_at.saturating_sub(self.start)
+    }
+}
+
+impl Trace {
+    /// Split the trace into per-query formulations, replaying the edit
+    /// stream to recover each final query. Edits after the last GO (an
+    /// abandoned formulation) are ignored.
+    pub fn formulations(&self) -> Vec<FormulationView<'_>> {
+        let mut out = Vec::new();
+        let mut pq = PartialQuery::new();
+        let mut start_idx = 0;
+        for (i, te) in self.edits.iter().enumerate() {
+            let is_go = pq.apply(&te.op);
+            if is_go {
+                let edits = &self.edits[start_idx..=i];
+                out.push(FormulationView {
+                    edits,
+                    final_query: pq.query().clone(),
+                    start: edits.first().expect("formulation has edits").at,
+                    go_at: te.at,
+                });
+                start_idx = i + 1;
+            }
+        }
+        out
+    }
+
+    /// Number of completed queries (GO events).
+    pub fn query_count(&self) -> usize {
+        self.edits.iter().filter(|e| e.op.is_go()).count()
+    }
+
+    /// Total trace duration.
+    pub fn duration(&self) -> VirtualTime {
+        self.edits.last().map(|e| e.at).unwrap_or(VirtualTime::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specdb_query::{CompareOp, Predicate, Selection};
+
+    fn sel(v: i64) -> Selection {
+        Selection::new("t", Predicate::new("c", CompareOp::Lt, v))
+    }
+
+    fn trace() -> Trace {
+        let s = |secs: u64, op: EditOp| TimedEdit { at: VirtualTime::from_secs(secs), op };
+        Trace {
+            user: "u0".into(),
+            seed: 1,
+            edits: vec![
+                s(0, EditOp::AddRelation("t".into())),
+                s(5, EditOp::AddSelection(sel(10))),
+                s(12, EditOp::Go),
+                s(20, EditOp::AddSelection(sel(20))),
+                s(21, EditOp::RemoveSelection(sel(10))),
+                s(33, EditOp::Go),
+                // Abandoned tail (no GO).
+                s(40, EditOp::AddSelection(sel(99))),
+            ],
+        }
+    }
+
+    #[test]
+    fn formulations_split_on_go() {
+        let t = trace();
+        let fs = t.formulations();
+        assert_eq!(fs.len(), 2);
+        assert_eq!(t.query_count(), 2);
+        assert_eq!(fs[0].final_query.graph.selection_count(), 1);
+        assert_eq!(fs[0].duration(), VirtualTime::from_secs(12));
+        // Second formulation carries state: 20-selection replaces 10.
+        let sels: Vec<_> = fs[1].final_query.graph.selections().collect();
+        assert_eq!(sels.len(), 1);
+        assert_eq!(sels[0].pred.value, specdb_storage::Value::Int(20));
+        assert_eq!(fs[1].duration(), VirtualTime::from_secs(13));
+    }
+
+    #[test]
+    fn abandoned_tail_ignored() {
+        let t = trace();
+        let fs = t.formulations();
+        assert!(fs
+            .iter()
+            .all(|f| f.final_query.graph.selections().all(|s| s.pred.value
+                != specdb_storage::Value::Int(99))));
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace { user: "u".into(), seed: 0, edits: vec![] };
+        assert!(t.formulations().is_empty());
+        assert_eq!(t.duration(), VirtualTime::ZERO);
+    }
+}

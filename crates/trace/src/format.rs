@@ -1,0 +1,103 @@
+//! Trace file (de)serialization.
+//!
+//! The paper's modified SQUID interface "recorded the timing and actions
+//! of each user in a separate trace file, which was then used to replay
+//! the user session on demand". Traces here serialize to JSON — one
+//! object per trace — so generated cohorts can be saved, inspected, and
+//! replayed byte-identically.
+
+use crate::event::Trace;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Errors from trace file I/O.
+#[derive(Debug)]
+pub enum TraceFileError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// Malformed JSON.
+    Json(serde_json::Error),
+}
+
+impl std::fmt::Display for TraceFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceFileError::Io(e) => write!(f, "trace file I/O: {e}"),
+            TraceFileError::Json(e) => write!(f, "trace file JSON: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceFileError {}
+
+impl From<std::io::Error> for TraceFileError {
+    fn from(e: std::io::Error) -> Self {
+        TraceFileError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for TraceFileError {
+    fn from(e: serde_json::Error) -> Self {
+        TraceFileError::Json(e)
+    }
+}
+
+/// Serialize traces to a writer as pretty JSON.
+pub fn write_traces<W: Write>(w: W, traces: &[Trace]) -> Result<(), TraceFileError> {
+    serde_json::to_writer_pretty(w, traces)?;
+    Ok(())
+}
+
+/// Deserialize traces from a reader.
+pub fn read_traces<R: Read>(r: R) -> Result<Vec<Trace>, TraceFileError> {
+    Ok(serde_json::from_reader(r)?)
+}
+
+/// Save traces to a file path.
+pub fn save(path: impl AsRef<Path>, traces: &[Trace]) -> Result<(), TraceFileError> {
+    let f = std::fs::File::create(path)?;
+    write_traces(std::io::BufWriter::new(f), traces)
+}
+
+/// Load traces from a file path.
+pub fn load(path: impl AsRef<Path>) -> Result<Vec<Trace>, TraceFileError> {
+    let f = std::fs::File::open(path)?;
+    read_traces(std::io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::UserModel;
+
+    #[test]
+    fn json_round_trip() {
+        let traces = UserModel::default().generate_cohort(2, 77);
+        let mut buf = Vec::new();
+        write_traces(&mut buf, &traces).unwrap();
+        let restored = read_traces(&buf[..]).unwrap();
+        assert_eq!(traces, restored);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let traces = UserModel::default().generate_cohort(1, 3);
+        let dir = std::env::temp_dir().join("specdb-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.json");
+        save(&path, &traces).unwrap();
+        let restored = load(&path).unwrap();
+        assert_eq!(traces, restored);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_json_errors() {
+        assert!(matches!(read_traces(&b"{nope"[..]), Err(TraceFileError::Json(_))));
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        assert!(matches!(load("/nonexistent/specdb/file.json"), Err(TraceFileError::Io(_))));
+    }
+}

@@ -1,0 +1,428 @@
+//! The calibrated stochastic user model.
+//!
+//! Reproduces the *statistical* shape of the paper's fifteen human
+//! traces (Section 5):
+//!
+//! * ~42 SQL queries per trace, issued while answering 5 exploration
+//!   questions (each question starts a fresh line of investigation),
+//! * 1–2 selection predicates and ~4 relations per query,
+//! * a placed selection persists ~3 consecutive queries, a join ~10,
+//! * think-time per formulation: min/avg/max ≈ 1/28/680 s with quartiles
+//!   4/11/29 s — matched with a clamped log-normal,
+//! * occasional *recanted* edits (parts added then removed before GO) —
+//!   the uncertainty that makes the Learner's survival estimates matter.
+//!
+//! Everything is deterministic given the seed.
+
+use crate::event::{TimedEdit, Trace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use specdb_query::{EditOp, QueryGraph};
+use specdb_storage::VirtualTime;
+use specdb_tpch::ExploreDomain;
+
+/// User-model parameters (defaults match the paper's Section 5 stats).
+#[derive(Debug, Clone)]
+pub struct UserModelConfig {
+    /// Queries per trace.
+    pub queries: usize,
+    /// Exploration questions per trace (fresh start at each boundary).
+    pub questions: usize,
+    /// Mean target relations per query.
+    pub target_relations: f64,
+    /// Probability a query has two selections instead of one.
+    pub p_second_selection: f64,
+    /// Probability of a recanted (added-then-removed) selection per query.
+    pub p_recant: f64,
+    /// Per-query probability an existing selection stays unmodified
+    /// (0.75, empirically calibrated so the measured mean persistence
+    /// lands at the paper's ~3 consecutive queries once question
+    /// boundaries and canvas pruning are accounted for).
+    pub sel_keep: f64,
+    /// Per-query survival probability of an existing join (0.9,
+    /// calibrated to the paper's ~10-query join persistence).
+    pub join_keep: f64,
+    /// Median formulation duration, seconds (paper: 11).
+    pub think_median_secs: f64,
+    /// Log-normal sigma (1.44 reproduces the 4/11/29 quartiles).
+    pub think_sigma: f64,
+    /// Clamp bounds for formulation duration, seconds (paper: 1 and 680).
+    pub think_min_secs: f64,
+    /// Upper clamp.
+    pub think_max_secs: f64,
+}
+
+impl Default for UserModelConfig {
+    fn default() -> Self {
+        UserModelConfig {
+            queries: 42,
+            questions: 5,
+            target_relations: 4.0,
+            p_second_selection: 0.5,
+            p_recant: 0.18,
+            sel_keep: 0.75,
+            join_keep: 0.9,
+            think_median_secs: 11.0,
+            think_sigma: 1.44,
+            think_min_secs: 1.0,
+            think_max_secs: 680.0,
+        }
+    }
+}
+
+/// The user model: generates traces over an exploration domain.
+#[derive(Debug, Clone)]
+pub struct UserModel {
+    config: UserModelConfig,
+    domain: ExploreDomain,
+}
+
+impl Default for UserModel {
+    fn default() -> Self {
+        UserModel { config: UserModelConfig::default(), domain: ExploreDomain::tpch() }
+    }
+}
+
+impl UserModel {
+    /// Model with explicit parameters.
+    pub fn new(config: UserModelConfig, domain: ExploreDomain) -> Self {
+        UserModel { config, domain }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &UserModelConfig {
+        &self.config
+    }
+
+    /// Generate one user trace.
+    pub fn generate(&self, user: &str, seed: u64) -> Trace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = &self.config;
+        let mut edits: Vec<TimedEdit> = Vec::new();
+        let mut graph = QueryGraph::new();
+        let mut clock = VirtualTime::ZERO;
+        let per_question = cfg.queries.div_ceil(cfg.questions).max(1);
+        for q in 0..cfg.queries {
+            let mut ops: Vec<EditOp> = Vec::new();
+            // Question boundary: clear the canvas.
+            if q % per_question == 0 && !graph.is_empty() {
+                for rel in graph.relations().map(str::to_string).collect::<Vec<_>>() {
+                    ops.push(EditOp::RemoveRelation(rel));
+                }
+                graph = QueryGraph::new();
+            }
+            // Churn phase: each existing selection stays unmodified with
+            // probability `sel_keep`; otherwise the user either tweaks
+            // its constant (an UpdateSelection — the common case in the
+            // paper, whose persistence metric counts "unmodified"
+            // stretches) or drops it entirely.
+            for s in graph.selections().cloned().collect::<Vec<_>>() {
+                if rng.gen_bool(cfg.sel_keep) {
+                    continue;
+                }
+                let tweak = rng.gen_bool(0.6);
+                if tweak {
+                    if let Some(new) = self.domain.sample_selection_on(&mut rng, &s.rel) {
+                        if !graph.selections().any(|e| e == &new) {
+                            graph.remove_selection(&s);
+                            graph.add_selection(new.clone());
+                            ops.push(EditOp::UpdateSelection { old: s, new });
+                            continue;
+                        }
+                    }
+                }
+                ops.push(EditOp::RemoveSelection(s.clone()));
+                graph.remove_selection(&s);
+            }
+            // Joins age out at the *frontier*: the user detaches a leaf
+            // relation (degree 1, preferably one they have no predicate
+            // on) rather than cutting the graph in half — keeping the
+            // canvas connected, as real exploration does.
+            for j in graph.joins().cloned().collect::<Vec<_>>() {
+                if !graph.joins().any(|g| g == &j) {
+                    continue; // already gone via an earlier leaf removal
+                }
+                if rng.gen_bool(cfg.join_keep) {
+                    continue;
+                }
+                let degree = |rel: &str| graph.joins_on(rel).count();
+                let has_sel = |rel: &str| graph.selections_on(rel).next().is_some();
+                // Only detach leaves the user has no predicate on — a
+                // relation they are actively filtering stays on canvas.
+                let leaf = [j.left.as_str(), j.right.as_str()]
+                    .into_iter()
+                    .find(|r| degree(r) == 1 && !has_sel(r));
+                if let Some(leaf) = leaf.map(str::to_string) {
+                    if graph.rel_count() > 1 {
+                        ops.push(EditOp::RemoveRelation(leaf.clone()));
+                        graph.remove_relation(&leaf);
+                    }
+                }
+            }
+            // Growth phase: reach the target relation count via FK joins.
+            let desired_rels = {
+                let jitter: f64 = rng.gen_range(-1.2..1.2);
+                (cfg.target_relations + jitter).round().clamp(1.0, 6.0) as usize
+            };
+            if graph.is_empty() {
+                let tables = self.domain.tables();
+                let seed_table = tables[rng.gen_range(0..tables.len())];
+                ops.push(EditOp::AddRelation(seed_table.to_string()));
+                graph.add_relation(seed_table);
+            }
+            // Grow joins and selections *interleaved*, the way real users
+            // work (paper Figure 1 places a predicate before the GO, and
+            // exploration mixes drawing join edges with filtering). The
+            // interleaving matters downstream: a join materialization
+            // issued while the user's selective predicates are already on
+            // the canvas includes them (small, useful view); one issued
+            // before any predicate exists materializes a huge raw join.
+            let desired_sels = 1 + usize::from(rng.gen_bool(cfg.p_second_selection));
+            let mut guard = 0;
+            loop {
+                guard += 1;
+                if guard > 40 {
+                    break;
+                }
+                let want_join = graph.rel_count() < desired_rels;
+                let want_sel = graph.selection_count() < desired_sels;
+                if !want_join && !want_sel {
+                    break;
+                }
+                let do_join = want_join && (!want_sel || rng.gen_bool(0.5));
+                if do_join {
+                    let present: Vec<&str> = graph.relations().collect();
+                    let expanding = self.domain.expanding_joins(&present);
+                    if expanding.is_empty() {
+                        if !want_sel {
+                            break;
+                        }
+                        continue;
+                    }
+                    let join = expanding[rng.gen_range(0..expanding.len())].clone();
+                    let new_rel = if present.contains(&join.left.as_str()) {
+                        &join.right
+                    } else {
+                        &join.left
+                    };
+                    ops.push(EditOp::AddRelation(new_rel.clone()));
+                    ops.push(EditOp::AddJoin(join.clone()));
+                    graph.add_join(join);
+                } else {
+                    let present: Vec<String> =
+                        graph.relations().map(str::to_string).collect();
+                    let table = &present[rng.gen_range(0..present.len())];
+                    if let Some(s) = self.domain.sample_selection_on(&mut rng, table) {
+                        if graph.selections().any(|e| e == &s) {
+                            continue;
+                        }
+                        ops.push(EditOp::AddSelection(s.clone()));
+                        graph.add_selection(s);
+                    }
+                }
+            }
+            // Recant phase: a tentative predicate the user thinks better of.
+            if rng.gen_bool(cfg.p_recant) {
+                let present: Vec<String> =
+                    graph.relations().map(str::to_string).collect();
+                let table = &present[rng.gen_range(0..present.len())];
+                if let Some(s) = self.domain.sample_selection_on(&mut rng, table) {
+                    if !graph.selections().any(|e| e == &s) {
+                        ops.push(EditOp::AddSelection(s.clone()));
+                        ops.push(EditOp::RemoveSelection(s));
+                    }
+                }
+            }
+            // A formulation always contains at least one visible action
+            // (the paper measures formulations from "the first
+            // modification of the visual query"). When the random walk
+            // left the query untouched, the user re-examines the canvas —
+            // modelled as re-placing an existing relation, which changes
+            // nothing semantically (re-running the previous query is a
+            // real and common exploration step).
+            if ops.is_empty() {
+                let rel = graph.relations().next().expect("graph nonempty").to_string();
+                ops.push(EditOp::AddRelation(rel));
+            }
+            // Timing: formulation runs from the first edit to GO (the
+            // paper's definition), lasting a log-normal total split into
+            // think gaps between the edits.
+            let total_secs = self.sample_think(&mut rng);
+            let n = ops.len().max(1);
+            let mut weights: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..1.5)).collect();
+            let wsum: f64 = weights.iter().sum();
+            for w in &mut weights {
+                *w = *w / wsum * total_secs;
+            }
+            let fstart = clock;
+            let mut offset = 0.0;
+            for (i, op) in ops.into_iter().enumerate() {
+                edits.push(TimedEdit { at: fstart + VirtualTime::from_secs_f64(offset), op });
+                offset += weights[i];
+            }
+            // GO lands exactly at first-edit + total.
+            clock = fstart + VirtualTime::from_secs_f64(total_secs);
+            edits.push(TimedEdit { at: clock, op: EditOp::Go });
+            // Inter-query gap: the user looks at results before resuming.
+            clock += VirtualTime::from_secs_f64(rng.gen_range(2.0..10.0));
+        }
+        Trace { user: user.to_string(), seed, edits }
+    }
+
+    /// Generate the paper's cohort: `n` users with derived seeds.
+    pub fn generate_cohort(&self, n: usize, base_seed: u64) -> Vec<Trace> {
+        (0..n)
+            .map(|i| self.generate(&format!("user{i:02}"), base_seed.wrapping_add(i as u64 * 7919)))
+            .collect()
+    }
+
+    fn sample_think(&self, rng: &mut StdRng) -> f64 {
+        let cfg = &self.config;
+        // Box-Muller standard normal.
+        let u1: f64 = rng.gen_range(1e-12..1.0);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let sample = (cfg.think_median_secs.ln() + cfg.think_sigma * z).exp();
+        sample.clamp(cfg.think_min_secs, cfg.think_max_secs)
+    }
+}
+
+/// Convenience: true parameters of the model as an oracle profile
+/// (used by the learner ablation as its upper bound).
+pub fn oracle_profile(cfg: &UserModelConfig) -> specdb_core::OracleProfile {
+    // A selection survives formulation unless it was a recant; given ~1.5
+    // real selections and p_recant tentative ones, the survival rate of
+    // an observed selection ≈ real / (real + recanted).
+    let real = 1.0 + cfg.p_second_selection;
+    let sel_survival = real / (real + cfg.p_recant);
+    specdb_core::OracleProfile {
+        sel_survival,
+        join_survival: 1.0,
+        sel_persistence: cfg.sel_keep,
+        join_persistence: cfg.join_keep,
+        think_mean_secs: 28.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_model() -> UserModel {
+        UserModel::default()
+    }
+
+    #[test]
+    fn generates_requested_query_count() {
+        let t = small_model().generate("u", 42);
+        assert_eq!(t.query_count(), 42);
+        assert_eq!(t.formulations().len(), 42);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = small_model().generate("u", 7);
+        let b = small_model().generate("u", 7);
+        assert_eq!(a, b);
+        let c = small_model().generate("u", 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn final_queries_are_nonempty_and_connected() {
+        let t = small_model().generate("u", 3);
+        for f in t.formulations() {
+            assert!(!f.final_query.graph.is_empty());
+            assert!(
+                f.final_query.graph.is_connected(),
+                "final query must be connected: {}",
+                f.final_query.graph
+            );
+            assert!(f.final_query.graph.selection_count() >= 1);
+        }
+    }
+
+    #[test]
+    fn timestamps_monotonic() {
+        let t = small_model().generate("u", 9);
+        for w in t.edits.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+    }
+
+    #[test]
+    fn query_shape_matches_paper_targets() {
+        let traces = small_model().generate_cohort(5, 11);
+        let mut sels = 0.0;
+        let mut rels = 0.0;
+        let mut n = 0.0;
+        for t in &traces {
+            for f in t.formulations() {
+                sels += f.final_query.graph.selection_count() as f64;
+                rels += f.final_query.graph.rel_count() as f64;
+                n += 1.0;
+            }
+        }
+        let avg_sels = sels / n;
+        let avg_rels = rels / n;
+        assert!((1.0..=2.2).contains(&avg_sels), "selections/query {avg_sels}");
+        assert!((2.5..=5.0).contains(&avg_rels), "relations/query {avg_rels}");
+    }
+
+    #[test]
+    fn think_time_distribution_in_range() {
+        let traces = small_model().generate_cohort(15, 5);
+        let mut durations: Vec<f64> = traces
+            .iter()
+            .flat_map(|t| t.formulations().iter().map(|f| f.duration().as_secs_f64()).collect::<Vec<_>>())
+            .collect();
+        durations.sort_by(|a, b| a.total_cmp(b));
+        let n = durations.len();
+        let avg: f64 = durations.iter().sum::<f64>() / n as f64;
+        let median = durations[n / 2];
+        assert!(durations[0] >= 1.0, "min clamp");
+        assert!(*durations.last().unwrap() <= 680.0, "max clamp");
+        assert!((15.0..45.0).contains(&avg), "avg think {avg}");
+        assert!((7.0..18.0).contains(&median), "median think {median}");
+    }
+
+    #[test]
+    fn cohort_seeds_differ() {
+        let traces = small_model().generate_cohort(3, 1);
+        assert_ne!(traces[0].edits, traces[1].edits);
+        assert_ne!(traces[1].edits, traces[2].edits);
+    }
+
+    #[test]
+    fn recants_present_in_stream() {
+        // Some selection must be added and later removed within one
+        // formulation — the learner's negative examples.
+        let traces = small_model().generate_cohort(5, 99);
+        let mut found = false;
+        'outer: for t in &traces {
+            for f in t.formulations() {
+                for (i, e) in f.edits.iter().enumerate() {
+                    if let EditOp::AddSelection(s) = &e.op {
+                        if f.edits[i + 1..]
+                            .iter()
+                            .any(|later| later.op == EditOp::RemoveSelection(s.clone()))
+                        {
+                            found = true;
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(found, "expected at least one recanted selection");
+    }
+
+    #[test]
+    fn oracle_profile_reflects_config() {
+        let cfg = UserModelConfig::default();
+        let o = oracle_profile(&cfg);
+        assert!(o.sel_survival > 0.8);
+        assert!((o.sel_persistence - 0.75).abs() < 1e-9);
+        assert!((o.join_persistence - 0.9).abs() < 1e-9);
+    }
+}

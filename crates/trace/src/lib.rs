@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+//! User traces: recording, generating, replaying, summarizing.
+//!
+//! The paper's methodology (Section 4.1) is record/replay: fifteen human
+//! subjects explored a skewed TPC-H subset through the SQUID visual
+//! interface, their timed actions were recorded to trace files, and each
+//! trace was replayed twice — once under normal and once under
+//! speculative processing. The humans are not available here, so
+//! [`gen::UserModel`] is a stochastic generator calibrated to the trace
+//! statistics the paper reports in Section 5 (queries per trace,
+//! selections and relations per query, part persistence, think-time
+//! distribution); [`stats`] recomputes those statistics from any trace
+//! so the calibration is checkable (see the `table_thinktime` bench).
+//!
+//! * [`event`] — timed edits, traces, and replay helpers,
+//! * [`gen`] — the calibrated stochastic user model,
+//! * [`stats`] — the Section 5 summary statistics,
+//! * [`format`] — JSON (de)serialization of trace files.
+
+pub mod event;
+pub mod format;
+pub mod gen;
+pub mod stats;
+
+pub use event::{FormulationView, TimedEdit, Trace};
+pub use gen::{UserModel, UserModelConfig};
+pub use stats::TraceStats;

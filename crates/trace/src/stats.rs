@@ -1,0 +1,235 @@
+//! Trace statistics — the paper's Section 5 tables.
+//!
+//! Computes, from any set of traces, the numbers the paper reports about
+//! its human subjects: queries per trace, selections and relations per
+//! query, part persistence in consecutive queries, and the think-time
+//! distribution table (min/avg/max and 25/50/75 percentiles).
+
+use crate::event::Trace;
+use serde::{Deserialize, Serialize};
+use specdb_query::QueryGraph;
+
+/// Five-number-ish summary of a duration sample (seconds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DurationSummary {
+    /// Minimum.
+    pub min: f64,
+    /// Mean.
+    pub avg: f64,
+    /// Maximum.
+    pub max: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub p50: f64,
+    /// 75th percentile.
+    pub p75: f64,
+}
+
+impl DurationSummary {
+    /// Summarize a sample (must be non-empty).
+    pub fn of(mut xs: Vec<f64>) -> DurationSummary {
+        assert!(!xs.is_empty(), "empty sample");
+        xs.sort_by(|a, b| a.total_cmp(b));
+        let n = xs.len();
+        let pct = |p: f64| xs[((n as f64 - 1.0) * p).round() as usize];
+        DurationSummary {
+            min: xs[0],
+            avg: xs.iter().sum::<f64>() / n as f64,
+            max: xs[n - 1],
+            p25: pct(0.25),
+            p50: pct(0.50),
+            p75: pct(0.75),
+        }
+    }
+}
+
+/// The Section 5 statistics over a set of traces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Number of traces.
+    pub traces: usize,
+    /// Average queries per trace (paper: 42).
+    pub queries_per_trace: f64,
+    /// Average selection predicates per query (paper: 1–2).
+    pub selections_per_query: f64,
+    /// Average relations per query (paper: 4).
+    pub relations_per_query: f64,
+    /// Average consecutive queries a selection survives once placed
+    /// (paper: 3).
+    pub selection_persistence: f64,
+    /// Average consecutive queries a join survives (paper: 10).
+    pub join_persistence: f64,
+    /// Formulation-duration distribution in seconds
+    /// (paper: 1/28/680, quartiles 4/11/29).
+    pub think_time: DurationSummary,
+}
+
+impl TraceStats {
+    /// Compute statistics from traces (each must contain ≥ 1 query).
+    pub fn compute(traces: &[Trace]) -> TraceStats {
+        assert!(!traces.is_empty());
+        let mut queries = 0usize;
+        let mut sels = 0usize;
+        let mut rels = 0usize;
+        let mut durations = Vec::new();
+        let mut sel_runs = RunTracker::default();
+        let mut join_runs = RunTracker::default();
+        for t in traces {
+            let fs = t.formulations();
+            queries += fs.len();
+            let mut prev: Option<QueryGraph> = None;
+            for f in &fs {
+                let g = &f.final_query.graph;
+                sels += g.selection_count();
+                rels += g.rel_count();
+                durations.push(f.duration().as_secs_f64());
+                sel_runs.step(
+                    prev.as_ref().map(|p| p.selections().cloned().collect()).unwrap_or_default(),
+                    g.selections().cloned().collect(),
+                );
+                join_runs.step(
+                    prev.as_ref().map(|p| p.joins().cloned().collect()).unwrap_or_default(),
+                    g.joins().cloned().collect(),
+                );
+                prev = Some(g.clone());
+            }
+            sel_runs.flush();
+            join_runs.flush();
+        }
+        let q = queries.max(1) as f64;
+        TraceStats {
+            traces: traces.len(),
+            queries_per_trace: queries as f64 / traces.len() as f64,
+            selections_per_query: sels as f64 / q,
+            relations_per_query: rels as f64 / q,
+            selection_persistence: sel_runs.mean_run(),
+            join_persistence: join_runs.mean_run(),
+            think_time: DurationSummary::of(durations),
+        }
+    }
+
+    /// Render the paper's think-time table row.
+    pub fn think_time_table(&self) -> String {
+        let t = &self.think_time;
+        format!(
+            "{:<10} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}\n{:<10} {:>6.0} {:>6.0} {:>6.0} {:>6.0} {:>6.0} {:>6.0}",
+            "", "min", "avg", "max", "25%", "50%", "75%", "Duration", t.min, t.avg, t.max, t.p25,
+            t.p50, t.p75
+        )
+    }
+}
+
+/// Tracks how many consecutive final queries each part survives.
+struct RunTracker<T: Eq + std::hash::Hash + Clone> {
+    active: std::collections::HashMap<T, usize>,
+    finished_runs: Vec<usize>,
+}
+
+impl<T: Eq + std::hash::Hash + Clone> Default for RunTracker<T> {
+    fn default() -> Self {
+        RunTracker { active: Default::default(), finished_runs: Default::default() }
+    }
+}
+
+impl<T: Eq + std::hash::Hash + Clone> RunTracker<T> {
+    fn step(&mut self, _prev: Vec<T>, current: Vec<T>) {
+        use std::collections::HashMap;
+        let cur: std::collections::HashSet<T> = current.into_iter().collect();
+        let mut next: HashMap<T, usize> = HashMap::new();
+        for (part, run) in self.active.drain() {
+            if cur.contains(&part) {
+                next.insert(part, run + 1);
+            } else {
+                self.finished_runs.push(run);
+            }
+        }
+        for part in cur {
+            next.entry(part).or_insert(1);
+        }
+        self.active = next;
+    }
+
+    fn flush(&mut self) {
+        for (_, run) in self.active.drain() {
+            self.finished_runs.push(run);
+        }
+    }
+
+    fn mean_run(&self) -> f64 {
+        if self.finished_runs.is_empty() {
+            return 0.0;
+        }
+        self.finished_runs.iter().sum::<usize>() as f64 / self.finished_runs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::UserModel;
+
+    #[test]
+    fn duration_summary_percentiles() {
+        let s = DurationSummary::of((1..=100).map(|i| i as f64).collect());
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.avg - 50.5).abs() < 1e-9);
+        assert!((s.p25 - 26.0).abs() < 1.5);
+        assert!((s.p50 - 50.0).abs() < 1.5);
+        assert!((s.p75 - 75.0).abs() < 1.5);
+    }
+
+    #[test]
+    fn generated_cohort_matches_paper_shape() {
+        let traces = UserModel::default().generate_cohort(15, 123);
+        let stats = TraceStats::compute(&traces);
+        assert!((stats.queries_per_trace - 42.0).abs() < 0.5);
+        assert!((1.0..=2.2).contains(&stats.selections_per_query));
+        assert!((2.5..=5.0).contains(&stats.relations_per_query));
+        // Paper: selections persist ~3 consecutive queries, joins ~10
+        // (question boundaries truncate runs, so joins land lower).
+        assert!(
+            (2.3..=4.0).contains(&stats.selection_persistence),
+            "selection persistence {}",
+            stats.selection_persistence
+        );
+        assert!(
+            stats.join_persistence > stats.selection_persistence + 1.0,
+            "joins must persist much longer: {} vs {}",
+            stats.join_persistence,
+            stats.selection_persistence
+        );
+        // Think time table shape.
+        let t = stats.think_time;
+        assert!(t.min >= 1.0 && t.max <= 680.0);
+        assert!((15.0..45.0).contains(&t.avg), "avg {}", t.avg);
+        assert!((2.0..8.0).contains(&t.p25), "p25 {}", t.p25);
+        assert!((7.0..18.0).contains(&t.p50), "p50 {}", t.p50);
+        assert!((18.0..45.0).contains(&t.p75), "p75 {}", t.p75);
+    }
+
+    #[test]
+    fn table_renders() {
+        let traces = UserModel::default().generate_cohort(2, 5);
+        let stats = TraceStats::compute(&traces);
+        let table = stats.think_time_table();
+        assert!(table.contains("Duration"));
+        assert!(table.contains("min"));
+    }
+
+    #[test]
+    fn run_tracker_counts_consecutive() {
+        let mut rt: RunTracker<&str> = RunTracker::default();
+        rt.step(vec![], vec!["a", "b"]);
+        rt.step(vec![], vec!["a"]);
+        rt.step(vec![], vec!["a", "c"]);
+        rt.step(vec![], vec!["c"]);
+        rt.flush();
+        // a: 3, b: 1, c: 2 → mean 2.
+        let mut runs = rt.finished_runs.clone();
+        runs.sort();
+        assert_eq!(runs, vec![1, 2, 3]);
+        assert!((rt.mean_run() - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,63 @@
+//! A miniature of the paper's main experiment.
+//!
+//! Generates a small synthetic user cohort, replays every trace twice
+//! against the same database — normal vs. speculative processing — and
+//! prints the improvement table, exactly the methodology behind the
+//! paper's Figure 4 (at toy scale; the full experiment is
+//! `cargo bench --bench single_user`).
+//!
+//! Run with: `cargo run --release --example replay_experiment`
+
+use specdb::sim::replay::{replay_trace, ReplayConfig};
+use specdb::sim::report::{bucketize, improvement, pair_runs, render_rows};
+use specdb::sim::{build_base_db, DatasetSpec};
+use specdb::trace::{UserModel, UserModelConfig};
+
+fn main() {
+    let spec = DatasetSpec {
+        label: "demo-100MB",
+        nominal_mb: 100,
+        buffer_mb: 32,
+        divisor: 100,
+        seed: 42,
+    };
+    println!(
+        "building {} base (actual {} MB, buffer {} pages, clock x{})...",
+        spec.label,
+        spec.actual_mb(),
+        spec.buffer_pages(),
+        spec.divisor
+    );
+    let base = build_base_db(&spec).expect("base db");
+
+    let model = UserModel::new(
+        UserModelConfig { queries: 15, questions: 3, ..Default::default() },
+        specdb::tpch::ExploreDomain::tpch(),
+    );
+    let traces = model.generate_cohort(4, 7);
+    println!("replaying {} traces x {} queries, twice each...", traces.len(), 15);
+
+    let mut pairs = Vec::new();
+    let mut issued = 0;
+    let mut completed = 0;
+    for trace in &traces {
+        let mut db_n = base.clone();
+        let normal = replay_trace(&mut db_n, trace, &ReplayConfig::normal()).expect("normal");
+        let mut db_s = base.clone();
+        let spec_run =
+            replay_trace(&mut db_s, trace, &ReplayConfig::speculative()).expect("speculative");
+        issued += spec_run.issued;
+        completed += spec_run.completed;
+        pairs.extend(pair_runs(&normal.queries, &spec_run.queries));
+    }
+
+    let rows = bucketize(&pairs, 0.0, 60.0, 5.0, 2);
+    println!("\n{}", render_rows("improvement by execution-time bucket", &rows, true));
+    println!(
+        "overall improvement: {:+.1}% over {} queries ({} manipulations issued, {} completed)",
+        improvement(&pairs) * 100.0,
+        pairs.len(),
+        issued,
+        completed
+    );
+}

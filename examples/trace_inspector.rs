@@ -1,0 +1,60 @@
+//! Record/replay trace files, as the paper's modified SQUID produced.
+//!
+//! Generates a cohort, saves it to JSON, loads it back, and prints the
+//! Section 5 behaviour statistics plus a peek inside one formulation —
+//! useful when tuning the user model or inspecting what the Learner sees.
+//!
+//! Run with: `cargo run --release --example trace_inspector [out.json]`
+
+use specdb::query::EditOp;
+use specdb::trace::{format, TraceStats, UserModel};
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| {
+        std::env::temp_dir().join("specdb-traces.json").to_string_lossy().into_owned()
+    });
+    let traces = UserModel::default().generate_cohort(15, 2026);
+    format::save(&path, &traces).expect("save traces");
+    println!("wrote {} traces to {path}", traces.len());
+
+    let restored = format::load(&path).expect("load traces");
+    assert_eq!(traces, restored, "round trip must be exact");
+
+    let stats = TraceStats::compute(&restored);
+    println!("\n{}", stats.think_time_table());
+    println!(
+        "\nqueries/trace {:.1} | selections/query {:.2} | relations/query {:.2}",
+        stats.queries_per_trace, stats.selections_per_query, stats.relations_per_query
+    );
+    println!(
+        "selection persistence {:.2} queries | join persistence {:.2} queries",
+        stats.selection_persistence, stats.join_persistence
+    );
+
+    // Peek inside the first user's second formulation.
+    let trace = &restored[0];
+    let formulations = trace.formulations();
+    let f = &formulations[1];
+    println!(
+        "\nuser {}, query #2 ({} edits over {}):",
+        trace.user,
+        f.edits.len(),
+        f.duration()
+    );
+    for te in f.edits {
+        let desc = match &te.op {
+            EditOp::AddRelation(r) => format!("+ relation {r}"),
+            EditOp::RemoveRelation(r) => format!("- relation {r}"),
+            EditOp::AddSelection(s) => format!("+ selection {s}"),
+            EditOp::RemoveSelection(s) => format!("- selection {s}"),
+            EditOp::UpdateSelection { old, new } => format!("~ selection {old} -> {new}"),
+            EditOp::AddJoin(j) => format!("+ join {j}"),
+            EditOp::RemoveJoin(j) => format!("- join {j}"),
+            EditOp::AddProjection(r, c) => format!("+ project {r}.{c}"),
+            EditOp::RemoveProjection(r, c) => format!("- project {r}.{c}"),
+            EditOp::Go => "GO".to_string(),
+        };
+        println!("  [{:>8}] {desc}", format!("{}", te.at));
+    }
+    println!("final SQL: {}", specdb::query::sql::to_sql(&f.final_query));
+}

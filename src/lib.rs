@@ -1,0 +1,74 @@
+#![warn(missing_docs)]
+//! # specdb — Speculative Query Processing
+//!
+//! A from-scratch Rust reproduction of *"Speculative Query Processing"*
+//! (Polyzotis & Ioannidis, CIDR 2003): a database system that exploits
+//! the user's *think time* during incremental query formulation to
+//! asynchronously prepare the database — materializing likely
+//! sub-queries, building indexes and histograms — so the final query runs
+//! faster when the user finally presses "GO".
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`storage`] — pages, heap files, buffer pool, virtual-time disk model
+//! * [`catalog`] — schemas, tables, indexes, histograms, view registry
+//! * [`query`] — query graphs, partial queries, edits, SQL front end
+//! * [`exec`] — operators, optimizer, materialized-view rewriting, engine
+//! * [`tpch`] — the paper's skewed TPC-H-subset dataset generator
+//! * [`core`] — the speculation subsystem (the paper's contribution)
+//! * [`trace`] — user-behaviour model, trace generation and replay format
+//! * [`sim`] — discrete-event experiment harness reproducing the paper
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use specdb::prelude::*;
+//!
+//! // A small database with one table.
+//! let mut db = Database::new(DatabaseConfig::with_buffer_pages(256));
+//! db.create_table(
+//!     "employee",
+//!     Schema::new(vec![
+//!         ColumnDef::new("name", DataType::Str),
+//!         ColumnDef::new("age", DataType::Int),
+//!         ColumnDef::new("salary", DataType::Int),
+//!     ]),
+//! )
+//! .unwrap();
+//! let rows: Vec<_> = (0..1000i64)
+//!     .map(|i| Tuple::new(vec![
+//!         Value::Str(format!("emp{i}")),
+//!         Value::Int(20 + i % 40),
+//!         Value::Int(30_000 + i * 13 % 50_000),
+//!     ]))
+//!     .collect();
+//! db.load("employee", rows.into_iter()).unwrap();
+//!
+//! // The user's final query, and its speculative preview.
+//! let query = parse_sql(&db, "SELECT name FROM employee WHERE age < 30").unwrap();
+//! let out = db.execute(&query).unwrap();
+//! assert!(out.rows.iter().all(|r| r.arity() == 1));
+//! ```
+
+pub use specdb_catalog as catalog;
+pub use specdb_core as core;
+pub use specdb_exec as exec;
+pub use specdb_query as query;
+pub use specdb_sim as sim;
+pub use specdb_storage as storage;
+pub use specdb_tpch as tpch;
+pub use specdb_trace as trace;
+
+/// Commonly used items, re-exported flat.
+pub mod prelude {
+    pub use specdb_catalog::{ColumnDef, DataType, Schema};
+    pub use specdb_core::{
+        CostModel, Learner, Manipulation, ManipulationSpace, SpaceConfig, Speculator,
+        SpeculatorConfig, UserProfile,
+    };
+    pub use specdb_exec::{Database, DatabaseConfig, QueryOutput};
+    pub use specdb_query::{
+        parse_sql, CompareOp, EditOp, PartialQuery, Predicate, QueryGraph, Selection,
+    };
+    pub use specdb_storage::{Tuple, Value, VirtualTime};
+}

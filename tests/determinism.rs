@@ -1,0 +1,86 @@
+//! Determinism and reproducibility: identical seeds must reproduce
+//! identical traces, databases, and experiment outcomes — the property
+//! that makes every figure in EXPERIMENTS.md regenerable bit-for-bit.
+
+use specdb::sim::replay::{replay_trace, ReplayConfig};
+use specdb::sim::{build_base_db, DatasetSpec};
+use specdb::trace::{TraceStats, UserModel};
+
+#[test]
+fn trace_generation_is_deterministic() {
+    let a = UserModel::default().generate_cohort(3, 99);
+    let b = UserModel::default().generate_cohort(3, 99);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn database_generation_is_deterministic() {
+    let a = build_base_db(&DatasetSpec::tiny()).unwrap();
+    let b = build_base_db(&DatasetSpec::tiny()).unwrap();
+    for t in specdb::tpch::TPCH_TABLES {
+        assert_eq!(
+            a.catalog().table(t).unwrap().stats,
+            b.catalog().table(t).unwrap().stats,
+            "{t}"
+        );
+    }
+}
+
+#[test]
+fn replay_is_deterministic() {
+    let base = build_base_db(&DatasetSpec::tiny()).unwrap();
+    let trace = UserModel::default().generate("u", 1234);
+    let run = |cfg: &ReplayConfig| {
+        let mut db = base.clone();
+        replay_trace(&mut db, &trace, cfg).unwrap()
+    };
+    for cfg in [ReplayConfig::normal(), ReplayConfig::speculative()] {
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.queries.len(), b.queries.len());
+        for (x, y) in a.queries.iter().zip(&b.queries) {
+            assert_eq!(x.elapsed, y.elapsed);
+            assert_eq!(x.rows, y.rows);
+        }
+        assert_eq!(a.issued, b.issued);
+        assert_eq!(a.completed, b.completed);
+    }
+}
+
+#[test]
+fn multi_user_replay_is_deterministic() {
+    use specdb::sim::replay_multi;
+    let base = build_base_db(&DatasetSpec::tiny()).unwrap();
+    let model = UserModel::default();
+    let traces: Vec<_> = (0..3)
+        .map(|i| {
+            let cfg = specdb::trace::UserModelConfig { queries: 6, ..Default::default() };
+            UserModel::new(cfg, specdb::tpch::ExploreDomain::tpch())
+                .generate(&format!("u{i}"), 500 + i)
+        })
+        .collect();
+    let _ = model;
+    let run = || {
+        let mut db = base.clone();
+        replay_multi(&mut db, &traces, &ReplayConfig::speculative()).unwrap()
+    };
+    let a = run();
+    let b = run();
+    for (ua, ub) in a.per_user.iter().zip(&b.per_user) {
+        assert_eq!(ua.queries.len(), ub.queries.len());
+        for (x, y) in ua.queries.iter().zip(&ub.queries) {
+            assert_eq!(x.elapsed, y.elapsed);
+            assert_eq!(x.rows, y.rows);
+        }
+        assert_eq!(ua.issued, ub.issued);
+    }
+}
+
+#[test]
+fn stats_are_stable_across_recomputation() {
+    let traces = UserModel::default().generate_cohort(5, 7);
+    let a = TraceStats::compute(&traces);
+    let b = TraceStats::compute(&traces);
+    assert_eq!(a.think_time, b.think_time);
+    assert_eq!(a.selection_persistence, b.selection_persistence);
+}

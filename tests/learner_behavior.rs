@@ -1,0 +1,139 @@
+//! Behavioural tests for the Learner against synthetic users with known
+//! ground-truth parameters: the learned profile must converge toward the
+//! generator's probabilities, and the logistic estimator must generalize
+//! where the counting estimator cannot.
+
+use specdb::core::learner::SurvivalMode;
+use specdb::core::{Learner, LearnerConfig, Profile};
+use specdb::prelude::*;
+use specdb::query::EditOp;
+use specdb::storage::VirtualTime;
+use specdb::trace::{UserModel, UserModelConfig};
+
+/// Feed a generated trace through a learner, returning it trained.
+fn train_on(trace: &specdb::trace::Trace, config: LearnerConfig) -> Learner {
+    let mut learner = Learner::new(config);
+    let mut pq = PartialQuery::new();
+    for te in &trace.edits {
+        if te.op.is_go() {
+            learner.observe_go(te.at, pq.graph());
+        } else {
+            learner.observe_edit(te.at, &te.op);
+            pq.apply(&te.op);
+        }
+    }
+    learner
+}
+
+#[test]
+fn survival_estimates_converge_to_user_model() {
+    // The generator recants ~p_recant tentative selections; surviving
+    // parts dominate. A trained learner's average selection-survival
+    // estimate should sit well above 0.5 and below 1.0.
+    let cfg = UserModelConfig { queries: 42, ..Default::default() };
+    let model = UserModel::new(cfg.clone(), specdb::tpch::ExploreDomain::tpch());
+    let trace = model.generate("u", 77);
+    let learner = train_on(&trace, LearnerConfig::default());
+    assert!(learner.observed_gos() == 42);
+    // Probe a few domain selections.
+    let probes = [
+        Selection::new("customer", Predicate::new("c_nation", CompareOp::Eq, "FRANCE")),
+        Selection::new("orders", Predicate::new("o_orderdate", CompareOp::Gt, 9000i64)),
+        Selection::new("lineitem", Predicate::new("l_quantity", CompareOp::Lt, 20i64)),
+    ];
+    let mean: f64 =
+        probes.iter().map(|s| learner.p_selection_survives(s)).sum::<f64>() / probes.len() as f64;
+    assert!((0.55..1.0).contains(&mean), "mean survival {mean}");
+}
+
+#[test]
+fn persistence_estimates_reflect_configured_keeps() {
+    let cfg = UserModelConfig { queries: 42, ..Default::default() };
+    let model = UserModel::new(cfg.clone(), specdb::tpch::ExploreDomain::tpch());
+    // Train across several users for more GO transitions.
+    let mut learner = Learner::new(LearnerConfig::default());
+    for seed in 0..5 {
+        let trace = model.generate("u", 1000 + seed);
+        let mut pq = PartialQuery::new();
+        for te in &trace.edits {
+            if te.op.is_go() {
+                learner.observe_go(te.at, pq.graph());
+            } else {
+                learner.observe_edit(te.at, &te.op);
+                pq.apply(&te.op);
+            }
+        }
+    }
+    let sel_p = learner.p_selection_persists();
+    let join_p = learner.p_join_persists();
+    // Generator: sel_keep = 0.75, join_keep = 0.90 (question boundaries
+    // pull both estimates down a little).
+    assert!((0.5..0.85).contains(&sel_p), "selection persistence {sel_p}");
+    assert!((0.7..0.97).contains(&join_p), "join persistence {join_p}");
+    assert!(join_p > sel_p, "joins persist longer than selections");
+}
+
+#[test]
+fn think_time_model_learns_the_distribution() {
+    let model = UserModel::default();
+    let trace = model.generate("u", 31);
+    let learner = train_on(&trace, LearnerConfig::default());
+    let m = learner.think_model();
+    assert_eq!(m.samples(), 42);
+    // Median formulation ≈ 11 s: outliving 2 s should be likely, 600 s not.
+    let p_short = learner.p_think_exceeds(VirtualTime::ZERO, VirtualTime::from_secs(2));
+    let p_long = learner.p_think_exceeds(VirtualTime::ZERO, VirtualTime::from_secs(600));
+    assert!(p_short > 0.6, "{p_short}");
+    assert!(p_long < 0.2, "{p_long}");
+    assert!(p_short > p_long);
+}
+
+#[test]
+fn logistic_mode_generalizes_across_constants() {
+    // A synthetic user who always keeps predicates on `solid` and always
+    // recants predicates on `flaky`, with fresh constants every time.
+    // The counting learner keys on (table, column) here too, so both
+    // should learn this; the logistic learner must also score *novel*
+    // constants confidently.
+    let mk_sel = |col: &str, v: i64| Selection::new("orders", Predicate::new(col, CompareOp::Lt, v));
+    let mut counting = Learner::new(LearnerConfig::default());
+    let mut logistic =
+        Learner::new(LearnerConfig { mode: SurvivalMode::Logistic, ..Default::default() });
+    for q in 0..60i64 {
+        let t0 = VirtualTime::from_secs((q * 60) as u64);
+        let solid = mk_sel("solid", q);
+        let flaky = mk_sel("flaky", q);
+        for l in [&mut counting, &mut logistic] {
+            l.observe_edit(t0, &EditOp::AddSelection(solid.clone()));
+            l.observe_edit(t0, &EditOp::AddSelection(flaky.clone()));
+            l.observe_edit(t0, &EditOp::RemoveSelection(flaky.clone()));
+            let mut fg = QueryGraph::new();
+            fg.add_selection(solid.clone());
+            l.observe_go(t0 + VirtualTime::from_secs(30), &fg);
+        }
+    }
+    for l in [&counting, &logistic] {
+        assert!(l.p_selection_survives(&mk_sel("solid", 9999)) > 0.8);
+        assert!(l.p_selection_survives(&mk_sel("flaky", 9999)) < 0.35);
+    }
+}
+
+#[test]
+fn profile_products_bound_by_parts() {
+    // f⊆ of a larger graph can never exceed f⊆ of its sub-graph.
+    let model = UserModel::default();
+    let trace = model.generate("u", 5);
+    let learner = train_on(&trace, LearnerConfig::default());
+    let mut small = QueryGraph::new();
+    small.add_selection(Selection::new(
+        "customer",
+        Predicate::new("c_nation", CompareOp::Eq, "PERU"),
+    ));
+    let mut big = small.clone();
+    big.add_join(specdb::query::Join::new("orders", "o_custkey", "customer", "c_custkey"));
+    big.add_selection(Selection::new(
+        "orders",
+        Predicate::new("o_orderpriority", CompareOp::Le, 2i64),
+    ));
+    assert!(learner.p_contained(&big) <= learner.p_contained(&small) + 1e-12);
+}

@@ -1,0 +1,197 @@
+//! Property-based validation of Theorem 3.1.
+//!
+//! The paper's central analytical result: if the cost function satisfies
+//! **P1 (containment dependence)** — a materialization only affects
+//! queries containing it — and **P2 (linearity)** — the cost of a union
+//! of disjoint sub-queries is the sum of their costs — then minimizing
+//! the expected cost over the (finite, here) universe of final queries,
+//!
+//! ```text
+//! Cost(m) = Σ_q f(q) · cost(q, m)
+//! ```
+//!
+//! is equivalent to minimizing the local quantity
+//!
+//! ```text
+//! Cost⊆(m) = f⊆(qm) · (cost(qm, m) − cost(qm, m∅)),
+//! f⊆(qm) = Σ_{q ⊇ qm} f(q).
+//! ```
+//!
+//! We construct random universes of conjunctive queries from random
+//! atomic parts, random probabilities, and a random P1/P2-satisfying
+//! cost function, and check the two minimizations agree.
+
+use proptest::prelude::*;
+use specdb::prelude::*;
+use specdb::query::Join;
+
+/// Atomic parts the universes draw from. Each selection is on its own
+/// relation so parts are pairwise disjoint, which keeps every subset of
+/// parts a valid "disjoint union" decomposition (the setting of P2).
+fn parts_pool() -> Vec<QueryGraph> {
+    let rels = ["R", "S", "T", "U"];
+    let mut out = Vec::new();
+    for (i, r) in rels.iter().enumerate() {
+        let mut g = QueryGraph::new();
+        g.add_selection(Selection::new(
+            *r,
+            Predicate::new(format!("c{i}"), CompareOp::Lt, 10 + i as i64),
+        ));
+        out.push(g);
+    }
+    // One join part over two dedicated relations (disjoint from the rest).
+    let mut j = QueryGraph::new();
+    j.add_join(Join::new("X", "a", "Y", "a"));
+    out.push(j);
+    out
+}
+
+/// The universe Q: every non-empty subset of the parts pool (union of
+/// parts). 2^5 − 1 = 31 queries.
+fn universe(pool: &[QueryGraph]) -> Vec<QueryGraph> {
+    let n = pool.len();
+    (1u32..(1 << n))
+        .map(|mask| {
+            let mut g = QueryGraph::new();
+            for (i, p) in pool.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    g = g.union(p);
+                }
+            }
+            g
+        })
+        .collect()
+}
+
+/// A P1/P2-satisfying cost function: each part has a base cost `w`;
+/// `cost(q, m∅) = Σ_{parts ⊆ q} w(part)`. Materializing part `qm`
+/// replaces its contribution with a (cheaper or costlier!) scan cost
+/// `s(qm)` in every query containing it:
+/// `cost(q, m) = cost(q, m∅) − w(qm) + s(qm)` if `qm ⊆ q`, else unchanged.
+struct SyntheticCost {
+    pool: Vec<QueryGraph>,
+    base: Vec<f64>,
+    scan: Vec<f64>,
+}
+
+impl SyntheticCost {
+    /// `cost(q, m)` where `m` is `Some(part index)` or `None` for m∅.
+    fn cost(&self, q: &QueryGraph, m: Option<usize>) -> f64 {
+        let mut total = 0.0;
+        for (i, p) in self.pool.iter().enumerate() {
+            if q.contains(p) {
+                total += match m {
+                    Some(mi) if mi == i => self.scan[i],
+                    _ => self.base[i],
+                };
+            }
+        }
+        total
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn theorem31_reduction_agrees(
+        base in prop::collection::vec(1.0f64..100.0, 5),
+        scan in prop::collection::vec(0.1f64..120.0, 5),
+        weights in prop::collection::vec(0.01f64..1.0, 31),
+    ) {
+        let pool = parts_pool();
+        let qs = universe(&pool);
+        prop_assert_eq!(qs.len(), 31);
+        let wsum: f64 = weights.iter().sum();
+        let f: Vec<f64> = weights.iter().map(|w| w / wsum).collect();
+        let cost = SyntheticCost { pool: pool.clone(), base, scan };
+
+        // Full minimization over M = {m∅} ∪ {materialize each part}.
+        let full = |m: Option<usize>| -> f64 {
+            qs.iter().zip(&f).map(|(q, fq)| fq * cost.cost(q, m)).sum()
+        };
+        let mut best_full = (None, full(None));
+        for mi in 0..pool.len() {
+            let c = full(Some(mi));
+            if c < best_full.1 - 1e-12 {
+                best_full = (Some(mi), c);
+            }
+        }
+
+        // Local minimization via Cost⊆.
+        let mut best_local = (None, 0.0f64);
+        for (mi, qm) in pool.iter().enumerate() {
+            let f_sub: f64 = qs
+                .iter()
+                .zip(&f)
+                .filter(|(q, _)| q.contains(qm))
+                .map(|(_, fq)| fq)
+                .sum();
+            let delta = cost.cost(qm, Some(mi)) - cost.cost(qm, None);
+            let local = f_sub * delta;
+            if local < best_local.1 - 1e-12 {
+                best_local = (Some(mi), local);
+            }
+        }
+
+        // The two procedures must pick the same manipulation (and both
+        // compute the same objective difference for it).
+        prop_assert_eq!(best_full.0, best_local.0,
+            "full pick {:?} vs local pick {:?}", best_full.0, best_local.0);
+        if let Some(mi) = best_full.0 {
+            let full_delta = full(Some(mi)) - full(None);
+            prop_assert!((full_delta - best_local.1).abs() < 1e-9,
+                "objective deltas diverge: {} vs {}", full_delta, best_local.1);
+        }
+    }
+
+    #[test]
+    fn cost_subset_of_null_manipulation_is_zero(
+        base in prop::collection::vec(1.0f64..100.0, 5),
+    ) {
+        // Cost⊆(m∅) = 0 by definition; the full objective difference of
+        // "doing nothing" must also be 0.
+        let pool = parts_pool();
+        let qs = universe(&pool);
+        let cost = SyntheticCost { pool, scan: base.clone(), base };
+        for q in &qs {
+            prop_assert!((cost.cost(q, None) - cost.cost(q, None)).abs() < 1e-12);
+        }
+    }
+}
+
+/// P1 and P2 hold for the synthetic cost function itself — the premise
+/// of the theorem, checked explicitly.
+#[test]
+fn synthetic_cost_satisfies_p1_and_p2() {
+    let pool = parts_pool();
+    let qs = universe(&pool);
+    let cost = SyntheticCost {
+        pool: pool.clone(),
+        base: vec![10.0, 20.0, 30.0, 40.0, 50.0],
+        scan: vec![1.0, 2.0, 3.0, 4.0, 5.0],
+    };
+    for (mi, qm) in pool.iter().enumerate() {
+        for q in &qs {
+            if !q.contains(qm) {
+                // P1: cost unaffected when qm ⊄ q.
+                assert_eq!(cost.cost(q, Some(mi)), cost.cost(q, None));
+            }
+        }
+    }
+    // P2: for disjoint unions, cost adds (check all part-pairs).
+    for i in 0..pool.len() {
+        for j in 0..pool.len() {
+            if i == j {
+                continue;
+            }
+            assert!(pool[i].is_disjoint(&pool[j]));
+            let u = pool[i].union(&pool[j]);
+            for m in [None, Some(0), Some(3)] {
+                let lhs = cost.cost(&u, m);
+                let rhs = cost.cost(&pool[i], m) + cost.cost(&pool[j], m);
+                assert!((lhs - rhs).abs() < 1e-12, "P2 violated for parts {i},{j}");
+            }
+        }
+    }
+}
