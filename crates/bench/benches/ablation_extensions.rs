@@ -44,11 +44,7 @@ fn main() {
     );
     let arms: Vec<(&str, &specdb_exec::Database, ReplayConfig)> = vec![
         ("paper baseline (exact, cancel)", &base, ReplayConfig::speculative()),
-        (
-            "+ wait-at-GO",
-            &base,
-            ReplayConfig { wait_at_go: true, ..ReplayConfig::speculative() },
-        ),
+        ("+ wait-at-GO", &base, ReplayConfig { wait_at_go: true, ..ReplayConfig::speculative() }),
         ("+ subsumption matching", &base_subsume, ReplayConfig::speculative()),
         (
             "+ staging in the space",

@@ -39,8 +39,7 @@ fn main() {
         eprintln!("[{}] generating bases...", spec.label);
         let base_plain = build_base_db_spilling(&spec).expect("base db");
         let mut base_views = base_plain.clone();
-        let created =
-            materialize_subset_joins_up_to(&mut base_views, max_subset).expect("views");
+        let created = materialize_subset_joins_up_to(&mut base_views, max_subset).expect("views");
         // Pre-materialized views are the *DBMS's* to use or ignore: Oracle's
         // optimizer picked them cost-based in the paper. (Forcing raw
         // subset-join scans would be catastrophic and is not what the
@@ -58,13 +57,14 @@ fn main() {
             arms.iter().map(|(n, _, _)| (*n, Vec::new())).collect();
         for trace in &traces {
             let mut db = base_plain.clone();
-            let baseline =
-                replay_trace(&mut db, trace, &ReplayConfig::normal()).expect("baseline");
+            let baseline = replay_trace(&mut db, trace, &ReplayConfig::normal()).expect("baseline");
             drop(db);
             for (i, (_, base, cfg)) in arms.iter().enumerate() {
                 let mut db = (*base).clone();
                 let t = replay_trace(&mut db, trace, cfg).expect("arm replay");
-                arm_pairs[i].1.extend(pair_runs(&baseline.queries, &t.queries));
+                arm_pairs[i]
+                    .1
+                    .extend(pair_runs(&baseline.queries, &t.queries).expect("aligned replays"));
             }
         }
         println!();
@@ -72,18 +72,13 @@ fn main() {
         let (lo, hi, step) = paper_buckets(spec.label);
         let min_count = if traces.len() * env.queries >= 200 { 5 } else { 2 };
         // Align the three series on the bucket grid.
-        println!(
-            "{:>12} {:>10} {:>10} {:>12}",
-            "bucket(s)", "Views%", "Spec%", "Spec+Views%"
-        );
+        println!("{:>12} {:>10} {:>10} {:>12}", "bucket(s)", "Views%", "Spec%", "Spec+Views%");
         let series: Vec<Vec<specdb_sim::report::BucketRow>> = arm_pairs
             .iter()
             .map(|(_, pairs)| bucketize(pairs, lo, hi, step, min_count))
             .collect();
-        let mut edges: Vec<f64> = series
-            .iter()
-            .flat_map(|rows| rows.iter().map(|r| r.bucket.lo))
-            .collect();
+        let mut edges: Vec<f64> =
+            series.iter().flat_map(|rows| rows.iter().map(|r| r.bucket.lo)).collect();
         edges.sort_by(|a, b| a.total_cmp(b));
         edges.dedup();
         for edge in edges {

@@ -12,16 +12,15 @@
 //! is already saturated.
 
 use specdb_bench::BenchEnv;
-use specdb_sim::report::{bucketize, improvement, render_rows};
 use specdb_core::{SpaceConfig, SpeculatorConfig};
 use specdb_sim::replay::ReplayConfig;
 use specdb_sim::report::pair_runs;
+use specdb_sim::report::{bucketize, improvement, render_rows};
 use specdb_sim::{build_base_db, replay_multi};
 
 fn main() {
     let env = BenchEnv::from_env();
-    let trios: usize =
-        std::env::var("SPECDB_TRIOS").ok().and_then(|v| v.parse().ok()).unwrap_or(2);
+    let trios: usize = std::env::var("SPECDB_TRIOS").ok().and_then(|v| v.parse().ok()).unwrap_or(2);
     let traces = env.cohort();
     println!(
         "figure 7: {} trios of 3 users x {} queries, divisor {}, 96MB pool",
@@ -32,10 +31,7 @@ fn main() {
         speculator: SpeculatorConfig { space: SpaceConfig::multi_user(), ..Default::default() },
         ..Default::default()
     };
-    let normal_cfg = ReplayConfig {
-        speculative: false,
-        ..spec_cfg.clone()
-    };
+    let normal_cfg = ReplayConfig { speculative: false, ..spec_cfg.clone() };
     for spec in env.specs() {
         let spec = spec.multi_user();
         eprintln!("[{}] generating base database...", spec.label);
@@ -54,7 +50,7 @@ fn main() {
             let specr = replay_multi(&mut db_s, &group, &spec_cfg).expect("spec multi");
             drop(db_s);
             for (n, s) in normal.per_user.iter().zip(&specr.per_user) {
-                pairs.extend(pair_runs(&n.queries, &s.queries));
+                pairs.extend(pair_runs(&n.queries, &s.queries).expect("aligned replays"));
             }
         }
         // The paper re-ranges Figure 7's x-axes for the contended runs:
@@ -75,10 +71,6 @@ fn main() {
                 true,
             )
         );
-        println!(
-            "   overall: {:+.1}% over {} queries",
-            improvement(&pairs) * 100.0,
-            pairs.len()
-        );
+        println!("   overall: {:+.1}% over {} queries", improvement(&pairs) * 100.0, pairs.len());
     }
 }

@@ -12,9 +12,9 @@
 //! should still win, by less than in the I/O-bound runs.
 
 use specdb_bench::{run_paired, BenchEnv};
+use specdb_exec::Database;
 use specdb_sim::replay::ReplayConfig;
 use specdb_sim::DatasetSpec;
-use specdb_exec::Database;
 use specdb_tpch::{generate_into, TpchConfig};
 
 fn main() {

@@ -109,6 +109,40 @@ fn bench_optimizer_and_executor(c: &mut Criterion) {
     });
 }
 
+fn bench_observer_overhead(c: &mut Criterion) {
+    // The same buffer-pool hot loop under each observability mode. The
+    // disabled observer must be indistinguishable from the seed's
+    // instrumentation-free pool; the enabled-metrics mode buys counters
+    // for one relaxed atomic per access.
+    let build_pool = || {
+        let mut pool = BufferPool::new(256);
+        let f = pool.create_file();
+        for i in 0..512u32 {
+            let mut p = Page::new();
+            p.insert(&[0u8; 64]).unwrap();
+            pool.put_page(PageId::new(f, i), p).unwrap();
+        }
+        (pool, f)
+    };
+    let (mut pool, f) = build_pool();
+    c.bench_function("buffer_hit_obs_disabled", |b| {
+        b.iter(|| pool.read_page(PageId::new(f, 511), AccessKind::Random).unwrap())
+    });
+    let (mut pool, f) = build_pool();
+    pool.set_observer(specdb_obs::Observer::enabled());
+    c.bench_function("buffer_hit_obs_metrics", |b| {
+        b.iter(|| pool.read_page(PageId::new(f, 511), AccessKind::Random).unwrap())
+    });
+    let (mut pool, f) = build_pool();
+    pool.set_observer(
+        specdb_obs::Observer::enabled()
+            .with_sink(std::sync::Arc::new(specdb_obs::MemorySink::new())),
+    );
+    c.bench_function("buffer_hit_obs_events", |b| {
+        b.iter(|| pool.read_page(PageId::new(f, 511), AccessKind::Random).unwrap())
+    });
+}
+
 fn bench_speculator_decide(c: &mut Criterion) {
     let db = tpch_db();
     let speculator = Speculator::default();
@@ -128,6 +162,7 @@ criterion_group! {
         bench_histogram,
         bench_graph_algebra,
         bench_optimizer_and_executor,
+        bench_observer_overhead,
         bench_speculator_decide
 }
 criterion_main!(benches);

@@ -16,8 +16,8 @@ fn main() {
     env.users = env.users.max(15);
     env.queries = env.queries.max(42);
     let cfg = specdb_trace::UserModelConfig { queries: env.queries, ..Default::default() };
-    let traces =
-        UserModel::new(cfg, specdb_tpch::ExploreDomain::tpch()).generate_cohort(env.users, env.seed);
+    let traces = UserModel::new(cfg, specdb_tpch::ExploreDomain::tpch())
+        .generate_cohort(env.users, env.seed);
     let stats = TraceStats::compute(&traces);
 
     println!("=== Section 5: query formulation duration (seconds) ===");
@@ -29,10 +29,7 @@ fn main() {
     );
     println!();
     println!("=== Section 5: query structure ===");
-    println!(
-        "paper:     {} queries/trace, 1-2 selections/query, 4 relations/query,",
-        42
-    );
+    println!("paper:     {} queries/trace, 1-2 selections/query, 4 relations/query,", 42);
     println!("           selection persists ~3 queries, join ~10");
     println!(
         "measured:  {:.1} queries/trace, {:.2} selections/query, {:.2} relations/query,",

@@ -21,7 +21,10 @@
 
 use specdb_exec::Database;
 use specdb_sim::replay::{replay_trace, ReplayConfig, ReplayOutcome};
-use specdb_sim::report::{bucketize, improvement, pair_runs, render_rows, PairedRun};
+use specdb_sim::report::{
+    bucketize, improvement, pair_runs, render_rows, render_speculation_summary, PairedRun,
+    SpeculationSummary,
+};
 use specdb_sim::DatasetSpec;
 use specdb_storage::VirtualTime;
 use specdb_trace::{Trace, UserModel, UserModelConfig};
@@ -42,9 +45,7 @@ pub struct BenchEnv {
 impl BenchEnv {
     /// Read the environment (falling back to defaults).
     pub fn from_env() -> Self {
-        let get = |k: &str, d: u64| {
-            std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
-        };
+        let get = |k: &str, d: u64| std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d);
         BenchEnv {
             divisor: get("SPECDB_DIVISOR", 50),
             users: get("SPECDB_USERS", 6) as usize,
@@ -106,10 +107,27 @@ impl PairedCohort {
         }
     }
 
+    /// Aggregate speculation statistics across the treatment outcomes.
+    pub fn speculation(&self) -> SpeculationSummary {
+        SpeculationSummary::from_outcomes(&self.treatment)
+    }
+
+    /// Render the speculation summary (hit rate, waste, calibration when
+    /// the treatment database carried an enabled observer).
+    pub fn speculation_report(
+        &self,
+        calibration: Option<&specdb_obs::CalibrationTracker>,
+    ) -> String {
+        render_speculation_summary(&self.speculation(), calibration)
+    }
+
     /// Mean completed-manipulation duration.
     pub fn mean_manipulation(&self) -> VirtualTime {
-        let times: Vec<VirtualTime> =
-            self.treatment.iter().flat_map(|o| o.manipulation_times.iter().copied()).collect();
+        let times: Vec<VirtualTime> = self
+            .treatment
+            .iter()
+            .flat_map(|o| o.manipulation_times.iter().copied())
+            .collect();
         if times.is_empty() {
             VirtualTime::ZERO
         } else {
@@ -134,7 +152,9 @@ pub fn run_paired(
         let mut db_t = base.clone();
         let t = replay_trace(&mut db_t, trace, treatment).expect("treatment replay");
         drop(db_t);
-        out.pairs.extend(pair_runs(&b.queries, &t.queries));
+        out.pairs.extend(
+            pair_runs(&b.queries, &t.queries).expect("paired replays of one trace must align"),
+        );
         out.treatment.push(t);
     }
     out

@@ -216,8 +216,10 @@ mod tests {
 
     #[test]
     fn string_columns_work() {
-        let vals: Vec<Value> =
-            ["alpha", "beta", "gamma", "delta", "epsilon"].iter().map(|&s| s.into()).collect();
+        let vals: Vec<Value> = ["alpha", "beta", "gamma", "delta", "epsilon"]
+            .iter()
+            .map(|&s| s.into())
+            .collect();
         let h = Histogram::build(&vals);
         assert_eq!(h.total(), 5);
         assert!(h.fraction_le(&Value::Str("zzz".into())) > 0.99);

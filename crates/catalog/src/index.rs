@@ -13,9 +13,7 @@
 
 use crate::schema::Schema;
 use serde::{Deserialize, Serialize};
-use specdb_storage::{
-    AccessKind, BufferPool, HeapFile, StorageResult, Tuple, TupleId, Value,
-};
+use specdb_storage::{AccessKind, BufferPool, HeapFile, StorageResult, Tuple, TupleId, Value};
 use std::ops::Bound;
 
 /// A static ordered index mapping key values to tuple ids.
@@ -155,10 +153,7 @@ fn decode_rid(entry: &Tuple) -> TupleId {
         other => panic!("index entry field {i} should be Int, got {other:?}"),
     };
     TupleId {
-        page: specdb_storage::PageId::new(
-            specdb_storage::FileId(int(1) as u32),
-            int(2) as u32,
-        ),
+        page: specdb_storage::PageId::new(specdb_storage::FileId(int(1) as u32), int(2) as u32),
         slot: int(3) as u16,
     }
 }
@@ -274,7 +269,13 @@ mod tests {
         let mut loader = BulkLoader::new(heap, &pool);
         let mut pairs = Vec::new();
         for i in 0..400i64 {
-            let key = if i < 185 { 1 } else if i < 205 { 5 } else { 9 + i };
+            let key = if i < 185 {
+                1
+            } else if i < 205 {
+                5
+            } else {
+                9 + i
+            };
             let tid = loader.push(&mut pool, &Tuple::new(vec![Value::Int(key)])).unwrap();
             pairs.push((Value::Int(key), tid));
         }

@@ -42,10 +42,8 @@ impl Catalog {
         let id = TableId(self.next_id);
         self.next_id += 1;
         self.by_id.insert(id, name.clone());
-        self.tables.insert(
-            name.clone(),
-            Table { id, name, schema, heap, stats, is_materialized },
-        );
+        self.tables
+            .insert(name.clone(), Table { id, name, schema, heap, stats, is_materialized });
         id
     }
 
@@ -68,8 +66,7 @@ impl Catalog {
     pub fn drop_table(&mut self, pool: &mut BufferPool, name: &str) -> Option<Table> {
         let table = self.tables.remove(name)?;
         self.by_id.remove(&table.id);
-        let keys: Vec<ColKey> =
-            self.indexes.keys().filter(|(t, _)| t == name).cloned().collect();
+        let keys: Vec<ColKey> = self.indexes.keys().filter(|(t, _)| t == name).cloned().collect();
         for k in keys {
             if let Some(idx) = self.indexes.remove(&k) {
                 idx.destroy(pool);

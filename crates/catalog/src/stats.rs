@@ -40,10 +40,7 @@ impl TableStats {
         TableStats {
             rows: 0,
             pages: 0,
-            columns: vec![
-                ColumnStats { distinct: 0, min: None, max: None, nulls: 0 };
-                arity
-            ],
+            columns: vec![ColumnStats { distinct: 0, min: None, max: None, nulls: 0 }; arity],
         }
     }
 

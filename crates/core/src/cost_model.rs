@@ -264,10 +264,9 @@ impl CostModel {
         let est = Estimator::new(db.catalog(), db.pool());
         let (_, tpages) = est.table_size(table);
         let staged = (pages as f64).min(tpages);
-        let build = db.disk().time(&ResourceDemand {
-            seq_reads: staged as u64,
-            ..Default::default()
-        });
+        let build = db
+            .disk()
+            .time(&ResourceDemand { seq_reads: staged as u64, ..Default::default() });
         let delta = -build.as_secs_f64();
         let p_c = self.completion(profile, elapsed, build);
         Scored { score: p_c * delta * 0.5, build, delta_secs: delta }
@@ -278,8 +277,8 @@ impl CostModel {
 mod tests {
     use super::*;
     use crate::learner::UniformProfile;
+    use specdb_exec::DatabaseConfig;
     use specdb_query::Selection;
-    use specdb_exec::{DatabaseConfig};
     use specdb_query::{Join, Predicate};
     use specdb_tpch::{generate_into, TpchConfig};
 
@@ -311,7 +310,8 @@ mod tests {
     #[test]
     fn selective_materialization_is_beneficial() {
         let db = db();
-        let cm = CostModel::new(CostModelConfig { use_completion_prob: false, ..Default::default() });
+        let cm =
+            CostModel::new(CostModelConfig { use_completion_prob: false, ..Default::default() });
         let p = UniformProfile { p: 0.9, think_mean_secs: 28.0 };
         let g = partial_with_selection();
         let m = Manipulation::Rewrite { graph: g.clone() };
@@ -323,11 +323,24 @@ mod tests {
     #[test]
     fn survival_probability_scales_score() {
         let db = db();
-        let cm = CostModel::new(CostModelConfig { use_completion_prob: false, ..Default::default() });
+        let cm =
+            CostModel::new(CostModelConfig { use_completion_prob: false, ..Default::default() });
         let g = partial_with_selection();
         let m = Manipulation::Rewrite { graph: g.clone() };
-        let hi = cm.score(&m, &g, &db, &UniformProfile { p: 0.9, think_mean_secs: 28.0 }, VirtualTime::ZERO);
-        let lo = cm.score(&m, &g, &db, &UniformProfile { p: 0.1, think_mean_secs: 28.0 }, VirtualTime::ZERO);
+        let hi = cm.score(
+            &m,
+            &g,
+            &db,
+            &UniformProfile { p: 0.9, think_mean_secs: 28.0 },
+            VirtualTime::ZERO,
+        );
+        let lo = cm.score(
+            &m,
+            &g,
+            &db,
+            &UniformProfile { p: 0.1, think_mean_secs: 28.0 },
+            VirtualTime::ZERO,
+        );
         assert!(hi.score < lo.score, "higher survival → more negative score");
     }
 
@@ -386,7 +399,8 @@ mod tests {
     #[test]
     fn index_scores_negative_when_it_helps() {
         let db = db();
-        let cm = CostModel::new(CostModelConfig { use_completion_prob: false, ..Default::default() });
+        let cm =
+            CostModel::new(CostModelConfig { use_completion_prob: false, ..Default::default() });
         let p = UniformProfile { p: 0.9, think_mean_secs: 28.0 };
         // Very selective predicate (near-key equality) on the biggest
         // table: the index pays. Lower-selectivity predicates correctly
@@ -405,10 +419,12 @@ mod tests {
     #[test]
     fn histogram_benefit_is_heuristic_fraction() {
         let db = db();
-        let cm = CostModel::new(CostModelConfig { use_completion_prob: false, ..Default::default() });
+        let cm =
+            CostModel::new(CostModelConfig { use_completion_prob: false, ..Default::default() });
         let p = UniformProfile { p: 1.0, think_mean_secs: 28.0 };
         let g = partial_with_selection();
-        let m = Manipulation::CreateHistogram { table: "customer".into(), column: "c_nation".into() };
+        let m =
+            Manipulation::CreateHistogram { table: "customer".into(), column: "c_nation".into() };
         let s = cm.score(&m, &g, &db, &p, VirtualTime::ZERO);
         assert!(s.score < 0.0);
         // Histogram benefit is small relative to materialization benefit.
@@ -430,7 +446,8 @@ mod tests {
     #[test]
     fn join_materialization_scored() {
         let db = db();
-        let cm = CostModel::new(CostModelConfig { use_completion_prob: false, ..Default::default() });
+        let cm =
+            CostModel::new(CostModelConfig { use_completion_prob: false, ..Default::default() });
         let p = UniformProfile { p: 0.9, think_mean_secs: 28.0 };
         let mut g = QueryGraph::new();
         g.add_join(Join::new("orders", "o_custkey", "customer", "c_custkey"));

@@ -25,9 +25,9 @@ use logistic::OnlineLogistic;
 use serde::{Deserialize, Serialize};
 use specdb_query::{EditOp, Join, PartialQuery, QueryGraph, Selection};
 use specdb_storage::VirtualTime;
+use std::collections::HashMap;
 use survival::{DecayCounter, KeyedCounters};
 use think::ThinkTimeModel;
-use std::collections::HashMap;
 
 /// Supplies the probability terms the cost model needs.
 pub trait Profile {
@@ -478,9 +478,8 @@ mod tests {
         }
         assert_eq!(l.observed_gos(), restored.observed_gos());
         assert!(
-            (l.p_think_exceeds(secs(0), secs(10))
-                - restored.p_think_exceeds(secs(0), secs(10)))
-            .abs()
+            (l.p_think_exceeds(secs(0), secs(10)) - restored.p_think_exceeds(secs(0), secs(10)))
+                .abs()
                 < 1e-12
         );
     }

@@ -36,8 +36,7 @@ impl DecayCounter {
 
     /// Current rate estimate.
     pub fn estimate(&self) -> f64 {
-        (self.successes + self.prior_mean * self.prior_weight)
-            / (self.trials + self.prior_weight)
+        (self.successes + self.prior_mean * self.prior_weight) / (self.trials + self.prior_weight)
     }
 
     /// Effective number of observed trials (decayed).
@@ -49,44 +48,14 @@ impl DecayCounter {
 /// A family of [`DecayCounter`]s keyed by a feature (e.g. `(table,
 /// column)` for selection survival). Unknown keys report the prior.
 ///
-/// Keys are tuples, which JSON cannot use as object keys, so the map
-/// serializes as a list of pairs.
+/// Keys are tuples, which JSON cannot use as object keys; the serde
+/// layer represents maps as lists of pairs, so they survive JSON as-is.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct KeyedCounters<K: Eq + Hash + Clone> {
-    #[serde(with = "map_as_pairs", bound(serialize = "K: serde::Serialize", deserialize = "K: serde::de::DeserializeOwned"))]
     counters: HashMap<K, DecayCounter>,
     decay: f64,
     prior_mean: f64,
     prior_weight: f64,
-}
-
-/// Serialize a `HashMap` as a sequence of `(key, value)` pairs so that
-/// non-string keys survive JSON.
-mod map_as_pairs {
-    use super::DecayCounter;
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-    use std::collections::HashMap;
-    use std::hash::Hash;
-
-    pub fn serialize<K, S>(
-        map: &HashMap<K, DecayCounter>,
-        serializer: S,
-    ) -> Result<S::Ok, S::Error>
-    where
-        K: Serialize + Eq + Hash,
-        S: Serializer,
-    {
-        serializer.collect_seq(map.iter())
-    }
-
-    pub fn deserialize<'de, K, D>(deserializer: D) -> Result<HashMap<K, DecayCounter>, D::Error>
-    where
-        K: serde::de::DeserializeOwned + Eq + Hash,
-        D: Deserializer<'de>,
-    {
-        let pairs: Vec<(K, DecayCounter)> = Vec::deserialize(deserializer)?;
-        Ok(pairs.into_iter().collect())
-    }
 }
 
 impl<K: Eq + Hash + Clone> KeyedCounters<K> {
@@ -98,7 +67,10 @@ impl<K: Eq + Hash + Clone> KeyedCounters<K> {
     /// Record an outcome for a key.
     pub fn update(&mut self, key: K, success: bool) {
         let (decay, pm, pw) = (self.decay, self.prior_mean, self.prior_weight);
-        self.counters.entry(key).or_insert_with(|| DecayCounter::new(decay, pm, pw)).update(success);
+        self.counters
+            .entry(key)
+            .or_insert_with(|| DecayCounter::new(decay, pm, pw))
+            .update(success);
     }
 
     /// Estimate for a key (prior mean when unseen).

@@ -72,12 +72,12 @@ impl Manipulation {
             Manipulation::Null => true,
             Manipulation::DataStage { table, .. } => partial.has_relation(table),
             Manipulation::CreateHistogram { table, column }
-            | Manipulation::CreateIndex { table, column } => partial
-                .selections_on(table)
-                .any(|s| &s.pred.column == column)
-                || partial.joins_on(table).any(|j| {
-                    j.other(table).map(|(c, _, _)| c == column).unwrap_or(false)
-                }),
+            | Manipulation::CreateIndex { table, column } => {
+                partial.selections_on(table).any(|s| &s.pred.column == column)
+                    || partial
+                        .joins_on(table)
+                        .any(|j| j.other(table).map(|(c, _, _)| c == column).unwrap_or(false))
+            }
             Manipulation::Materialize { graph } | Manipulation::Rewrite { graph } => {
                 partial.contains(graph)
             }
@@ -167,7 +167,8 @@ mod tests {
     #[test]
     fn index_support_via_selection_or_join_column() {
         let p = partial();
-        let on_sel = Manipulation::CreateIndex { table: "customer".into(), column: "c_nation".into() };
+        let on_sel =
+            Manipulation::CreateIndex { table: "customer".into(), column: "c_nation".into() };
         assert!(on_sel.supported_by(&p));
         let on_join =
             Manipulation::CreateIndex { table: "orders".into(), column: "o_custkey".into() };
@@ -186,9 +187,6 @@ mod tests {
     #[test]
     fn kind_labels() {
         assert_eq!(Manipulation::Null.kind(), "null");
-        assert_eq!(
-            Manipulation::Materialize { graph: QueryGraph::new() }.kind(),
-            "materialize"
-        );
+        assert_eq!(Manipulation::Materialize { graph: QueryGraph::new() }.kind(), "materialize");
     }
 }

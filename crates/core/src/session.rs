@@ -151,8 +151,7 @@ impl SpeculativeSession {
         // Cancel an outstanding manipulation the edit invalidated.
         if let Some(out) = &self.outstanding {
             let finished = out.handle.is_finished();
-            if !finished && self.speculator.should_cancel(&out.manipulation, self.partial.graph())
-            {
+            if !finished && self.speculator.should_cancel(&out.manipulation, self.partial.graph()) {
                 out.cancel.cancel();
                 let out = self.outstanding.take().unwrap();
                 let _ = out.handle.join();
@@ -340,8 +339,7 @@ mod tests {
         // Run the same final query twice: once plain, once after the
         // session has had think time to materialize.
         let q_sql = |db: &Database| {
-            specdb_query::parse_sql(db, "SELECT * FROM customer WHERE c_nation = 'PERU'")
-                .unwrap()
+            specdb_query::parse_sql(db, "SELECT * FROM customer WHERE c_nation = 'PERU'").unwrap()
         };
         // Plain run (cold).
         let mut plain = db();

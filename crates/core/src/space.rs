@@ -287,8 +287,7 @@ mod tests {
         let db = db();
         let space = ManipulationSpace::new(SpaceConfig::staging_only());
         let ms = space.enumerate(&partial(), &db);
-        let stages: Vec<&Manipulation> =
-            ms.iter().filter(|m| m.kind() == "stage").collect();
+        let stages: Vec<&Manipulation> = ms.iter().filter(|m| m.kind() == "stage").collect();
         assert_eq!(stages.len(), 2, "customer and orders are on the canvas");
         assert!(ms.iter().all(|m| m.is_null() || m.kind() == "stage"));
     }

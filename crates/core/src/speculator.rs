@@ -192,10 +192,8 @@ mod tests {
         let spec = Speculator::default();
         // Mean think time of 1 ms: completion probability ≈ 0, and with
         // min_benefit filtering the speculator stays idle.
-        let spec_filtered = Speculator::new(SpeculatorConfig {
-            min_benefit_secs: 0.05,
-            ..Default::default()
-        });
+        let spec_filtered =
+            Speculator::new(SpeculatorConfig { min_benefit_secs: 0.05, ..Default::default() });
         let impatient = UniformProfile { p: 0.9, think_mean_secs: 0.001 };
         let d = spec_filtered.decide(&partial(), &db, &impatient, VirtualTime::ZERO);
         assert!(d.is_idle(), "score {}", d.score);

@@ -1,0 +1,132 @@
+#![warn(missing_docs)]
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the macro-and-builder surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion::bench_function`,
+//! `Bencher::iter`, `black_box`) backed by a simple adaptive wall-clock
+//! timer: each routine is run in growing batches until the measurement
+//! window is long enough to trust, then mean ns/iteration is printed.
+//! No statistics, plots, or baselines — just honest numbers on stderr.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark registry and configuration, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Measure `routine` and print its mean time per iteration.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+            routine(&mut b);
+            total += b.elapsed;
+            iters += b.iters;
+        }
+        if iters == 0 {
+            eprintln!("bench {name:<40} (no iterations recorded)");
+        } else {
+            let ns = total.as_nanos() as f64 / iters as f64;
+            eprintln!("bench {name:<40} {ns:>14.1} ns/iter ({iters} iters)");
+        }
+        self
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, auto-scaling the batch size so the measurement
+    /// window is at least a few milliseconds.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || n >= 1 << 20 {
+                self.elapsed = elapsed;
+                self.iters = n;
+                return;
+            }
+            n = n.saturating_mul(4);
+        }
+    }
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emit a `main` that runs the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| black_box(1 + 1)));
+        c.bench_function("counts", |b| {
+            b.iter(|| ran += 1);
+        });
+        assert!(ran > 0);
+    }
+}

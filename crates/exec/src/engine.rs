@@ -11,11 +11,13 @@ use crate::context::{CancelToken, ExecCtx};
 use crate::error::{ExecError, ExecResult};
 use crate::estimate::Estimator;
 use crate::optimizer::{self, qualify, JoinOrder};
+use crate::plan::Plan;
 use crate::rewrite::{
     rewrite_candidates_with, rewrite_greedy_with, MatchMode, ViewDef, ViewRegistry,
 };
 use crate::run;
 use specdb_catalog::{Catalog, ColumnDef, Schema, TableStats};
+use specdb_obs::Observer;
 use specdb_query::{canonical_key, ColumnResolver, Query, QueryGraph};
 use specdb_storage::{
     BufferPool, DiskModel, HeapFile, ResourceDemand, Tuple, VirtualTime, PAGE_SIZE,
@@ -211,6 +213,17 @@ impl Database {
         &self.pool
     }
 
+    /// Attach an observer: page/disk traffic is counted by the pool,
+    /// and the engine emits per-query and plan-choice events.
+    pub fn set_observer(&mut self, observer: Observer) {
+        self.pool.set_observer(observer);
+    }
+
+    /// The observer attached to this database (disabled by default).
+    pub fn observer(&self) -> &Observer {
+        self.pool.observer()
+    }
+
     /// The view registry (read-only).
     pub fn views(&self) -> &ViewRegistry {
         &self.views
@@ -314,8 +327,11 @@ impl Database {
     /// natively. Pages stay pinned until [`Database::unstage`]. At most a
     /// quarter of the buffer pool is ever pinned per call.
     pub fn stage(&mut self, table: &str, pages: u32) -> ExecResult<OpOutcome> {
-        let heap =
-            self.catalog.table(table).ok_or_else(|| ExecError::UnknownTable(table.into()))?.heap;
+        let heap = self
+            .catalog
+            .table(table)
+            .ok_or_else(|| ExecError::UnknownTable(table.into()))?
+            .heap;
         let snap = self.pool.snapshot();
         // Cap *total* staged pins at a quarter of the pool so staging can
         // never starve the executor of evictable frames.
@@ -428,15 +444,54 @@ impl Database {
             })?;
         }
         let demand = self.pool.demand_since(snap);
+        let elapsed = self.disk.time(&demand);
+        self.emit_query_events(&plan, row_count, elapsed, &used_views);
         Ok(QueryOutput {
             rows,
             row_count,
             cols: plan.cols.clone(),
             demand,
-            elapsed: self.disk.time(&demand),
+            elapsed,
             plan: plan.explain(),
             used_views,
         })
+    }
+
+    /// Publish per-query observability: a `QueryFinished` event, one
+    /// `PlanChosen` event per base-relation access, and counters.
+    fn emit_query_events(
+        &self,
+        plan: &Plan,
+        row_count: u64,
+        elapsed: VirtualTime,
+        used_views: &[String],
+    ) {
+        let observer = self.pool.observer();
+        let metrics = observer.metrics();
+        metrics.counter("exec.queries").incr();
+        if !used_views.is_empty() {
+            metrics.counter("exec.queries.view_rewritten").incr();
+        }
+        if observer.wants(specdb_obs::EventKind::PlanChosen) {
+            plan.visit_accesses(&mut |table, access| {
+                observer.emit(specdb_obs::Event::PlanChosen {
+                    table: table.to_string(),
+                    access: access.to_string(),
+                });
+            });
+        }
+        if metrics.is_enabled() {
+            plan.visit_accesses(&mut |_, access| {
+                metrics.counter(&format!("exec.plan.{access}")).incr();
+            });
+        }
+        if observer.wants(specdb_obs::EventKind::QueryFinished) {
+            observer.emit(specdb_obs::Event::QueryFinished {
+                rows: row_count,
+                cost_secs: elapsed.as_secs_f64(),
+                used_views: used_views.to_vec(),
+            });
+        }
     }
 
     /// Pick the rewriting the current [`ViewMode`] dictates.
@@ -458,16 +513,11 @@ impl Database {
                     rewrite_candidates_with(query, &self.views, self.match_mode).into_iter();
                 let (orig_q, orig_used) =
                     candidates.next().expect("candidates always include the original");
-                let orig_t = optimizer::estimate_query_time(
-                    &self.catalog,
-                    &self.pool,
-                    &self.disk,
-                    &orig_q,
-                )?;
+                let orig_t =
+                    optimizer::estimate_query_time(&self.catalog, &self.pool, &self.disk, &orig_q)?;
                 let mut best = (orig_q, orig_used, orig_t);
-                let threshold = VirtualTime::from_micros(
-                    (orig_t.as_micros() as f64 * SWITCH_MARGIN) as u64,
-                );
+                let threshold =
+                    VirtualTime::from_micros((orig_t.as_micros() as f64 * SWITCH_MARGIN) as u64);
                 for (cand, used) in candidates {
                     let t = optimizer::estimate_query_time(
                         &self.catalog,
@@ -511,8 +561,7 @@ impl Database {
         // in the graph's (sorted) relation order.
         let mut columns: Vec<ColumnDef> = Vec::new();
         for rel in graph.relations() {
-            let t =
-                self.catalog.table(rel).ok_or_else(|| ExecError::UnknownTable(rel.into()))?;
+            let t = self.catalog.table(rel).ok_or_else(|| ExecError::UnknownTable(rel.into()))?;
             for c in t.schema.columns() {
                 columns.push(ColumnDef::new(qualify(rel, &c.name), c.ty));
             }
@@ -616,6 +665,13 @@ impl Database {
     pub fn estimate_query_time(&self, query: &Query) -> ExecResult<VirtualTime> {
         let (chosen, _) = self.choose_rewrite(query)?;
         optimizer::estimate_query_time(&self.catalog, &self.pool, &self.disk, &chosen)
+    }
+
+    /// Optimizer estimate for `query` with view rewriting disabled —
+    /// the counterfactual "what would this cost against base tables",
+    /// used to calibrate the speculator's predicted per-query benefit.
+    pub fn estimate_query_time_base(&self, query: &Query) -> ExecResult<VirtualTime> {
+        optimizer::estimate_query_time(&self.catalog, &self.pool, &self.disk, query)
     }
 
     /// Optimizer estimates for materializing `graph` now.
@@ -812,10 +868,9 @@ mod tests {
     #[test]
     fn type_mismatch_on_load() {
         let mut db = Database::new(DatabaseConfig::with_buffer_pages(16));
-        db.create_table("t", Schema::new(vec![ColumnDef::new("a", DataType::Int)])).unwrap();
-        let err = db
-            .load("t", vec![Tuple::new(vec![Value::Str("oops".into())])])
-            .unwrap_err();
+        db.create_table("t", Schema::new(vec![ColumnDef::new("a", DataType::Int)]))
+            .unwrap();
+        let err = db.load("t", vec![Tuple::new(vec![Value::Str("oops".into())])]).unwrap_err();
         assert!(matches!(err, ExecError::TypeMismatch { .. }));
     }
 
@@ -944,18 +999,23 @@ mod tests {
         // sum = 250/5 * (20+21+22+23+24) = 50 * 110 = 5500.
         assert_eq!(row.get(3), &Value::Float(5500.0));
         assert_eq!(row.get(4), &Value::Float(22.0));
-        assert_eq!(out.cols, vec!["count(*)", "min(employee.age)", "max(employee.age)",
-            "sum(employee.age)", "avg(employee.age)"]);
+        assert_eq!(
+            out.cols,
+            vec![
+                "count(*)",
+                "min(employee.age)",
+                "max(employee.age)",
+                "sum(employee.age)",
+                "avg(employee.age)"
+            ]
+        );
     }
 
     #[test]
     fn group_by_produces_sorted_groups() {
         let mut db = emp_db();
-        let q = parse_sql(
-            &db,
-            "SELECT age, count(*) FROM employee WHERE age < 23 GROUP BY age",
-        )
-        .unwrap();
+        let q = parse_sql(&db, "SELECT age, count(*) FROM employee WHERE age < 23 GROUP BY age")
+            .unwrap();
         let out = db.execute(&q).unwrap();
         assert_eq!(out.row_count, 3);
         for (i, row) in out.rows.iter().enumerate() {
@@ -980,11 +1040,8 @@ mod tests {
     #[test]
     fn aggregates_survive_view_rewriting() {
         let mut db = emp_db();
-        let q = parse_sql(
-            &db,
-            "SELECT age, count(*) FROM employee WHERE age < 30 GROUP BY age",
-        )
-        .unwrap();
+        let q = parse_sql(&db, "SELECT age, count(*) FROM employee WHERE age < 30 GROUP BY age")
+            .unwrap();
         let before = db.execute(&q).unwrap();
         let mut sub = QueryGraph::new();
         sub.add_selection(Selection::new("employee", Predicate::new("age", CompareOp::Lt, 30)));

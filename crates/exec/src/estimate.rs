@@ -208,15 +208,14 @@ impl<'a> Estimator<'a> {
                 // both inputs pays one extra write+read pass.
                 let width = 2.0 + 12.0 * plan.cols.len() as f64;
                 let build_bytes = l.rows * width;
-                let pool_bytes =
-                    (self.pool.capacity() * specdb_storage::PAGE_SIZE) as f64;
+                let pool_bytes = (self.pool.capacity() * specdb_storage::PAGE_SIZE) as f64;
                 let spill_fraction = if self.pool.spill_model() && build_bytes > pool_bytes {
                     1.0 - pool_bytes / build_bytes
                 } else {
                     0.0
                 };
-                let spill_pages = spill_fraction * (l.rows + r.rows) * width
-                    / specdb_storage::PAGE_SIZE as f64;
+                let spill_pages =
+                    spill_fraction * (l.rows + r.rows) * width / specdb_storage::PAGE_SIZE as f64;
                 let mut est = CostEstimate {
                     rows: (l.rows * r.rows * sel * res_sel).max(0.0),
                     seq_pages: spill_pages,
@@ -305,13 +304,7 @@ impl<'a> Estimator<'a> {
                 PlanNode::SeqScan { table, .. } | PlanNode::IndexScan { table, .. } => self
                     .catalog
                     .table(table)
-                    .map(|t| {
-                        t.stats
-                            .columns
-                            .get(key)
-                            .map(|c| c.distinct)
-                            .unwrap_or(1)
-                    })
+                    .map(|t| t.stats.columns.get(key).map(|c| c.distinct).unwrap_or(1))
                     .unwrap_or(1),
                 _ => (self.estimate(p).rows / 10.0).max(1.0) as u64,
             }
@@ -420,11 +413,7 @@ mod tests {
         let seq = Plan {
             node: PlanNode::SeqScan {
                 table: "t".into(),
-                filters: vec![BoundPred {
-                    idx: 0,
-                    op: CompareOp::Eq,
-                    value: Value::Int(10),
-                }],
+                filters: vec![BoundPred { idx: 0, op: CompareOp::Eq, value: Value::Int(10) }],
             },
             cols: vec!["t.id".into(), "t.grp".into()],
         };

@@ -28,9 +28,7 @@ pub mod rewrite;
 pub mod run;
 
 pub use context::{CancelToken, ExecCtx};
-pub use engine::{
-    Database, DatabaseConfig, MaterializeOutcome, OpOutcome, QueryOutput, ViewMode,
-};
+pub use engine::{Database, DatabaseConfig, MaterializeOutcome, OpOutcome, QueryOutput, ViewMode};
 pub use error::{ExecError, ExecResult};
 pub use estimate::{CostEstimate, Estimator};
 pub use optimizer::JoinOrder;

@@ -98,7 +98,11 @@ pub fn plan_query_with(
         let mut cols = plan.cols.clone();
         cols.extend(right.cols.iter().cloned());
         plan = Plan {
-            node: PlanNode::NestedLoop { left: Box::new(plan), right: Box::new(right), cond: vec![] },
+            node: PlanNode::NestedLoop {
+                left: Box::new(plan),
+                right: Box::new(right),
+                cond: vec![],
+            },
             cols,
         };
     }
@@ -131,10 +135,7 @@ pub fn plan_query_with(
             cols.push(format!("{a}"));
             aggs.push((a.func, pos));
         }
-        return Ok(Plan {
-            node: PlanNode::Aggregate { input: Box::new(plan), group, aggs },
-            cols,
-        });
+        return Ok(Plan { node: PlanNode::Aggregate { input: Box::new(plan), group, aggs }, cols });
     }
     // Projection.
     if !query.projections.is_empty() {
@@ -189,8 +190,7 @@ fn plan_component(
             if edges.is_empty() {
                 continue;
             }
-            let candidate =
-                join_candidate(catalog, est, disk, graph, &plan, rel, acc, &edges)?;
+            let candidate = join_candidate(catalog, est, disk, graph, &plan, rel, acc, &edges)?;
             let rows = est.estimate(&candidate).rows;
             if best.as_ref().map(|(_, _, r)| rows < *r).unwrap_or(true) {
                 best = Some((i, candidate, rows));
@@ -271,8 +271,7 @@ fn plan_component_dp(
                 let edges: Vec<&Join> = graph
                     .joins()
                     .filter(|j| {
-                        (in_set(&j.left) && j.right == rel)
-                            || (in_set(&j.right) && j.left == rel)
+                        (in_set(&j.left) && j.right == rel) || (in_set(&j.right) && j.left == rel)
                     })
                     .collect();
                 let sels: Vec<&Selection> = graph.selections_on(rel).collect();
@@ -290,10 +289,7 @@ fn plan_component_dp(
         }
     }
     let full = if n >= 32 { u32::MAX } else { (1u32 << n) - 1 };
-    table
-        .remove(&full)
-        .map(|(p, _)| p)
-        .ok_or(ExecError::EmptyQuery)
+    table.remove(&full).map(|(p, _)| p).ok_or(ExecError::EmptyQuery)
 }
 
 /// Best access path for one relation given its selections.
@@ -305,8 +301,7 @@ fn access_plan(
     sels: &[&Selection],
 ) -> ExecResult<Plan> {
     let table = catalog.table(rel).ok_or_else(|| ExecError::UnknownTable(rel.into()))?;
-    let cols: Vec<String> =
-        table.schema.columns().iter().map(|c| qualify(rel, &c.name)).collect();
+    let cols: Vec<String> = table.schema.columns().iter().map(|c| qualify(rel, &c.name)).collect();
     let bind = |s: &Selection| -> ExecResult<BoundPred> {
         let idx = table.schema.index_of(&s.pred.column).ok_or_else(|| {
             ExecError::UnknownColumn { rel: rel.into(), column: s.pred.column.clone() }
@@ -397,10 +392,9 @@ fn join_candidate(
     let resolved: Vec<(usize, String)> =
         edges.iter().map(|j| resolve(j)).collect::<ExecResult<Vec<_>>>()?;
     let inner_pos = |q: &str| -> ExecResult<usize> {
-        access.col_index(q).ok_or_else(|| ExecError::UnknownColumn {
-            rel: rel.into(),
-            column: q.into(),
-        })
+        access
+            .col_index(q)
+            .ok_or_else(|| ExecError::UnknownColumn { rel: rel.into(), column: q.into() })
     };
 
     let mut out_cols = plan.cols.clone();
@@ -449,9 +443,13 @@ fn join_candidate(
     // index on the (unqualified) join column; inner filters re-bound to
     // stored positions.
     if let Some(table) = catalog.table(rel) {
-        let inner_col = edges[0]
-            .other(rel)
-            .map(|_| if edges[0].left == rel { edges[0].lcol.clone() } else { edges[0].rcol.clone() });
+        let inner_col = edges[0].other(rel).map(|_| {
+            if edges[0].left == rel {
+                edges[0].lcol.clone()
+            } else {
+                edges[0].rcol.clone()
+            }
+        });
         if let Some(inner_col) = inner_col {
             if catalog.index(rel, &inner_col).is_some() {
                 let inner_filters: Vec<BoundPred> = graph
@@ -577,10 +575,7 @@ mod tests {
     fn join_query() -> Query {
         let mut g = QueryGraph::new();
         g.add_join(Join::new("orders", "cust", "customer", "id"));
-        g.add_selection(Selection::new(
-            "customer",
-            Predicate::new("region", CompareOp::Eq, 2i64),
-        ));
+        g.add_selection(Selection::new("customer", Predicate::new("region", CompareOp::Eq, 2i64)));
         Query::star(g)
     }
 

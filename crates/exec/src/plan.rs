@@ -126,6 +126,28 @@ impl Plan {
         self.cols.iter().position(|c| c == qualified)
     }
 
+    /// Call `f(table, access)` for every base-relation access in the
+    /// plan tree: `seq_scan`, `index_scan`, or `index_probe` (the inner
+    /// side of an index nested-loop join). Used for plan-choice
+    /// observability.
+    pub fn visit_accesses(&self, f: &mut impl FnMut(&str, &str)) {
+        match &self.node {
+            PlanNode::SeqScan { table, .. } => f(table, "seq_scan"),
+            PlanNode::IndexScan { table, .. } => f(table, "index_scan"),
+            PlanNode::HashJoin { left, right, .. } | PlanNode::NestedLoop { left, right, .. } => {
+                left.visit_accesses(f);
+                right.visit_accesses(f);
+            }
+            PlanNode::IndexNLJoin { outer, inner_table, .. } => {
+                outer.visit_accesses(f);
+                f(inner_table, "index_probe");
+            }
+            PlanNode::Project { input, .. } | PlanNode::Aggregate { input, .. } => {
+                input.visit_accesses(f)
+            }
+        }
+    }
+
     /// One-line operator description (indented tree via [`Plan::explain`]).
     fn describe(&self) -> String {
         match &self.node {

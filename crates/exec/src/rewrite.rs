@@ -149,11 +149,9 @@ fn view_matches(view: &QueryGraph, query: &QueryGraph, mode: MatchMode) -> bool 
         MatchMode::Subsume => {
             view.relations().all(|r| query.has_relation(r))
                 && view.joins().all(|vj| query.joins().any(|qj| qj == vj))
-                && view.selections().all(|vs| {
-                    query
-                        .selections_on(&vs.rel)
-                        .any(|qs| qs.pred.implies(&vs.pred))
-                })
+                && view
+                    .selections()
+                    .all(|vs| query.selections_on(&vs.rel).any(|qs| qs.pred.implies(&vs.pred)))
         }
     }
 }
@@ -216,8 +214,7 @@ pub fn apply_view(query: &Query, view: &ViewDef) -> Query {
             (rel.to_string(), col.to_string())
         }
     };
-    let projections =
-        query.projections.iter().map(|(rel, col)| retarget(rel, col)).collect();
+    let projections = query.projections.iter().map(|(rel, col)| retarget(rel, col)).collect();
     // The aggregate layer sits on top of the core: its column references
     // retarget exactly like projections.
     let agg = query.agg.as_ref().map(|a| specdb_query::AggSpec {
@@ -440,8 +437,7 @@ mod tests {
         assert_eq!(reg.applicable_with(&g, MatchMode::Subsume).count(), 1);
         // The rewritten query keeps the stronger predicate as a residual
         // over the view's qualified column.
-        let (rewritten, used) =
-            rewrite_greedy_with(&Query::star(g), &reg, MatchMode::Subsume);
+        let (rewritten, used) = rewrite_greedy_with(&Query::star(g), &reg, MatchMode::Subsume);
         assert_eq!(used.len(), 1);
         assert!(rewritten.graph.has_relation("mv_sigr"));
         let residuals: Vec<_> = rewritten.graph.selections().collect();
@@ -469,7 +465,7 @@ mod tests {
     fn subsumption_requires_exact_joins() {
         let mut reg = ViewRegistry::new();
         reg.register(view_rs_join()); // R ⋈a S with σ(R.c>10)
-        // Same selection (stronger), but a different join column.
+                                      // Same selection (stronger), but a different join column.
         let mut g = QueryGraph::new();
         g.add_join(Join::new("R", "z", "S", "z"));
         g.add_selection(sel("R", "c", CompareOp::Gt, 99));

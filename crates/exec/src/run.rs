@@ -31,25 +31,30 @@ pub fn run(
         PlanNode::HashJoin { left, right, lkey, rkey, residual } => {
             hash_join(left, right, *lkey, *rkey, residual, catalog, ctx, out)
         }
-        PlanNode::IndexNLJoin { outer, inner_table, inner_column, okey, inner_filters, residual } => {
-            index_nl_join(
-                outer,
-                inner_table,
-                inner_column,
-                *okey,
-                inner_filters,
-                residual,
-                catalog,
-                ctx,
-                out,
-            )
-        }
+        PlanNode::IndexNLJoin {
+            outer,
+            inner_table,
+            inner_column,
+            okey,
+            inner_filters,
+            residual,
+        } => index_nl_join(
+            outer,
+            inner_table,
+            inner_column,
+            *okey,
+            inner_filters,
+            residual,
+            catalog,
+            ctx,
+            out,
+        ),
         PlanNode::NestedLoop { left, right, cond } => {
             nested_loop(left, right, cond, catalog, ctx, out)
         }
-        PlanNode::Project { input, keep } => run(input, catalog, ctx, &mut |t| {
-            out(t.project(keep))
-        }),
+        PlanNode::Project { input, keep } => {
+            run(input, catalog, ctx, &mut |t| out(t.project(keep)))
+        }
         PlanNode::Aggregate { input, group, aggs } => {
             aggregate(input, group, aggs, catalog, ctx, out)
         }
@@ -154,7 +159,11 @@ fn aggregate(
 }
 
 /// Execute a plan and collect all results (convenience wrapper).
-pub fn run_collect(plan: &Plan, catalog: &Catalog, ctx: &mut ExecCtx<'_>) -> ExecResult<Vec<Tuple>> {
+pub fn run_collect(
+    plan: &Plan,
+    catalog: &Catalog,
+    ctx: &mut ExecCtx<'_>,
+) -> ExecResult<Vec<Tuple>> {
     let mut rows = Vec::new();
     run(plan, catalog, ctx, &mut |t| {
         rows.push(t);
@@ -300,8 +309,7 @@ fn hash_join(
     })?;
     if spill_fraction > 0.0 {
         let page = specdb_storage::PAGE_SIZE as f64;
-        let pages =
-            (spill_fraction * (build_bytes + probe_bytes) as f64 / page).ceil() as u64;
+        let pages = (spill_fraction * (build_bytes + probe_bytes) as f64 / page).ceil() as u64;
         ctx.pool.charge_io(pages, pages);
     }
     Ok(())
@@ -326,12 +334,13 @@ fn index_nl_join(
     // The outer side is materialized first: the index probes borrow the
     // pool mutably, so streaming both sides at once is not possible.
     let outer_rows = run_collect(outer, catalog, ctx)?;
-    let index = catalog.index(inner_table, inner_column).ok_or_else(|| {
-        ExecError::UnknownColumn {
-            rel: inner_table.into(),
-            column: format!("{inner_column} (no index)"),
-        }
-    })?;
+    let index =
+        catalog
+            .index(inner_table, inner_column)
+            .ok_or_else(|| ExecError::UnknownColumn {
+                rel: inner_table.into(),
+                column: format!("{inner_column} (no index)"),
+            })?;
     for o in &outer_rows {
         ctx.cancel.check()?;
         let key = o.get(okey);
@@ -369,8 +378,7 @@ fn nested_loop(
     run(right, catalog, ctx, &mut |r| {
         right_count += 1;
         for l in &left_rows {
-            let pass =
-                cond.iter().all(|&(li, ri)| l.get(li) == r.get(ri) && !l.get(li).is_null());
+            let pass = cond.iter().all(|&(li, ri)| l.get(li) == r.get(ri) && !l.get(li).is_null());
             if pass {
                 out(l.concat(&r))?;
             }
@@ -581,7 +589,11 @@ mod tests {
         );
         let nl = Plan {
             cols: vec!["dept.id".into(), "dept.name".into(), "d2.id".into(), "d2.name".into()],
-            node: PlanNode::NestedLoop { left: Box::new(left), right: Box::new(right), cond: vec![] },
+            node: PlanNode::NestedLoop {
+                left: Box::new(left),
+                right: Box::new(right),
+                cond: vec![],
+            },
         };
         let mut ctx = ExecCtx::new(&mut pool);
         let rows = run_collect(&nl, &cat, &mut ctx).unwrap();
@@ -618,10 +630,7 @@ mod tests {
         let (mut pool, cat) = fixture();
         let plan = scan("ghost", &["ghost.x"], vec![]);
         let mut ctx = ExecCtx::new(&mut pool);
-        assert!(matches!(
-            run_collect(&plan, &cat, &mut ctx),
-            Err(ExecError::UnknownTable(_))
-        ));
+        assert!(matches!(run_collect(&plan, &cat, &mut ctx), Err(ExecError::UnknownTable(_))));
     }
 
     #[test]

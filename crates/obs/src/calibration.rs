@@ -1,0 +1,200 @@
+//! Prediction-vs-reality bookkeeping for the speculator's cost model.
+//!
+//! The speculator bets on manipulations using two predictions: how long
+//! a build will take (`build`) and how much think time remains before
+//! the user issues GO (`delta`). [`CalibrationTracker`] pairs each
+//! prediction with the virtual time that actually elapsed and
+//! summarizes how far off the model runs — the paper's premise only
+//! holds when `build <= delta`, so systematic overconfidence here shows
+//! up directly as cancelled-at-GO waste.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Cap on retained samples per channel; enough for any experiment here
+/// while bounding memory for pathological drivers.
+const MAX_SAMPLES: usize = 65_536;
+
+#[derive(Debug, Default)]
+struct Channel {
+    /// `(predicted, actual)` pairs, both in virtual seconds.
+    samples: Vec<(f64, f64)>,
+    dropped: u64,
+}
+
+impl Channel {
+    fn record(&mut self, predicted: f64, actual: f64) {
+        if !predicted.is_finite() || !actual.is_finite() {
+            return;
+        }
+        if self.samples.len() >= MAX_SAMPLES {
+            self.dropped += 1;
+            return;
+        }
+        self.samples.push((predicted, actual));
+    }
+
+    fn report(&self) -> Option<CalibrationReport> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        // Relative error against the realized value; tiny actuals fall
+        // back to absolute error so a 2ms-vs-0 prediction doesn't blow
+        // the summary up to infinity.
+        let mut rel_errors: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|&(predicted, actual)| {
+                let denom = actual.abs();
+                if denom < 1e-9 {
+                    (predicted - actual).abs()
+                } else {
+                    (predicted - actual).abs() / denom
+                }
+            })
+            .collect();
+        rel_errors.sort_by(|a, b| a.total_cmp(b));
+        let count = rel_errors.len();
+        let quantile = |q: f64| rel_errors[((count - 1) as f64 * q).round() as usize];
+        let signed_sum: f64 =
+            self.samples.iter().map(|&(predicted, actual)| predicted - actual).sum();
+        Some(CalibrationReport {
+            count: count as u64,
+            dropped: self.dropped,
+            mean_abs_rel_err: rel_errors.iter().sum::<f64>() / count as f64,
+            p50_rel_err: quantile(0.5),
+            p90_rel_err: quantile(0.9),
+            max_rel_err: rel_errors[count - 1],
+            mean_signed_err_secs: signed_sum / count as f64,
+        })
+    }
+}
+
+/// Summary of one prediction channel's accuracy.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationReport {
+    /// Number of `(predicted, actual)` pairs summarized.
+    pub count: u64,
+    /// Pairs discarded after the retention cap was hit.
+    pub dropped: u64,
+    /// Mean of `|predicted - actual| / |actual|`.
+    pub mean_abs_rel_err: f64,
+    /// Median relative error.
+    pub p50_rel_err: f64,
+    /// 90th-percentile relative error.
+    pub p90_rel_err: f64,
+    /// Worst relative error observed.
+    pub max_rel_err: f64,
+    /// Mean of `predicted - actual` in seconds; positive means the
+    /// model systematically overestimates.
+    pub mean_signed_err_secs: f64,
+}
+
+/// Collects predicted-vs-realized timing pairs for the two quantities
+/// the speculator predicts: manipulation build time and think-time
+/// delta until GO.
+#[derive(Debug, Default)]
+pub struct CalibrationTracker {
+    build: Mutex<Channel>,
+    delta: Mutex<Channel>,
+}
+
+impl CalibrationTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        CalibrationTracker::default()
+    }
+
+    /// Record a completed build: what the cost model predicted vs the
+    /// virtual time the build actually took, both in seconds.
+    pub fn record_build(&self, predicted_secs: f64, actual_secs: f64) {
+        self.build.lock().record(predicted_secs, actual_secs);
+    }
+
+    /// Record a think-time prediction: the `delta` the speculator
+    /// assumed vs the virtual time that actually passed before GO.
+    pub fn record_delta(&self, predicted_secs: f64, actual_secs: f64) {
+        self.delta.lock().record(predicted_secs, actual_secs);
+    }
+
+    /// Accuracy summary for build-time predictions, if any were made.
+    pub fn build_report(&self) -> Option<CalibrationReport> {
+        self.build.lock().report()
+    }
+
+    /// Accuracy summary for think-time predictions, if any were made.
+    pub fn delta_report(&self) -> Option<CalibrationReport> {
+        self.delta.lock().report()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tracker_reports_none() {
+        let tracker = CalibrationTracker::new();
+        assert!(tracker.build_report().is_none());
+        assert!(tracker.delta_report().is_none());
+    }
+
+    #[test]
+    fn perfect_predictions_have_zero_error() {
+        let tracker = CalibrationTracker::new();
+        for v in [0.5, 1.0, 8.0] {
+            tracker.record_build(v, v);
+        }
+        let report = tracker.build_report().unwrap();
+        assert_eq!(report.count, 3);
+        assert_eq!(report.mean_abs_rel_err, 0.0);
+        assert_eq!(report.max_rel_err, 0.0);
+        assert_eq!(report.mean_signed_err_secs, 0.0);
+    }
+
+    #[test]
+    fn relative_error_math_checks_out() {
+        let tracker = CalibrationTracker::new();
+        tracker.record_build(1.5, 1.0); // +50% rel err, signed +0.5
+        tracker.record_build(0.5, 1.0); // -50% rel err, signed -0.5
+        let report = tracker.build_report().unwrap();
+        assert!((report.mean_abs_rel_err - 0.5).abs() < 1e-12);
+        assert!((report.p50_rel_err - 0.5).abs() < 1e-12);
+        assert!((report.max_rel_err - 0.5).abs() < 1e-12);
+        assert!(report.mean_signed_err_secs.abs() < 1e-12);
+    }
+
+    #[test]
+    fn near_zero_actuals_fall_back_to_absolute_error() {
+        let tracker = CalibrationTracker::new();
+        tracker.record_delta(0.002, 0.0);
+        let report = tracker.delta_report().unwrap();
+        assert!((report.mean_abs_rel_err - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_samples_are_ignored() {
+        let tracker = CalibrationTracker::new();
+        tracker.record_build(f64::NAN, 1.0);
+        tracker.record_build(1.0, f64::INFINITY);
+        assert!(tracker.build_report().is_none());
+    }
+
+    #[test]
+    fn channels_are_independent() {
+        let tracker = CalibrationTracker::new();
+        tracker.record_build(1.0, 1.0);
+        assert!(tracker.build_report().is_some());
+        assert!(tracker.delta_report().is_none());
+    }
+
+    #[test]
+    fn report_serializes_round_trip() {
+        let tracker = CalibrationTracker::new();
+        tracker.record_build(2.0, 1.0);
+        let report = tracker.build_report().unwrap();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: CalibrationReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

@@ -1,0 +1,339 @@
+//! Typed structured events and pluggable sinks.
+//!
+//! Events are coarse by design: per-page buffer traffic goes to metrics
+//! counters, while sinks receive lifecycle-grade occurrences (an
+//! eviction, a finished query, each step of a speculation's life).
+//! Producers must call [`EventSink::wants`] (usually via
+//! `Observer::wants`) before building a payload so a disinterested sink
+//! costs one virtual call, not an allocation.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+
+/// The reason a running manipulation was abandoned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CancelReason {
+    /// A query edit invalidated the bet before it finished.
+    Edit,
+    /// The user issued GO while the build was still running.
+    Go,
+}
+
+/// Discriminant of [`Event`], used for sink-side filtering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A page was evicted from the buffer pool.
+    BufferEviction,
+    /// A query finished executing.
+    QueryFinished,
+    /// The optimizer settled on an access path for one relation.
+    PlanChosen,
+    /// The speculator chose a manipulation to bet on.
+    SpecDecision,
+    /// A manipulation build started.
+    SpecStarted,
+    /// A manipulation build was cancelled.
+    SpecCancelled,
+    /// A manipulation build ran to completion.
+    SpecCompleted,
+    /// A materialized result was garbage-collected.
+    SpecCollected,
+    /// A completed manipulation was used by the final query.
+    SpecUsed,
+    /// A completed manipulation expired without ever being used.
+    SpecWasted,
+}
+
+/// A structured occurrence somewhere in the system.
+///
+/// Serialized (externally tagged) as one JSON object per event, which is
+/// what [`JsonlSink`] writes per line.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// A page left the buffer pool to make room.
+    BufferEviction {
+        /// Backing file of the evicted page.
+        file: u32,
+        /// Page number within the file.
+        page: u64,
+    },
+    /// A query finished executing.
+    QueryFinished {
+        /// Rows produced.
+        rows: u64,
+        /// Virtual execution time in seconds.
+        cost_secs: f64,
+        /// Names of materialized views the chosen plan read.
+        used_views: Vec<String>,
+    },
+    /// The optimizer settled on an access path for one relation.
+    PlanChosen {
+        /// Relation being accessed.
+        table: String,
+        /// Chosen physical access path (e.g. `seq_scan`, `index_scan`).
+        access: String,
+    },
+    /// The speculator chose a manipulation to bet on.
+    SpecDecision {
+        /// Rendered manipulation (e.g. `materialize(R.a<10)`).
+        manipulation: String,
+        /// Expected-benefit score that won the comparison.
+        score: f64,
+        /// Predicted build time in virtual seconds.
+        predicted_build_secs: f64,
+        /// Predicted remaining think time in seconds.
+        predicted_delta_secs: f64,
+    },
+    /// A manipulation build started.
+    SpecStarted {
+        /// Rendered manipulation.
+        manipulation: String,
+        /// Result table/index name the build will produce.
+        table: String,
+    },
+    /// A manipulation build was cancelled before completion.
+    SpecCancelled {
+        /// Rendered manipulation.
+        manipulation: String,
+        /// Result name the build would have produced.
+        table: String,
+        /// Why it was abandoned.
+        reason: CancelReason,
+    },
+    /// A manipulation build ran to completion.
+    SpecCompleted {
+        /// Rendered manipulation.
+        manipulation: String,
+        /// Result name now available to the optimizer.
+        table: String,
+        /// Realized build time in virtual seconds.
+        build_secs: f64,
+    },
+    /// A speculative result was garbage-collected.
+    SpecCollected {
+        /// Result name that was dropped.
+        table: String,
+    },
+    /// A completed manipulation was read by the plan of a GO query.
+    SpecUsed {
+        /// Result name the plan read.
+        table: String,
+    },
+    /// A completed manipulation was dropped without ever being read.
+    SpecWasted {
+        /// Result name that never paid off.
+        table: String,
+    },
+}
+
+impl Event {
+    /// This event's [`EventKind`] discriminant.
+    pub fn kind(&self) -> EventKind {
+        match self {
+            Event::BufferEviction { .. } => EventKind::BufferEviction,
+            Event::QueryFinished { .. } => EventKind::QueryFinished,
+            Event::PlanChosen { .. } => EventKind::PlanChosen,
+            Event::SpecDecision { .. } => EventKind::SpecDecision,
+            Event::SpecStarted { .. } => EventKind::SpecStarted,
+            Event::SpecCancelled { .. } => EventKind::SpecCancelled,
+            Event::SpecCompleted { .. } => EventKind::SpecCompleted,
+            Event::SpecCollected { .. } => EventKind::SpecCollected,
+            Event::SpecUsed { .. } => EventKind::SpecUsed,
+            Event::SpecWasted { .. } => EventKind::SpecWasted,
+        }
+    }
+}
+
+/// One timestamped event as serialized to a JSONL line.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TimedEvent {
+    /// Virtual time of the occurrence, in microseconds.
+    pub t_micros: u64,
+    /// The occurrence itself.
+    pub event: Event,
+}
+
+/// Destination for structured events. Implementations must be
+/// thread-safe; `record` may be called from builder threads.
+pub trait EventSink: Send + Sync {
+    /// Whether this sink cares about events of `kind`. Producers skip
+    /// payload construction entirely when this returns false.
+    fn wants(&self, kind: EventKind) -> bool;
+
+    /// Record one event stamped with a virtual time in microseconds.
+    fn record(&self, at_micros: u64, event: &Event);
+}
+
+/// A sink that wants nothing and records nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopSink;
+
+impl EventSink for NoopSink {
+    fn wants(&self, _kind: EventKind) -> bool {
+        false
+    }
+
+    fn record(&self, _at_micros: u64, _event: &Event) {}
+}
+
+/// A sink buffering events in memory, for tests and report building.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<(u64, Event)>>,
+}
+
+impl MemorySink {
+    /// An empty in-memory sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// A copy of everything recorded so far.
+    pub fn events(&self) -> Vec<(u64, Event)> {
+        self.events.lock().clone()
+    }
+
+    /// Drain and return everything recorded so far.
+    pub fn take(&self) -> Vec<(u64, Event)> {
+        std::mem::take(&mut self.events.lock())
+    }
+}
+
+impl EventSink for MemorySink {
+    fn wants(&self, _kind: EventKind) -> bool {
+        true
+    }
+
+    fn record(&self, at_micros: u64, event: &Event) {
+        self.events.lock().push((at_micros, event.clone()));
+    }
+}
+
+/// A sink writing one JSON object per event to a line-oriented writer.
+pub struct JsonlSink {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonlSink {
+    /// Wrap any writer (a `File`, `Vec<u8>`, a locked stdout, ...).
+    pub fn new(writer: impl Write + Send + 'static) -> Self {
+        JsonlSink { out: Mutex::new(Box::new(writer)) }
+    }
+
+    /// Create (truncating) `path` and stream events to it.
+    pub fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        Ok(JsonlSink::new(std::io::BufWriter::new(std::fs::File::create(path)?)))
+    }
+
+    /// Flush the underlying writer.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.out.lock().flush()
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.out.lock().flush();
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn wants(&self, _kind: EventKind) -> bool {
+        true
+    }
+
+    fn record(&self, at_micros: u64, event: &Event) {
+        let timed = TimedEvent { t_micros: at_micros, event: event.clone() };
+        let line = serde_json::to_string(&timed).expect("event serialization cannot fail");
+        let mut out = self.out.lock();
+        // An unwritable sink shouldn't take the experiment down with it.
+        let _ = writeln!(out, "{line}");
+    }
+}
+
+/// Parse the contents of a JSONL event stream back into timed events.
+pub fn parse_jsonl(input: &str) -> Result<Vec<TimedEvent>, serde_json::Error> {
+    input
+        .lines()
+        .filter(|line| !line.trim().is_empty())
+        .map(serde_json::from_str)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::SpecDecision {
+                manipulation: "materialize(R)".into(),
+                score: 1.25,
+                predicted_build_secs: 0.5,
+                predicted_delta_secs: 3.0,
+            },
+            Event::SpecStarted { manipulation: "materialize(R)".into(), table: "spec_R".into() },
+            Event::SpecCancelled {
+                manipulation: "materialize(R)".into(),
+                table: "spec_R".into(),
+                reason: CancelReason::Edit,
+            },
+            Event::BufferEviction { file: 3, page: 17 },
+            Event::QueryFinished { rows: 42, cost_secs: 0.75, used_views: vec!["spec_R".into()] },
+        ]
+    }
+
+    #[test]
+    fn kinds_match_variants() {
+        assert_eq!(sample_events()[0].kind(), EventKind::SpecDecision);
+        assert_eq!(sample_events()[2].kind(), EventKind::SpecCancelled);
+        assert_eq!(sample_events()[3].kind(), EventKind::BufferEviction);
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let buffer: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().write(buf)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let sink = JsonlSink::new(Shared(buffer.clone()));
+        for (i, event) in sample_events().into_iter().enumerate() {
+            sink.record(i as u64 * 1000, &event);
+        }
+        sink.flush().unwrap();
+
+        let text = String::from_utf8(buffer.lock().clone()).unwrap();
+        assert_eq!(text.lines().count(), sample_events().len());
+        let parsed = parse_jsonl(&text).unwrap();
+        assert_eq!(parsed.len(), sample_events().len());
+        for (i, (timed, original)) in parsed.iter().zip(sample_events()).enumerate() {
+            assert_eq!(timed.t_micros, i as u64 * 1000);
+            assert_eq!(timed.event, original);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_jsonl("{\"not\": \"an event\"}").is_err());
+        assert!(parse_jsonl("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn memory_sink_take_drains() {
+        let sink = MemorySink::new();
+        sink.record(5, &Event::SpecCollected { table: "x".into() });
+        assert_eq!(sink.events().len(), 1);
+        assert_eq!(sink.take().len(), 1);
+        assert!(sink.events().is_empty());
+    }
+}

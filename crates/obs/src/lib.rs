@@ -1,0 +1,171 @@
+//! Observability substrate for the speculative query processor.
+//!
+//! Everything the rest of the workspace needs to answer "what did the
+//! system do, and were its predictions any good?" lives here:
+//!
+//! * [`MetricsRegistry`] — named counters, gauges and histograms with
+//!   cheap atomic updates and a zero-overhead disabled mode (a disabled
+//!   counter is a `None` branch, not an atomic).
+//! * [`Event`] / [`EventSink`] — typed structured events covering buffer
+//!   pool traffic, operator execution and the full speculation
+//!   lifecycle, fanned out to pluggable sinks ([`MemorySink`],
+//!   [`JsonlSink`], or the free [`NoopSink`]).
+//! * [`CalibrationTracker`] — pairs the speculator's *predicted* build
+//!   times and think-time deltas with the *realized* virtual times, and
+//!   summarizes relative error.
+//! * [`Observer`] — a cheaply clonable bundle of the three, carrying a
+//!   shared virtual-time "now" so events are stamped in experiment time
+//!   rather than wall time.
+//!
+//! This crate sits below the storage layer on purpose: it knows nothing
+//! about pages, queries or speculation policy, and represents time as
+//! plain microsecond integers so any clock can drive it.
+
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod events;
+pub mod metrics;
+
+pub use calibration::{CalibrationReport, CalibrationTracker};
+pub use events::{CancelReason, Event, EventKind, EventSink, JsonlSink, MemorySink, NoopSink};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A cheaply clonable bundle of metrics, event sink, calibration
+/// tracker, and the current virtual time.
+///
+/// Subsystems hold a clone and never care whether observability is on:
+/// [`Observer::disabled`] makes every operation a near-free no-op.
+#[derive(Clone)]
+pub struct Observer {
+    metrics: MetricsRegistry,
+    sink: Arc<dyn EventSink>,
+    calibration: Arc<CalibrationTracker>,
+    now_micros: Arc<AtomicU64>,
+}
+
+impl Observer {
+    /// An observer that records metrics and calibration but drops events.
+    pub fn enabled() -> Self {
+        Observer {
+            metrics: MetricsRegistry::new(),
+            sink: Arc::new(NoopSink),
+            calibration: Arc::new(CalibrationTracker::new()),
+            now_micros: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// An observer for which every operation is a no-op.
+    pub fn disabled() -> Self {
+        Observer {
+            metrics: MetricsRegistry::disabled(),
+            sink: Arc::new(NoopSink),
+            calibration: Arc::new(CalibrationTracker::new()),
+            now_micros: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Replace the event sink, keeping metrics and calibration.
+    pub fn with_sink(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// The metrics registry backing this observer.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The calibration tracker backing this observer.
+    pub fn calibration(&self) -> &CalibrationTracker {
+        &self.calibration
+    }
+
+    /// Advance the shared virtual clock used to stamp events.
+    ///
+    /// The clock is monotone: attempts to move it backwards are ignored,
+    /// so concurrent writers can race harmlessly.
+    pub fn set_now_micros(&self, micros: u64) {
+        self.now_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// The current virtual time in microseconds.
+    pub fn now_micros(&self) -> u64 {
+        self.now_micros.load(Ordering::Relaxed)
+    }
+
+    /// Whether any sink wants events of `kind`.
+    ///
+    /// Hot paths should check this before constructing an event payload.
+    pub fn wants(&self, kind: EventKind) -> bool {
+        self.sink.wants(kind)
+    }
+
+    /// Record `event` at the current virtual time.
+    pub fn emit(&self, event: Event) {
+        self.emit_at(self.now_micros(), event);
+    }
+
+    /// Record `event` at an explicit virtual time in microseconds.
+    pub fn emit_at(&self, at_micros: u64, event: Event) {
+        if self.sink.wants(event.kind()) {
+            self.sink.record(at_micros, &event);
+        }
+    }
+}
+
+impl Default for Observer {
+    fn default() -> Self {
+        Observer::disabled()
+    }
+}
+
+impl std::fmt::Debug for Observer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Observer")
+            .field("metrics_enabled", &self.metrics.is_enabled())
+            .field("now_micros", &self.now_micros())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_observer_is_inert() {
+        let obs = Observer::disabled();
+        let c = obs.metrics().counter("x");
+        c.incr();
+        assert!(obs.metrics().snapshot().counters.is_empty());
+        assert!(!obs.wants(EventKind::SpecDecision));
+        obs.emit(Event::SpecCollected { table: "t".into() });
+    }
+
+    #[test]
+    fn clock_is_monotone_and_shared() {
+        let obs = Observer::enabled();
+        let clone = obs.clone();
+        obs.set_now_micros(500);
+        clone.set_now_micros(300);
+        assert_eq!(obs.now_micros(), 500);
+        clone.set_now_micros(900);
+        assert_eq!(obs.now_micros(), 900);
+    }
+
+    #[test]
+    fn sink_receives_stamped_events() {
+        let sink = Arc::new(MemorySink::new());
+        let obs = Observer::enabled().with_sink(sink.clone());
+        obs.set_now_micros(1_000_000);
+        obs.emit(Event::SpecStarted { manipulation: "mat(R)".into(), table: "R".into() });
+        let events = sink.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].0, 1_000_000);
+        assert_eq!(events[0].1.kind(), EventKind::SpecStarted);
+    }
+}

@@ -1,0 +1,413 @@
+//! Named counters, gauges and histograms with atomic updates.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are resolved once by
+//! name and then updated lock-free (counters/gauges) or under a short
+//! mutex (histograms). A registry created with
+//! [`MetricsRegistry::disabled`] hands out empty handles whose update
+//! methods compile down to a branch on `None` — hot paths keep their
+//! handles unconditionally and pay nothing when observability is off.
+
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of power-of-two magnitude buckets a histogram tracks.
+const HIST_BUCKETS: usize = 64;
+
+/// A monotonically increasing counter handle.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Add one to the counter.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 for disabled handles).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// A last-value-wins gauge handle holding an `f64`.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// Set the gauge to `value`.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        if let Some(cell) = &self.0 {
+            cell.store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0.0 for disabled handles).
+    pub fn get(&self) -> f64 {
+        self.0.as_ref().map_or(0.0, |cell| f64::from_bits(cell.load(Ordering::Relaxed)))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCell {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    /// Bucket `i` counts samples whose magnitude rounds to `2^(i-32)`,
+    /// giving usable resolution from ~2e-10 up to ~4e9.
+    buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for HistogramCell {
+    fn default() -> Self {
+        HistogramCell { count: 0, sum: 0.0, min: 0.0, max: 0.0, buckets: [0; HIST_BUCKETS] }
+    }
+}
+
+fn bucket_index(value: f64) -> usize {
+    let v = value.abs().max(f64::MIN_POSITIVE);
+    let exp = v.log2().round() as i64 + 32;
+    exp.clamp(0, HIST_BUCKETS as i64 - 1) as usize
+}
+
+impl HistogramCell {
+    fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+        self.buckets[bucket_index(value)] += 1;
+    }
+}
+
+/// A distribution-tracking histogram handle.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Option<Arc<Mutex<HistogramCell>>>);
+
+impl Histogram {
+    /// Record one sample.
+    pub fn record(&self, value: f64) {
+        if let Some(cell) = &self.0 {
+            cell.lock().record(value);
+        }
+    }
+}
+
+/// Serializable point-in-time summary of one histogram.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Smallest sample (0.0 when empty).
+    pub min: f64,
+    /// Largest sample (0.0 when empty).
+    pub max: f64,
+    /// Magnitude-bucket counts (power-of-two scale).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSummary {
+    /// Mean of recorded samples, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`, resolved to bucket
+    /// midpoints on the power-of-two scale. Returns 0.0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * (self.count.saturating_sub(1)) as f64).round() as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if n > 0 && seen > rank {
+                return (2f64).powi(i as i32 - 32);
+            }
+        }
+        self.max
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Mutex<HistogramCell>>>>,
+}
+
+/// A registry of named metrics; clones share the same underlying cells.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Option<Arc<RegistryInner>>,
+}
+
+impl MetricsRegistry {
+    /// A live registry.
+    pub fn new() -> Self {
+        MetricsRegistry { inner: Some(Arc::new(RegistryInner::default())) }
+    }
+
+    /// A registry whose handles are all no-ops.
+    pub fn disabled() -> Self {
+        MetricsRegistry { inner: None }
+    }
+
+    /// Whether this registry actually records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn resolve<T>(
+        map: &RwLock<BTreeMap<String, Arc<T>>>,
+        name: &str,
+        make: impl FnOnce() -> T,
+    ) -> Arc<T> {
+        if let Some(cell) = map.read().get(name) {
+            return cell.clone();
+        }
+        map.write().entry(name.to_string()).or_insert_with(|| Arc::new(make())).clone()
+    }
+
+    /// Resolve (registering on first use) the counter called `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter(
+            self.inner
+                .as_ref()
+                .map(|inner| Self::resolve(&inner.counters, name, AtomicU64::default)),
+        )
+    }
+
+    /// Resolve (registering on first use) the gauge called `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Gauge(
+            self.inner
+                .as_ref()
+                .map(|inner| Self::resolve(&inner.gauges, name, AtomicU64::default)),
+        )
+    }
+
+    /// Resolve (registering on first use) the histogram called `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        Histogram(
+            self.inner
+                .as_ref()
+                .map(|inner| Self::resolve(&inner.histograms, name, Mutex::default)),
+        )
+    }
+
+    /// Capture the current value of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        let Some(inner) = &self.inner else { return snap };
+        for (name, cell) in inner.counters.read().iter() {
+            snap.counters.insert(name.clone(), cell.load(Ordering::Relaxed));
+        }
+        for (name, cell) in inner.gauges.read().iter() {
+            snap.gauges.insert(name.clone(), f64::from_bits(cell.load(Ordering::Relaxed)));
+        }
+        for (name, cell) in inner.histograms.read().iter() {
+            let cell = cell.lock();
+            snap.histograms.insert(
+                name.clone(),
+                HistogramSummary {
+                    count: cell.count,
+                    sum: cell.sum,
+                    min: cell.min,
+                    max: cell.max,
+                    buckets: cell.buckets.to_vec(),
+                },
+            );
+        }
+        snap
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry").field("enabled", &self.is_enabled()).finish()
+    }
+}
+
+/// A serializable point-in-time capture of a [`MetricsRegistry`].
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl MetricsSnapshot {
+    /// Value of the counter `name`, defaulting to 0.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Activity since `earlier`: counters and histogram counts/sums are
+    /// subtracted (saturating), gauges keep their later value.
+    pub fn diff(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut out = self.clone();
+        for (name, value) in out.counters.iter_mut() {
+            *value = value.saturating_sub(earlier.counter(name));
+        }
+        for (name, hist) in out.histograms.iter_mut() {
+            if let Some(prev) = earlier.histograms.get(name) {
+                hist.count = hist.count.saturating_sub(prev.count);
+                hist.sum -= prev.sum;
+                for (b, p) in hist.buckets.iter_mut().zip(prev.buckets.iter()) {
+                    *b = b.saturating_sub(*p);
+                }
+            }
+        }
+        out
+    }
+
+    /// Render as aligned `name value` lines, for report appendices.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .map(|name| name.len())
+            .max()
+            .unwrap_or(0);
+        for (name, value) in &self.counters {
+            out.push_str(&format!("{name:<width$}  {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            out.push_str(&format!("{name:<width$}  {value:.6}\n"));
+        }
+        for (name, hist) in &self.histograms {
+            out.push_str(&format!(
+                "{name:<width$}  n={} mean={:.4} min={:.4} max={:.4}\n",
+                hist.count,
+                hist.mean(),
+                hist.min,
+                hist.max,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concurrent_increments_all_land() {
+        let registry = MetricsRegistry::new();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let counter = registry.counter("shared");
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        counter.incr();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(registry.snapshot().counter("shared"), 80_000);
+    }
+
+    #[test]
+    fn handles_share_cells_by_name() {
+        let registry = MetricsRegistry::new();
+        registry.counter("a").add(2);
+        registry.counter("a").add(3);
+        assert_eq!(registry.counter("a").get(), 5);
+        registry.gauge("g").set(1.5);
+        assert_eq!(registry.gauge("g").get(), 1.5);
+    }
+
+    #[test]
+    fn snapshot_diff_subtracts_counters() {
+        let registry = MetricsRegistry::new();
+        let c = registry.counter("ops");
+        c.add(10);
+        let before = registry.snapshot();
+        c.add(7);
+        registry.gauge("level").set(3.0);
+        let delta = registry.snapshot().diff(&before);
+        assert_eq!(delta.counter("ops"), 7);
+        assert_eq!(delta.gauges.get("level"), Some(&3.0));
+    }
+
+    #[test]
+    fn histogram_summarizes_distribution() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("lat");
+        for v in [1.0, 2.0, 4.0, 8.0] {
+            h.record(v);
+        }
+        h.record(f64::NAN); // ignored
+        let snap = registry.snapshot();
+        let hist = &snap.histograms["lat"];
+        assert_eq!(hist.count, 4);
+        assert_eq!(hist.min, 1.0);
+        assert_eq!(hist.max, 8.0);
+        assert_eq!(hist.mean(), 3.75);
+        let p0 = hist.quantile(0.0);
+        let p100 = hist.quantile(1.0);
+        assert!(p0 <= p100);
+        assert!((0.5..=2.0).contains(&p0), "p0 {p0}");
+        assert!((4.0..=16.0).contains(&p100), "p100 {p100}");
+    }
+
+    #[test]
+    fn disabled_registry_snapshot_is_empty() {
+        let registry = MetricsRegistry::disabled();
+        registry.counter("x").add(5);
+        registry.histogram("h").record(1.0);
+        let snap = registry.snapshot();
+        assert!(snap.counters.is_empty() && snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn snapshot_serializes_round_trip() {
+        let registry = MetricsRegistry::new();
+        registry.counter("c").add(3);
+        registry.gauge("g").set(0.25);
+        registry.histogram("h").record(2.0);
+        let snap = registry.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -106,9 +106,7 @@ mod tests {
 
     #[test]
     fn parse_and_spell() {
-        for (name, f) in
-            [("count", AggFunc::Count), ("SUM", AggFunc::Sum), ("Avg", AggFunc::Avg)]
-        {
+        for (name, f) in [("count", AggFunc::Count), ("SUM", AggFunc::Sum), ("Avg", AggFunc::Avg)] {
             assert_eq!(AggFunc::parse(name), Some(f));
             assert_eq!(AggFunc::parse(f.sql()), Some(f));
         }

@@ -6,9 +6,7 @@ use std::cmp::Ordering;
 use std::fmt;
 
 /// A comparison operator.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum CompareOp {
     /// `=`
     Eq,

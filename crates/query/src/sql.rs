@@ -140,9 +140,11 @@ fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
                     }
                 }
                 if is_float {
-                    out.push(Token::Float(num.parse().map_err(|_| {
-                        ParseError::Syntax(format!("bad float literal '{num}'"))
-                    })?));
+                    out.push(Token::Float(
+                        num.parse().map_err(|_| {
+                            ParseError::Syntax(format!("bad float literal '{num}'"))
+                        })?,
+                    ));
                 } else {
                     out.push(Token::Int(num.parse().map_err(|_| {
                         ParseError::Syntax(format!("bad integer literal '{num}'"))
@@ -278,9 +280,10 @@ impl<'a, R: ColumnResolver> Parser<'a, R> {
                     Some(Token::Ident(first)) => {
                         if matches!(self.peek(), Some(Token::LParen)) {
                             // Aggregate call: func(*) or func(col).
-                            let func = crate::aggregate::AggFunc::parse(&first).ok_or_else(
-                                || ParseError::Syntax(format!("unknown function '{first}'")),
-                            )?;
+                            let func =
+                                crate::aggregate::AggFunc::parse(&first).ok_or_else(|| {
+                                    ParseError::Syntax(format!("unknown function '{first}'"))
+                                })?;
                             self.next(); // consume '('
                             let arg = if matches!(self.peek(), Some(Token::Star)) {
                                 self.next();
@@ -355,7 +358,10 @@ impl<'a, R: ColumnResolver> Parser<'a, R> {
                 match (lhs, rhs) {
                     (Operand::Column(t, c), Operand::Literal(v)) => {
                         let rel = self.resolve(t, &c)?;
-                        graph.add_selection(Selection::new(rel, Predicate { column: c, op, value: v }));
+                        graph.add_selection(Selection::new(
+                            rel,
+                            Predicate { column: c, op, value: v },
+                        ));
                     }
                     (Operand::Literal(v), Operand::Column(t, c)) => {
                         let rel = self.resolve(t, &c)?;
@@ -373,9 +379,7 @@ impl<'a, R: ColumnResolver> Parser<'a, R> {
                         graph.add_join(Join::new(r1, c1, r2, c2));
                     }
                     (Operand::Literal(_), Operand::Literal(_)) => {
-                        return Err(ParseError::Syntax(
-                            "comparison between two literals".into(),
-                        ))
+                        return Err(ParseError::Syntax("comparison between two literals".into()))
                     }
                 }
                 if self.at_keyword("AND") {
@@ -471,8 +475,7 @@ pub fn parse_sql<R: ColumnResolver>(resolver: &R, sql: &str) -> Result<Query, Pa
 pub fn to_sql(q: &Query) -> String {
     let mut s = String::from("SELECT ");
     if let Some(agg) = &q.agg {
-        let mut items: Vec<String> =
-            agg.group_by.iter().map(|(r, c)| format!("{r}.{c}")).collect();
+        let mut items: Vec<String> = agg.group_by.iter().map(|(r, c)| format!("{r}.{c}")).collect();
         items.extend(agg.aggs.iter().map(|a| format!("{a}")));
         s.push_str(&items.join(", "));
     } else if q.projections.is_empty() {
@@ -506,8 +509,7 @@ pub fn to_sql(q: &Query) -> String {
     if let Some(agg) = &q.agg {
         if !agg.group_by.is_empty() {
             s.push_str(" GROUP BY ");
-            let keys: Vec<String> =
-                agg.group_by.iter().map(|(r, c)| format!("{r}.{c}")).collect();
+            let keys: Vec<String> = agg.group_by.iter().map(|(r, c)| format!("{r}.{c}")).collect();
             s.push_str(&keys.join(", "));
         }
     }
@@ -549,8 +551,8 @@ mod tests {
 
     #[test]
     fn parses_paper_intro_query() {
-        let q = parse_sql(&MapResolver::tpchish(), "SELECT name FROM employee WHERE age<30")
-            .unwrap();
+        let q =
+            parse_sql(&MapResolver::tpchish(), "SELECT name FROM employee WHERE age<30").unwrap();
         assert_eq!(q.projections, vec![("employee".into(), "name".into())]);
         assert_eq!(q.graph.selection_count(), 1);
         let s = q.graph.selections().next().unwrap();
@@ -681,10 +683,7 @@ mod tests {
     #[test]
     fn aggregate_error_cases() {
         let r = MapResolver::tpchish();
-        assert!(matches!(
-            parse_sql(&r, "SELECT sum(*) FROM employee"),
-            Err(ParseError::Syntax(_))
-        ));
+        assert!(matches!(parse_sql(&r, "SELECT sum(*) FROM employee"), Err(ParseError::Syntax(_))));
         assert!(matches!(
             parse_sql(&r, "SELECT name, count(*) FROM employee"),
             Err(ParseError::Syntax(_)) // name not in GROUP BY
@@ -711,8 +710,8 @@ mod tests {
 
     #[test]
     fn negative_numbers() {
-        let q = parse_sql(&MapResolver::tpchish(), "SELECT * FROM employee WHERE age > -5")
-            .unwrap();
+        let q =
+            parse_sql(&MapResolver::tpchish(), "SELECT * FROM employee WHERE age > -5").unwrap();
         assert_eq!(q.graph.selections().next().unwrap().pred.value, Value::Int(-5));
     }
 }

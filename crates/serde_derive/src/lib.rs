@@ -1,0 +1,572 @@
+#![warn(missing_docs)]
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
+//! the stub `serde` crate without `syn`/`quote`: the input token stream
+//! is parsed by hand into a simplified shape (named/tuple/unit structs,
+//! enums with unit/tuple/struct variants, simple type generics) and the
+//! impl is emitted as formatted source text.
+//!
+//! Supported field attributes: `#[serde(skip)]` (not serialized,
+//! defaulted on deserialize) and `#[serde(default)]` (defaulted when the
+//! field is missing). Other `#[serde(...)]` arguments are rejected at
+//! compile time rather than silently ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Ser,
+    De,
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Ser)
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::De)
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse(input).map(|item| generate(&item, mode)) {
+        Ok(code) => code.parse().expect("serde_derive generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Kind {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+struct GenParam {
+    name: String,
+    bounds: String,
+}
+
+struct Item {
+    name: String,
+    generics: Vec<GenParam>,
+    kind: Kind,
+}
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor { toks: ts.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn peek_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`),
+    /// returning the serde flags found in skipped attributes.
+    fn skip_attrs_and_vis(&mut self) -> Result<(bool, bool), String> {
+        let mut skip = false;
+        let mut default = false;
+        loop {
+            if self.peek_punct('#') {
+                self.pos += 1;
+                match self.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        let (s, d) = parse_attr(g.stream())?;
+                        skip |= s;
+                        default |= d;
+                    }
+                    _ => return Err("malformed attribute".into()),
+                }
+            } else if self.eat_ident("pub") {
+                // Swallow `pub(crate)` / `pub(super)` scope groups.
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            } else {
+                return Ok((skip, default));
+            }
+        }
+    }
+
+    /// Consume a type (or bound list) up to a top-level `,`, tracking
+    /// angle-bracket depth. Stops before the comma.
+    fn skip_type(&mut self) {
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+/// Extract (skip, default) from one attribute's token stream.
+fn parse_attr(ts: TokenStream) -> Result<(bool, bool), String> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    match toks.first() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return Ok((false, false)),
+    }
+    let Some(TokenTree::Group(args)) = toks.get(1) else {
+        return Ok((false, false));
+    };
+    let mut skip = false;
+    let mut default = false;
+    for t in args.stream() {
+        match &t {
+            TokenTree::Ident(i) if i.to_string() == "skip" => skip = true,
+            TokenTree::Ident(i) if i.to_string() == "default" => default = true,
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => {
+                return Err(format!(
+                    "unsupported serde attribute argument `{other}` (stub serde_derive supports only `skip` and `default`)"
+                ))
+            }
+        }
+    }
+    Ok((skip, default))
+}
+
+fn parse(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attrs_and_vis()?;
+    let is_enum = if c.eat_ident("struct") {
+        false
+    } else if c.eat_ident("enum") {
+        true
+    } else {
+        return Err("expected `struct` or `enum`".into());
+    };
+    let name = match c.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        _ => return Err("expected type name".into()),
+    };
+    let generics = if c.peek_punct('<') { parse_generics(&mut c)? } else { Vec::new() };
+    if matches!(c.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "where") {
+        return Err("stub serde_derive does not support `where` clauses".into());
+    }
+    let kind = if is_enum {
+        let Some(TokenTree::Group(g)) = c.next() else {
+            return Err("expected enum body".into());
+        };
+        Kind::Enum(parse_variants(g.stream())?)
+    } else {
+        match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(Shape::Named(parse_named_fields(g.stream())?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Struct(Shape::Tuple(count_tuple_fields(g.stream())?))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Struct(Shape::Unit),
+            _ => return Err("expected struct body".into()),
+        }
+    };
+    Ok(Item { name, generics, kind })
+}
+
+fn parse_generics(c: &mut Cursor) -> Result<Vec<GenParam>, String> {
+    assert!(c.eat_punct('<'));
+    let mut params = Vec::new();
+    let mut depth = 1i32;
+    let mut current: Vec<TokenTree> = Vec::new();
+    loop {
+        let Some(t) = c.next() else { return Err("unterminated generics".into()) };
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    if !current.is_empty() {
+                        params.push(gen_param(&current)?);
+                    }
+                    return Ok(params);
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                if !current.is_empty() {
+                    params.push(gen_param(&current)?);
+                }
+                current.clear();
+                continue;
+            }
+            _ => {}
+        }
+        current.push(t);
+    }
+}
+
+fn gen_param(toks: &[TokenTree]) -> Result<GenParam, String> {
+    if matches!(toks.first(), Some(TokenTree::Punct(p)) if p.as_char() == '\'') {
+        return Err("stub serde_derive does not support lifetime parameters".into());
+    }
+    if matches!(toks.first(), Some(TokenTree::Ident(i)) if i.to_string() == "const") {
+        return Err("stub serde_derive does not support const parameters".into());
+    }
+    let name = match toks.first() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        _ => return Err("malformed generic parameter".into()),
+    };
+    let bounds = if matches!(toks.get(1), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+        toks[2..].iter().map(|t| t.to_string()).collect::<Vec<_>>().join(" ")
+    } else {
+        String::new()
+    };
+    Ok(GenParam { name, bounds })
+}
+
+fn parse_named_fields(ts: TokenStream) -> Result<Vec<Field>, String> {
+    let mut c = Cursor::new(ts);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let (skip, default) = c.skip_attrs_and_vis()?;
+        let name = match c.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            Some(other) => return Err(format!("expected field name, found `{other}`")),
+            None => break,
+        };
+        if !c.eat_punct(':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        c.skip_type();
+        c.eat_punct(',');
+        fields.push(Field { name, skip, default });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(ts: TokenStream) -> Result<usize, String> {
+    let mut c = Cursor::new(ts);
+    let mut count = 0usize;
+    while c.peek().is_some() {
+        let (skip, default) = c.skip_attrs_and_vis()?;
+        if skip || default {
+            return Err("serde attributes on tuple-struct fields are not supported".into());
+        }
+        if c.peek().is_none() {
+            break;
+        }
+        c.skip_type();
+        c.eat_punct(',');
+        count += 1;
+    }
+    Ok(count)
+}
+
+fn parse_variants(ts: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(ts);
+    let mut variants = Vec::new();
+    while c.peek().is_some() {
+        c.skip_attrs_and_vis()?;
+        let name = match c.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            Some(other) => return Err(format!("expected variant name, found `{other}`")),
+            None => break,
+        };
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream())?;
+                c.pos += 1;
+                Shape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream())?;
+                c.pos += 1;
+                Shape::Named(f)
+            }
+            _ => Shape::Unit,
+        };
+        if c.peek_punct('=') {
+            return Err("stub serde_derive does not support enum discriminants".into());
+        }
+        c.eat_punct(',');
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+/// `impl<...> Trait for Name<...>` header pieces for the given mode.
+fn impl_header(item: &Item, mode: Mode) -> (String, String) {
+    let bound = match mode {
+        Mode::Ser => "::serde::Serialize",
+        Mode::De => "::serde::Deserialize",
+    };
+    if item.generics.is_empty() {
+        return (String::new(), String::new());
+    }
+    let decls: Vec<String> = item
+        .generics
+        .iter()
+        .map(|p| {
+            if p.bounds.is_empty() {
+                format!("{}: {bound}", p.name)
+            } else {
+                format!("{}: {} + {bound}", p.name, p.bounds)
+            }
+        })
+        .collect();
+    let names: Vec<&str> = item.generics.iter().map(|p| p.name.as_str()).collect();
+    (format!("<{}>", decls.join(", ")), format!("<{}>", names.join(", ")))
+}
+
+fn generate(item: &Item, mode: Mode) -> String {
+    let (decl, args) = impl_header(item, mode);
+    let name = &item.name;
+    match mode {
+        Mode::Ser => {
+            let body = match &item.kind {
+                Kind::Struct(shape) => ser_shape_expr(shape, &SelfAccess::Struct),
+                Kind::Enum(variants) => {
+                    let arms: Vec<String> = variants
+                        .iter()
+                        .map(|v| {
+                            let (pattern, access) = variant_pattern(name, v);
+                            let expr = match &v.shape {
+                                Shape::Unit => {
+                                    format!("::serde::Value::Str({:?}.to_string())", v.name)
+                                }
+                                shape => format!(
+                                    "::serde::Value::tagged({:?}, {})",
+                                    v.name,
+                                    ser_shape_expr(shape, &access)
+                                ),
+                            };
+                            format!("{pattern} => {expr},")
+                        })
+                        .collect();
+                    format!("match self {{ {} }}", arms.join("\n"))
+                }
+            };
+            format!(
+                "impl{decl} ::serde::Serialize for {name}{args} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{ {body} }}\n}}"
+            )
+        }
+        Mode::De => {
+            let body = match &item.kind {
+                Kind::Struct(shape) => de_shape_expr(name, shape, name, "v"),
+                Kind::Enum(variants) => de_enum_expr(name, variants),
+            };
+            format!(
+                "impl{decl} ::serde::Deserialize for {name}{args} {{\n\
+                 fn deserialize(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{ {body} }}\n}}"
+            )
+        }
+    }
+}
+
+/// How generated serialization code reaches the fields.
+enum SelfAccess {
+    /// `self.field` / `self.0` (structs).
+    Struct,
+    /// Bound names from a match pattern (enum variants).
+    Bound(Vec<String>),
+}
+
+fn variant_pattern(enum_name: &str, v: &Variant) -> (String, SelfAccess) {
+    match &v.shape {
+        Shape::Unit => (format!("{enum_name}::{}", v.name), SelfAccess::Bound(Vec::new())),
+        Shape::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            (format!("{enum_name}::{}({})", v.name, binds.join(", ")), SelfAccess::Bound(binds))
+        }
+        Shape::Named(fields) => {
+            let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+            (
+                format!("{enum_name}::{} {{ {} }}", v.name, binds.join(", ")),
+                SelfAccess::Bound(binds),
+            )
+        }
+    }
+}
+
+fn ser_shape_expr(shape: &Shape, access: &SelfAccess) -> String {
+    let field_ref = |i: usize, name: &str| -> String {
+        match access {
+            SelfAccess::Struct => {
+                if name.is_empty() {
+                    format!("&self.{i}")
+                } else {
+                    format!("&self.{name}")
+                }
+            }
+            SelfAccess::Bound(binds) => binds[i].clone(),
+        }
+    };
+    match shape {
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Tuple(1) => {
+            format!("::serde::Serialize::serialize({})", field_ref(0, ""))
+        }
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize({})", field_ref(i, "")))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Named(fields) => {
+            let pushes: Vec<String> = fields
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| !f.skip)
+                .map(|(i, f)| {
+                    format!(
+                        "__pairs.push(({:?}.to_string(), ::serde::Serialize::serialize({})));",
+                        f.name,
+                        field_ref(i, &f.name)
+                    )
+                })
+                .collect();
+            format!(
+                "{{ let mut __pairs: Vec<(String, ::serde::Value)> = Vec::new(); {} ::serde::Value::Object(__pairs) }}",
+                pushes.join(" ")
+            )
+        }
+    }
+}
+
+/// Expression (evaluating to `Result<Self, DeError>`) deserializing
+/// `shape` for constructor path `ctor` from value expression `src`.
+fn de_shape_expr(type_name: &str, shape: &Shape, ctor: &str, src: &str) -> String {
+    match shape {
+        Shape::Unit => format!(
+            "if matches!({src}, ::serde::Value::Null) {{ Ok({ctor}) }} else {{ Err(::serde::DeError::expected(\"null\", {type_name:?})) }}"
+        ),
+        Shape::Tuple(1) => {
+            format!("Ok({ctor}(::serde::Deserialize::deserialize({src})?))")
+        }
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&__items[{i}])?"))
+                .collect();
+            format!(
+                "{{ let __items = {src}.as_array().ok_or_else(|| ::serde::DeError::expected(\"array\", {type_name:?}))?;\n\
+                 if __items.len() != {n} {{ return Err(::serde::DeError::custom(format!(\"expected {n} elements for {type_name}, got {{}}\", __items.len()))); }}\n\
+                 Ok({ctor}({items})) }}",
+                items = items.join(", ")
+            )
+        }
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        format!("{}: ::core::default::Default::default(),", f.name)
+                    } else if f.default {
+                        format!(
+                            "{name}: match ::serde::get_field(__pairs, {name:?}) {{ Some(__x) => ::serde::Deserialize::deserialize(__x)?, None => ::core::default::Default::default() }},",
+                            name = f.name
+                        )
+                    } else {
+                        format!(
+                            "{name}: match ::serde::get_field(__pairs, {name:?}) {{ Some(__x) => ::serde::Deserialize::deserialize(__x)?, None => ::serde::missing_field(concat!({type_name:?}, \".\", {name:?}))? }},",
+                            name = f.name
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "{{ let __pairs = {src}.as_object().ok_or_else(|| ::serde::DeError::expected(\"object\", {type_name:?}))?;\n\
+                 Ok({ctor} {{ {} }}) }}",
+                inits.join(" ")
+            )
+        }
+    }
+}
+
+fn de_enum_expr(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.shape, Shape::Unit))
+        .map(|v| format!("{:?} => Ok({name}::{}),", v.name, v.name))
+        .collect();
+    let payload_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| !matches!(v.shape, Shape::Unit))
+        .map(|v| {
+            let expr = de_shape_expr(name, &v.shape, &format!("{name}::{}", v.name), "__payload");
+            format!("{:?} => {expr},", v.name)
+        })
+        .collect();
+    format!(
+        "match v {{\n\
+         ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+           {unit}\n\
+           __other => Err(::serde::DeError::custom(format!(\"unknown unit variant `{{__other}}` of {name}\"))),\n\
+         }},\n\
+         ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+           let (__tag, __payload) = (&__pairs[0].0, &__pairs[0].1);\n\
+           match __tag.as_str() {{\n\
+             {payload}\n\
+             __other => Err(::serde::DeError::custom(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+           }}\n\
+         }},\n\
+         __other => Err(::serde::DeError::expected(\"enum value\", __other.kind())),\n\
+        }}",
+        unit = unit_arms.join("\n"),
+        payload = payload_arms.join("\n"),
+    )
+}

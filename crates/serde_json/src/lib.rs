@@ -1,0 +1,471 @@
+#![warn(missing_docs)]
+//! Offline stand-in for `serde_json`.
+//!
+//! JSON text encoding/decoding for the stub `serde` crate's [`Value`]
+//! model. Provides the entry points the workspace uses: [`to_string`],
+//! [`to_string_pretty`], [`to_writer_pretty`], [`from_str`], and
+//! [`from_reader`]. Numbers round-trip exactly: integers print as
+//! integers, and floats rely on Rust's shortest-round-trip `Display`.
+
+use serde::Serialize;
+pub use serde::Value;
+use std::io::{Read, Write};
+
+/// A JSON encoding or decoding error.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Serialize a value to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize(), None, 0);
+    Ok(out)
+}
+
+/// Serialize a value to human-indented JSON text.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize(), Some(2), 0);
+    Ok(out)
+}
+
+/// Serialize a value as pretty JSON into a writer.
+pub fn to_writer_pretty<W: Write, T: Serialize + ?Sized>(mut w: W, value: &T) -> Result<(), Error> {
+    let text = to_string_pretty(value)?;
+    w.write_all(text.as_bytes()).map_err(|e| Error::new(format!("write: {e}")))
+}
+
+/// Serialize a value as compact JSON into a writer.
+pub fn to_writer<W: Write, T: Serialize + ?Sized>(mut w: W, value: &T) -> Result<(), Error> {
+    let text = to_string(value)?;
+    w.write_all(text.as_bytes()).map_err(|e| Error::new(format!("write: {e}")))
+}
+
+/// Deserialize a value from JSON text.
+pub fn from_str<T: serde::de::DeserializeOwned>(s: &str) -> Result<T, Error> {
+    let value = parse(s)?;
+    Ok(T::deserialize(&value)?)
+}
+
+/// Deserialize a value from a reader producing JSON text.
+pub fn from_reader<R: Read, T: serde::de::DeserializeOwned>(mut r: R) -> Result<T, Error> {
+    let mut buf = String::new();
+    r.read_to_string(&mut buf).map_err(|e| Error::new(format!("read: {e}")))?;
+    from_str(&buf)
+}
+
+/// Parse JSON text into a [`Value`].
+pub fn parse(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(i) => out.push_str(&i.to_string()),
+        Value::U64(u) => out.push_str(&u.to_string()),
+        Value::F64(f) => {
+            if f.is_finite() {
+                let text = f.to_string();
+                out.push_str(&text);
+                // Keep floats distinguishable from integers on re-parse.
+                if !text.contains('.') && !text.contains('e') && !text.contains('E') {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_json_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_json_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!("expected `{}` at byte {}", b as char, self.pos)))
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            None => Err(Error::new("unexpected end of input")),
+            Some(b'n') => {
+                if self.literal("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(Error::new(format!("invalid literal at byte {}", self.pos)))
+                }
+            }
+            Some(b't') => {
+                if self.literal("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    Err(Error::new(format!("invalid literal at byte {}", self.pos)))
+                }
+            }
+            Some(b'f') => {
+                if self.literal("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(Error::new(format!("invalid literal at byte {}", self.pos)))
+                }
+            }
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => {
+                            return Err(Error::new(format!(
+                                "expected `,` or `]` at byte {}",
+                                self.pos
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut pairs = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let value = self.value()?;
+                    pairs.push((key, value));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(pairs));
+                        }
+                        _ => {
+                            return Err(Error::new(format!(
+                                "expected `,` or `}}` at byte {}",
+                                self.pos
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(_) => self.number(),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast-forward over plain UTF-8 runs.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| Error::new("invalid UTF-8 in string"))?,
+                );
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            // Surrogate pairs.
+                            if (0xD800..0xDC00).contains(&cp) {
+                                if !self.literal("\\u") {
+                                    return Err(Error::new("unpaired surrogate"));
+                                }
+                                let low = self.hex4()?;
+                                let combined =
+                                    0x10000 + ((cp - 0xD800) << 10) + (low.wrapping_sub(0xDC00));
+                                out.push(
+                                    char::from_u32(combined)
+                                        .ok_or_else(|| Error::new("invalid surrogate pair"))?,
+                                );
+                            } else {
+                                out.push(
+                                    char::from_u32(cp)
+                                        .ok_or_else(|| Error::new("invalid \\u escape"))?,
+                                );
+                            }
+                        }
+                        other => {
+                            return Err(Error::new(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(Error::new("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| Error::new("invalid \\u escape"))?;
+        self.pos += 4;
+        u32::from_str_radix(hex, 16).map_err(|_| Error::new("invalid \\u escape"))
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if text.is_empty() || text == "-" {
+            return Err(Error::new(format!("invalid number at byte {start}")));
+        }
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|_| Error::new(format!("invalid number `{text}`")))
+        } else if let Ok(i) = text.parse::<i64>() {
+            Ok(Value::I64(i))
+        } else if let Ok(u) = text.parse::<u64>() {
+            Ok(Value::U64(u))
+        } else {
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|_| Error::new(format!("invalid number `{text}`")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        for (text, v) in [
+            ("null", Value::Null),
+            ("true", Value::Bool(true)),
+            ("-42", Value::I64(-42)),
+            ("18446744073709551615", Value::U64(u64::MAX)),
+            ("1.5", Value::F64(1.5)),
+            ("\"a\\nb\"", Value::Str("a\nb".into())),
+        ] {
+            assert_eq!(parse(text).unwrap(), v, "{text}");
+        }
+    }
+
+    #[test]
+    fn float_round_trips_exactly() {
+        for f in [0.1, 1234.56, -1e-9, std::f64::consts::PI, 1e300] {
+            let text = to_string(&f).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back, f, "{text}");
+        }
+    }
+
+    #[test]
+    fn whole_floats_stay_floats() {
+        let text = to_string(&2.0f64).unwrap();
+        assert_eq!(text, "2.0");
+        assert_eq!(parse(&text).unwrap(), Value::F64(2.0));
+    }
+
+    #[test]
+    fn nested_pretty_parses_back() {
+        let v = Value::Object(vec![
+            ("xs".into(), Value::Array(vec![Value::I64(1), Value::I64(2)])),
+            ("s".into(), Value::Str("hi \"there\"".into())),
+            ("empty".into(), Value::Array(vec![])),
+        ]);
+        let mut buf = Vec::new();
+        to_writer_pretty(&mut buf, &v).unwrap();
+        let back = parse(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        for text in ["{nope", "[1,", "\"unterminated", "1.2.3", "", "[1] extra"] {
+            assert!(parse(text).is_err(), "{text}");
+        }
+    }
+}

@@ -111,10 +111,7 @@ pub fn materialize_all_subset_joins(db: &mut Database) -> ExecResult<usize> {
 /// most `max_subset` relations. The paper notes that "normally, storage
 /// constraints would limit the number of created views"; the bound plays
 /// that role when reproducing Figure 6 on memory-limited hosts.
-pub fn materialize_subset_joins_up_to(
-    db: &mut Database,
-    max_subset: usize,
-) -> ExecResult<usize> {
+pub fn materialize_subset_joins_up_to(db: &mut Database, max_subset: usize) -> ExecResult<usize> {
     let joins = fk_joins();
     let tables: Vec<&str> = TPCH_TABLES.to_vec();
     let n = tables.len();

@@ -71,9 +71,7 @@ fn rollback(db: &mut Database, p: &PendingManip) {
     match (&p.manipulation, &p.table) {
         (_, Some(t)) => db.drop_materialized(t),
         (Manipulation::CreateIndex { table, column }, None) => db.drop_index(table, column),
-        (Manipulation::CreateHistogram { table, column }, None) => {
-            db.drop_histogram(table, column)
-        }
+        (Manipulation::CreateHistogram { table, column }, None) => db.drop_histogram(table, column),
         (Manipulation::DataStage { table, .. }, None) => db.unstage(table),
         _ => {}
     }
@@ -366,10 +364,7 @@ mod tests {
     fn multi_config(speculative: bool) -> ReplayConfig {
         ReplayConfig {
             speculative,
-            speculator: SpeculatorConfig {
-                space: SpaceConfig::multi_user(),
-                ..Default::default()
-            },
+            speculator: SpeculatorConfig { space: SpaceConfig::multi_user(), ..Default::default() },
             ..Default::default()
         }
     }
@@ -461,8 +456,7 @@ mod tests {
         let normal = replay_multi(&mut db_n, &ts, &multi_config(false)).unwrap();
         let mut db_s = base.clone();
         let spec = replay_multi(&mut db_s, &ts, &multi_config(true)).unwrap();
-        let n_total: f64 =
-            normal.per_user.iter().map(|u| u.total().as_secs_f64()).sum();
+        let n_total: f64 = normal.per_user.iter().map(|u| u.total().as_secs_f64()).sum();
         let s_total: f64 = spec.per_user.iter().map(|u| u.total().as_secs_f64()).sum();
         let issued: u64 = spec.per_user.iter().map(|u| u.issued).sum();
         assert!(issued > 0);

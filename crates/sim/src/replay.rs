@@ -21,9 +21,11 @@ use specdb_core::{
     UniformProfile,
 };
 use specdb_exec::{CancelToken, Database, ExecResult};
+use specdb_obs::{CancelReason, Event, EventKind, Observer};
 use specdb_query::PartialQuery;
 use specdb_storage::VirtualTime;
 use specdb_trace::Trace;
+use std::collections::HashMap;
 
 /// Which probability source drives the cost model.
 #[derive(Debug, Clone)]
@@ -180,6 +182,10 @@ pub struct ReplayOutcome {
     /// GO events that waited for a nearly-done manipulation (only with
     /// the wait-at-GO policy).
     pub waited: u64,
+    /// Completed materializations later read by a final query's plan.
+    pub used: u64,
+    /// Completed materializations dropped without ever being read.
+    pub wasted: u64,
 }
 
 impl ReplayOutcome {
@@ -206,6 +212,27 @@ impl ReplayOutcome {
                 / self.manipulation_times.len() as u64
         }
     }
+
+    /// Fraction of completed materializations a final query actually
+    /// read (the paper's bets that paid off).
+    pub fn hit_rate(&self) -> f64 {
+        let resolved = self.used + self.wasted;
+        if resolved == 0 {
+            0.0
+        } else {
+            self.used as f64 / resolved as f64
+        }
+    }
+
+    /// Fraction of issued manipulations whose work was thrown away —
+    /// cancelled mid-build or completed but never read.
+    pub fn waste_ratio(&self) -> f64 {
+        if self.issued == 0 {
+            0.0
+        } else {
+            (self.cancelled + self.wasted) as f64 / self.issued as f64
+        }
+    }
 }
 
 struct Pending {
@@ -215,15 +242,39 @@ struct Pending {
     duration: VirtualTime,
     /// Estimated per-query benefit (positive seconds) at issue time.
     benefit_secs: f64,
+    /// Raw predicted per-query time change (negative = beneficial),
+    /// kept for benefit calibration when the result is used at GO.
+    predicted_delta_secs: f64,
+}
+
+/// A completed materialization awaiting its verdict: read by a final
+/// query (used) or dropped untouched (wasted).
+struct CompletedView {
+    used: bool,
+    predicted_delta_secs: f64,
+}
+
+fn cancel_pending(observer: &Observer, out: &mut ReplayOutcome, p: &Pending, reason: CancelReason) {
+    out.cancelled += 1;
+    let counter = match reason {
+        CancelReason::Edit => "spec.cancelled.edit",
+        CancelReason::Go => "spec.cancelled.go",
+    };
+    observer.metrics().counter(counter).incr();
+    if observer.wants(EventKind::SpecCancelled) {
+        observer.emit(Event::SpecCancelled {
+            manipulation: p.manipulation.to_string(),
+            table: p.table.clone().unwrap_or_default(),
+            reason,
+        });
+    }
 }
 
 fn rollback(db: &mut Database, pending: &Pending) {
     match (&pending.manipulation, &pending.table) {
         (_, Some(t)) => db.drop_materialized(t),
         (Manipulation::CreateIndex { table, column }, None) => db.drop_index(table, column),
-        (Manipulation::CreateHistogram { table, column }, None) => {
-            db.drop_histogram(table, column)
-        }
+        (Manipulation::CreateHistogram { table, column }, None) => db.drop_histogram(table, column),
         (Manipulation::DataStage { table, .. }, None) => db.unstage(table),
         _ => {}
     }
@@ -238,13 +289,44 @@ pub fn replay_trace(
     if config.cold_start {
         db.clear_buffer();
     }
+    let observer = db.observer().clone();
     let speculator = Speculator::new(config.speculator.clone());
     let mut profile = ProfileState::new(&config.profile);
     let mut pq = PartialQuery::new();
     let mut offset = VirtualTime::ZERO;
     let mut pending: Option<Pending> = None;
+    let mut completed_views: HashMap<String, CompletedView> = HashMap::new();
     let mut out = ReplayOutcome::default();
     let mut query_index = 0usize;
+
+    // Register a finished build for used-vs-wasted accounting.
+    fn complete(
+        observer: &Observer,
+        out: &mut ReplayOutcome,
+        completed_views: &mut HashMap<String, CompletedView>,
+        p: &Pending,
+        at: VirtualTime,
+    ) {
+        out.completed += 1;
+        out.manipulation_times.push(p.duration);
+        observer.metrics().counter("spec.completed").incr();
+        if observer.wants(EventKind::SpecCompleted) {
+            observer.emit_at(
+                at.as_micros(),
+                Event::SpecCompleted {
+                    manipulation: p.manipulation.to_string(),
+                    table: p.table.clone().unwrap_or_default(),
+                    build_secs: p.duration.as_secs_f64(),
+                },
+            );
+        }
+        if let Some(table) = &p.table {
+            completed_views.insert(
+                table.clone(),
+                CompletedView { used: false, predicted_delta_secs: p.predicted_delta_secs },
+            );
+        }
+    }
 
     // Issue the best manipulation at `at` if the slot is free; returns
     // the new pending state. (A helper closure is not possible here —
@@ -257,11 +339,22 @@ pub fn replay_trace(
         out: &mut ReplayOutcome,
         at: VirtualTime,
     ) -> ExecResult<Option<Pending>> {
+        let observer = db.observer().clone();
+        observer.set_now_micros(at.as_micros());
         let elapsed_formulation =
             profile.formulation_start().map(|s| at.saturating_sub(s)).unwrap_or_default();
         let decision = speculator.decide(pq.graph(), db, profile.as_profile(), elapsed_formulation);
         if decision.is_idle() {
             return Ok(None);
+        }
+        observer.metrics().counter("spec.decisions").incr();
+        if observer.wants(EventKind::SpecDecision) {
+            observer.emit(Event::SpecDecision {
+                manipulation: decision.manipulation.to_string(),
+                score: decision.score,
+                predicted_build_secs: decision.build.as_secs_f64(),
+                predicted_delta_secs: decision.delta_secs,
+            });
         }
         // Execute now to learn the true duration and effects; the effects
         // become usable at `at + duration` (cancellation before then
@@ -269,12 +362,25 @@ pub fn replay_trace(
         match apply_manipulation(db, &decision.manipulation, CancelToken::new()) {
             Ok(applied) => {
                 out.issued += 1;
+                observer.metrics().counter("spec.issued").incr();
+                // The cost model predicted `decision.build`; the engine
+                // just measured the true virtual build time.
+                observer
+                    .calibration()
+                    .record_build(decision.build.as_secs_f64(), applied.elapsed.as_secs_f64());
+                if observer.wants(EventKind::SpecStarted) {
+                    observer.emit(Event::SpecStarted {
+                        manipulation: decision.manipulation.to_string(),
+                        table: applied.table.clone().unwrap_or_default(),
+                    });
+                }
                 Ok(Some(Pending {
                     manipulation: decision.manipulation,
                     table: applied.table,
                     finish_at: at + applied.elapsed,
                     duration: applied.elapsed,
                     benefit_secs: (-decision.delta_secs).max(0.0),
+                    predicted_delta_secs: decision.delta_secs,
                 }))
             }
             Err(e) if e.is_cancelled() => Ok(None),
@@ -284,6 +390,7 @@ pub fn replay_trace(
 
     for te in &trace.edits {
         let now = te.at + offset;
+        observer.set_now_micros(now.as_micros());
         // Drain completions due before `now`. With pipelining on, each
         // completion frees the single outstanding slot and the speculator
         // immediately issues the next-best manipulation at the completion
@@ -292,8 +399,7 @@ pub fn replay_trace(
             while let Some(p) = pending.take() {
                 if p.finish_at <= now {
                     let completed_at = p.finish_at;
-                    out.completed += 1;
-                    out.manipulation_times.push(p.duration);
+                    complete(&observer, &mut out, &mut completed_views, &p, completed_at);
                     if config.pipeline {
                         pending = issue(db, &speculator, &profile, &pq, &mut out, completed_at)?;
                     }
@@ -317,17 +423,37 @@ pub fn replay_trace(
                 let remaining = p.finish_at.saturating_sub(now);
                 if config.wait_at_go && remaining.as_secs_f64() < p.benefit_secs {
                     wait = remaining;
-                    out.completed += 1;
                     out.waited += 1;
-                    out.manipulation_times.push(p.duration);
+                    complete(&observer, &mut out, &mut completed_views, &p, p.finish_at);
                 } else {
-                    out.cancelled += 1;
+                    cancel_pending(&observer, &mut out, &p, CancelReason::Go);
                     rollback(db, &p);
                 }
             }
             let final_query = pq.query().clone();
             profile.observe_go(now, &final_query.graph);
             let result = db.execute_discard(&final_query)?;
+            // Settle bets: a completed materialization read by this plan
+            // counts as used exactly once, and its predicted per-query
+            // benefit is calibrated against the realized saving.
+            for view in &result.used_views {
+                if let Some(cv) = completed_views.get_mut(view) {
+                    if !cv.used {
+                        cv.used = true;
+                        out.used += 1;
+                        observer.metrics().counter("spec.used").incr();
+                        if observer.wants(EventKind::SpecUsed) {
+                            observer.emit(Event::SpecUsed { table: view.clone() });
+                        }
+                        if let Ok(base) = db.estimate_query_time_base(&final_query) {
+                            observer.calibration().record_delta(
+                                cv.predicted_delta_secs,
+                                result.elapsed.as_secs_f64() - base.as_secs_f64(),
+                            );
+                        }
+                    }
+                }
+            }
             out.queries.push(QueryMeasurement {
                 index: query_index,
                 elapsed: result.elapsed + wait,
@@ -340,10 +466,36 @@ pub fn replay_trace(
             for name in speculator.gc_candidates(db, &final_query.graph) {
                 db.drop_materialized(&name);
                 out.collected += 1;
+                observer.metrics().counter("spec.collected").incr();
+                if observer.wants(EventKind::SpecCollected) {
+                    observer.emit(Event::SpecCollected { table: name.clone() });
+                }
+                if let Some(cv) = completed_views.remove(&name) {
+                    if !cv.used {
+                        out.wasted += 1;
+                        observer.metrics().counter("spec.wasted").incr();
+                        if observer.wants(EventKind::SpecWasted) {
+                            observer.emit(Event::SpecWasted { table: name.clone() });
+                        }
+                    }
+                }
             }
             for table in db.unsupported_staged(&final_query.graph) {
                 db.unstage(&table);
                 out.collected += 1;
+                observer.metrics().counter("spec.collected").incr();
+                if observer.wants(EventKind::SpecCollected) {
+                    observer.emit(Event::SpecCollected { table: table.clone() });
+                }
+                if let Some(cv) = completed_views.remove(&table) {
+                    if !cv.used {
+                        out.wasted += 1;
+                        observer.metrics().counter("spec.wasted").incr();
+                        if observer.wants(EventKind::SpecWasted) {
+                            observer.emit(Event::SpecWasted { table: table.clone() });
+                        }
+                    }
+                }
             }
             continue;
         }
@@ -352,7 +504,7 @@ pub fn replay_trace(
         // Cancel the in-flight manipulation if the edit invalidated it.
         if let Some(p) = pending.take() {
             if speculator.should_cancel(&p.manipulation, pq.graph()) {
-                out.cancelled += 1;
+                cancel_pending(&observer, &mut out, &p, CancelReason::Edit);
                 rollback(db, &p);
             } else {
                 pending = Some(p);
@@ -360,6 +512,17 @@ pub fn replay_trace(
         }
         if config.speculative && pending.is_none() {
             pending = issue(db, &speculator, &profile, &pq, &mut out, now)?;
+        }
+    }
+    // Builds that survived the final GC without ever being read are
+    // sunk cost all the same.
+    for (table, cv) in &completed_views {
+        if !cv.used {
+            out.wasted += 1;
+            observer.metrics().counter("spec.wasted").incr();
+            if observer.wants(EventKind::SpecWasted) {
+                observer.emit(Event::SpecWasted { table: table.clone() });
+            }
         }
     }
     Ok(out)
@@ -402,9 +565,8 @@ mod tests {
         for seed in 0..3 {
             let trace = small_trace(12, 100 + seed);
             let mut db1 = base.clone();
-            normal_total += replay_trace(&mut db1, &trace, &ReplayConfig::normal())
-                .unwrap()
-                .total();
+            normal_total +=
+                replay_trace(&mut db1, &trace, &ReplayConfig::normal()).unwrap().total();
             let mut db2 = base.clone();
             let s = replay_trace(&mut db2, &trace, &ReplayConfig::speculative()).unwrap();
             spec_total += s.total();
@@ -448,10 +610,7 @@ mod tests {
         // Measure the manipulation's deterministic virtual build time and
         // benefit, then craft a GO instant that lands inside the wait
         // window: remaining = benefit/2 < benefit.
-        let sel = Selection::new(
-            "lineitem",
-            Predicate::new("l_quantity", CompareOp::Le, 2i64),
-        );
+        let sel = Selection::new("lineitem", Predicate::new("l_quantity", CompareOp::Le, 2i64));
         let sub = {
             let mut g = specdb_query::QueryGraph::new();
             g.add_selection(sel.clone());
@@ -461,8 +620,7 @@ mod tests {
             let mut probe = base.clone();
             probe.clear_buffer();
             let est = probe.estimate_materialization(&sub).unwrap();
-            let benefit =
-                est.compute_now.as_secs_f64() - est.scan_result.as_secs_f64();
+            let benefit = est.compute_now.as_secs_f64() - est.scan_result.as_secs_f64();
             let m = probe.materialize(&sub, specdb_exec::CancelToken::new()).unwrap();
             (m.elapsed, benefit)
         };
@@ -523,6 +681,53 @@ mod tests {
         for (a, b) in exact.queries.iter().zip(&sub.queries) {
             assert_eq!(a.rows, b.rows, "subsumption must preserve answers");
         }
+    }
+
+    #[test]
+    fn observer_tracks_speculation_lifecycle() {
+        use specdb_obs::{EventKind, MemorySink, Observer};
+        use std::sync::Arc;
+        let base = build_base_db(&DatasetSpec::tiny()).unwrap();
+        let sink = Arc::new(MemorySink::new());
+        let mut db = base.clone();
+        db.set_observer(Observer::enabled().with_sink(sink.clone()));
+        let trace = small_trace(12, 42);
+        let out = replay_trace(&mut db, &trace, &ReplayConfig::speculative()).unwrap();
+        assert!(out.issued > 0, "fixture must speculate");
+
+        // Counters mirror the outcome's bookkeeping exactly.
+        let snap = db.observer().metrics().snapshot();
+        assert_eq!(snap.counter("spec.issued"), out.issued);
+        assert_eq!(snap.counter("spec.completed"), out.completed);
+        assert_eq!(
+            snap.counter("spec.cancelled.edit") + snap.counter("spec.cancelled.go"),
+            out.cancelled
+        );
+        assert_eq!(snap.counter("spec.collected"), out.collected);
+        assert_eq!(snap.counter("spec.used"), out.used);
+        assert_eq!(snap.counter("spec.wasted"), out.wasted);
+        assert!(snap.counter("spec.decisions") >= out.issued);
+        assert!(snap.counter("buffer.hit") > 0, "replay must touch the buffer pool");
+
+        // Events mirror the counters.
+        let events = sink.events();
+        let count = |k: EventKind| events.iter().filter(|(_, e)| e.kind() == k).count() as u64;
+        assert_eq!(count(EventKind::SpecStarted), out.issued);
+        assert_eq!(count(EventKind::SpecCompleted), out.completed);
+        assert_eq!(count(EventKind::SpecCancelled), out.cancelled);
+        assert_eq!(count(EventKind::SpecUsed), out.used);
+        assert_eq!(count(EventKind::SpecWasted), out.wasted);
+        assert_eq!(count(EventKind::SpecCollected), out.collected);
+
+        // Every completed materialization resolves to used or wasted
+        // (non-view manipulations — indexes, staging — are exempt).
+        assert!(out.used + out.wasted <= out.completed);
+        assert!(out.hit_rate() <= 1.0);
+        assert!(out.waste_ratio() <= 1.0);
+
+        // The build-calibration channel saw one sample per issue.
+        let report = db.observer().calibration().build_report().expect("samples recorded");
+        assert_eq!(report.count as u64, out.issued);
     }
 
     #[test]

@@ -6,8 +6,10 @@
 //! only buckets with at least five queries "so that the computed metric
 //! is statistically robust".
 
-use crate::replay::QueryMeasurement;
+use crate::replay::{QueryMeasurement, ReplayOutcome};
+use specdb_obs::CalibrationTracker;
 use specdb_storage::VirtualTime;
+use std::fmt;
 
 /// A normal-vs-speculative pair of measurements for the same query.
 #[derive(Debug, Clone, Copy)]
@@ -29,15 +31,64 @@ impl PairedRun {
     }
 }
 
+/// The two replays do not describe the same query sequence, so their
+/// measurements cannot be paired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairMismatch {
+    /// The runs measured different numbers of queries.
+    Length {
+        /// Queries in the normal run.
+        normal: usize,
+        /// Queries in the speculative run.
+        spec: usize,
+    },
+    /// The runs disagree on which trace query sits at a position.
+    Index {
+        /// Position in the measurement vectors.
+        position: usize,
+        /// Trace query index the normal run recorded there.
+        normal: usize,
+        /// Trace query index the speculative run recorded there.
+        spec: usize,
+    },
+}
+
+impl fmt::Display for PairMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PairMismatch::Length { normal, spec } => {
+                write!(f, "replays cover different query counts: {normal} normal vs {spec} speculative")
+            }
+            PairMismatch::Index { position, normal, spec } => write!(
+                f,
+                "replays disagree at position {position}: query {normal} normal vs {spec} speculative"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PairMismatch {}
+
 /// Pair up two replays of the same trace (index-aligned).
-pub fn pair_runs(normal: &[QueryMeasurement], spec: &[QueryMeasurement]) -> Vec<PairedRun> {
-    assert_eq!(normal.len(), spec.len(), "replays must cover the same queries");
+///
+/// Fails — rather than aborting the whole experiment — when the runs
+/// measured different query counts or disagree on query order.
+pub fn pair_runs(
+    normal: &[QueryMeasurement],
+    spec: &[QueryMeasurement],
+) -> Result<Vec<PairedRun>, PairMismatch> {
+    if normal.len() != spec.len() {
+        return Err(PairMismatch::Length { normal: normal.len(), spec: spec.len() });
+    }
     normal
         .iter()
         .zip(spec)
-        .map(|(n, s)| {
-            debug_assert_eq!(n.index, s.index);
-            PairedRun { normal: n.elapsed, spec: s.elapsed }
+        .enumerate()
+        .map(|(position, (n, s))| {
+            if n.index != s.index {
+                return Err(PairMismatch::Index { position, normal: n.index, spec: s.index });
+            }
+            Ok(PairedRun { normal: n.elapsed, spec: s.elapsed })
         })
         .collect()
 }
@@ -108,8 +159,7 @@ pub fn bucketize(
                 bucket: Bucket { lo: lo + i as f64 * step, hi: lo + (i + 1) as f64 * step },
                 count: g.len(),
                 improvement_pct: improvement(&g) * 100.0,
-                max_improvement_pct: imps.iter().copied().fold(f64::NEG_INFINITY, f64::max)
-                    * 100.0,
+                max_improvement_pct: imps.iter().copied().fold(f64::NEG_INFINITY, f64::max) * 100.0,
                 max_penalty_pct: imps.iter().copied().fold(f64::INFINITY, f64::min) * 100.0,
             }
         })
@@ -122,8 +172,12 @@ pub fn render_rows(title: &str, rows: &[BucketRow], extremes: bool) -> String {
     let mut s = String::new();
     writeln!(s, "## {title}").unwrap();
     if extremes {
-        writeln!(s, "{:>12} {:>7} {:>9} {:>9} {:>9}", "bucket(s)", "queries", "avg%", "max%", "min%")
-            .unwrap();
+        writeln!(
+            s,
+            "{:>12} {:>7} {:>9} {:>9} {:>9}",
+            "bucket(s)", "queries", "avg%", "max%", "min%"
+        )
+        .unwrap();
     } else {
         writeln!(s, "{:>12} {:>7} {:>12}", "bucket(s)", "queries", "improvement%").unwrap();
     }
@@ -132,7 +186,11 @@ pub fn render_rows(title: &str, rows: &[BucketRow], extremes: bool) -> String {
             writeln!(
                 s,
                 "{:>5.0}-{:<6.0} {:>7} {:>9.1} {:>9.1} {:>9.1}",
-                r.bucket.lo, r.bucket.hi, r.count, r.improvement_pct, r.max_improvement_pct,
+                r.bucket.lo,
+                r.bucket.hi,
+                r.count,
+                r.improvement_pct,
+                r.max_improvement_pct,
                 r.max_penalty_pct
             )
             .unwrap();
@@ -141,6 +199,100 @@ pub fn render_rows(title: &str, rows: &[BucketRow], extremes: bool) -> String {
                 s,
                 "{:>5.0}-{:<6.0} {:>7} {:>12.1}",
                 r.bucket.lo, r.bucket.hi, r.count, r.improvement_pct
+            )
+            .unwrap();
+        }
+    }
+    s
+}
+
+/// Aggregate speculation statistics over one or more replay outcomes:
+/// bet volume, completion/cancellation counts, hit rate, and waste.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpeculationSummary {
+    /// Manipulations issued.
+    pub issued: u64,
+    /// Manipulations that ran to completion.
+    pub completed: u64,
+    /// Manipulations cancelled mid-build (by an edit or at GO).
+    pub cancelled: u64,
+    /// Materialized results garbage-collected.
+    pub collected: u64,
+    /// Completed materializations read by a final query.
+    pub used: u64,
+    /// Completed materializations dropped without ever being read.
+    pub wasted: u64,
+    /// Fraction of resolved bets that paid off.
+    pub hit_rate: f64,
+    /// Fraction of issued manipulations whose work was thrown away.
+    pub waste_ratio: f64,
+}
+
+impl SpeculationSummary {
+    /// Summarize a set of replay outcomes (e.g. one per trace).
+    pub fn from_outcomes(outcomes: &[ReplayOutcome]) -> Self {
+        let mut s = SpeculationSummary {
+            issued: outcomes.iter().map(|o| o.issued).sum(),
+            completed: outcomes.iter().map(|o| o.completed).sum(),
+            cancelled: outcomes.iter().map(|o| o.cancelled).sum(),
+            collected: outcomes.iter().map(|o| o.collected).sum(),
+            used: outcomes.iter().map(|o| o.used).sum(),
+            wasted: outcomes.iter().map(|o| o.wasted).sum(),
+            ..Default::default()
+        };
+        let resolved = s.used + s.wasted;
+        if resolved > 0 {
+            s.hit_rate = s.used as f64 / resolved as f64;
+        }
+        if s.issued > 0 {
+            s.waste_ratio = (s.cancelled + s.wasted) as f64 / s.issued as f64;
+        }
+        s
+    }
+}
+
+/// Render the speculation summary — and, when a calibration tracker is
+/// supplied, the cost model's prediction accuracy — as report lines.
+pub fn render_speculation_summary(
+    summary: &SpeculationSummary,
+    calibration: Option<&CalibrationTracker>,
+) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    writeln!(s, "## Speculation").unwrap();
+    writeln!(
+        s,
+        "   issued {}  completed {}  cancelled {}  collected {}",
+        summary.issued, summary.completed, summary.cancelled, summary.collected
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "   used {}  wasted {}  hit rate {:.1}%  waste ratio {:.1}%",
+        summary.used,
+        summary.wasted,
+        summary.hit_rate * 100.0,
+        summary.waste_ratio * 100.0
+    )
+    .unwrap();
+    if let Some(cal) = calibration {
+        if let Some(build) = cal.build_report() {
+            writeln!(
+                s,
+                "   build-time calibration: {} samples, mean |rel err| {:.1}%, p90 {:.1}%",
+                build.count,
+                build.mean_abs_rel_err * 100.0,
+                build.p90_rel_err * 100.0
+            )
+            .unwrap();
+        }
+        if let Some(delta) = cal.delta_report() {
+            writeln!(
+                s,
+                "   benefit calibration: {} samples, mean |rel err| {:.1}%, p90 {:.1}%",
+                delta.count,
+                delta.mean_abs_rel_err * 100.0,
+                delta.p90_rel_err * 100.0
             )
             .unwrap();
         }
@@ -209,5 +361,98 @@ mod tests {
     fn zero_normal_time_guard() {
         assert_eq!(pair(0.0, 1.0).improvement(), 0.0);
         assert_eq!(improvement(&[]), 0.0);
+    }
+
+    fn qm(index: usize, secs: f64) -> QueryMeasurement {
+        QueryMeasurement { index, elapsed: VirtualTime::from_secs_f64(secs), rows: 1 }
+    }
+
+    #[test]
+    fn pair_runs_rejects_length_mismatch() {
+        let err = pair_runs(&[qm(0, 1.0)], &[]).unwrap_err();
+        assert_eq!(err, PairMismatch::Length { normal: 1, spec: 0 });
+        assert!(err.to_string().contains("different query counts"));
+    }
+
+    #[test]
+    fn pair_runs_rejects_misaligned_indices() {
+        let err = pair_runs(&[qm(0, 1.0), qm(1, 1.0)], &[qm(0, 1.0), qm(2, 1.0)]).unwrap_err();
+        assert_eq!(err, PairMismatch::Index { position: 1, normal: 1, spec: 2 });
+    }
+
+    #[test]
+    fn pair_runs_pairs_aligned_measurements() {
+        let pairs = pair_runs(&[qm(0, 2.0), qm(1, 4.0)], &[qm(0, 1.0), qm(1, 2.0)]).unwrap();
+        assert_eq!(pairs.len(), 2);
+        assert!((pairs[1].improvement() - 0.5).abs() < 1e-9);
+        assert!(pair_runs(&[], &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bucketize_boundaries() {
+        // lo is inclusive, hi is exclusive; a value exactly on an inner
+        // edge lands in the higher bucket.
+        let pairs = vec![
+            pair(3.0, 1.0),   // first bucket, on its lower edge
+            pair(4.0, 1.0),   // second bucket, on the shared edge
+            pair(13.0, 1.0),  // == hi: excluded
+            pair(2.999, 1.0), // < lo: excluded
+        ];
+        let rows = bucketize(&pairs, 3.0, 13.0, 1.0, 1);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].bucket, Bucket { lo: 3.0, hi: 4.0 });
+        assert_eq!(rows[0].count, 1);
+        assert_eq!(rows[1].bucket, Bucket { lo: 4.0, hi: 5.0 });
+        assert_eq!(rows[1].count, 1);
+    }
+
+    #[test]
+    fn bucketize_handles_values_adjacent_to_hi() {
+        // One virtual-clock tick below `hi` (the finest representable
+        // distinction) must land in the final bucket, not panic or fall
+        // off the end of the grid.
+        let pairs = vec![pair(12.999_999, 1.0); 3];
+        let rows = bucketize(&pairs, 3.0, 13.0, 1.0, 1);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].bucket, Bucket { lo: 12.0, hi: 13.0 });
+        assert_eq!(rows[0].count, 3);
+    }
+
+    #[test]
+    fn speculation_summary_aggregates_and_renders() {
+        let outcomes = vec![
+            ReplayOutcome {
+                issued: 4,
+                completed: 3,
+                cancelled: 1,
+                collected: 2,
+                used: 2,
+                wasted: 1,
+                ..Default::default()
+            },
+            ReplayOutcome { issued: 2, completed: 1, cancelled: 1, ..Default::default() },
+        ];
+        let s = SpeculationSummary::from_outcomes(&outcomes);
+        assert_eq!(s.issued, 6);
+        assert_eq!(s.used, 2);
+        assert!((s.hit_rate - 2.0 / 3.0).abs() < 1e-9);
+        assert!((s.waste_ratio - 3.0 / 6.0).abs() < 1e-9);
+        let text = render_speculation_summary(&s, None);
+        assert!(text.contains("hit rate 66.7%"));
+        assert!(text.contains("waste ratio 50.0%"));
+        // Empty outcomes stay finite.
+        let empty = SpeculationSummary::from_outcomes(&[]);
+        assert_eq!(empty.hit_rate, 0.0);
+        assert_eq!(empty.waste_ratio, 0.0);
+    }
+
+    #[test]
+    fn speculation_summary_includes_calibration() {
+        let cal = CalibrationTracker::new();
+        cal.record_build(1.0, 2.0);
+        cal.record_delta(-3.0, -2.0);
+        let text = render_speculation_summary(&SpeculationSummary::default(), Some(&cal));
+        assert!(text.contains("build-time calibration: 1 samples"));
+        assert!(text.contains("benefit calibration: 1 samples"));
     }
 }

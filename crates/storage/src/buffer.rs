@@ -14,8 +14,36 @@
 use crate::disk::ResourceDemand;
 use crate::error::{StorageError, StorageResult};
 use crate::page::{FileId, Page, PageId, PAGE_SIZE};
+use specdb_obs::{Counter, Event, EventKind, Observer};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Pre-resolved metric handles so the per-access hot path never touches
+/// the registry's name map. All handles are no-ops until
+/// [`BufferPool::set_observer`] installs a live observer.
+#[derive(Clone, Default)]
+struct PoolMetrics {
+    hit: Counter,
+    read_seq: Counter,
+    read_rand: Counter,
+    write: Counter,
+    eviction: Counter,
+    cpu_tuples: Counter,
+}
+
+impl PoolMetrics {
+    fn resolve(observer: &Observer) -> Self {
+        let m = observer.metrics();
+        PoolMetrics {
+            hit: m.counter("buffer.hit"),
+            read_seq: m.counter("disk.read.seq"),
+            read_rand: m.counter("disk.read.rand"),
+            write: m.counter("disk.write"),
+            eviction: m.counter("buffer.eviction"),
+            cpu_tuples: m.counter("cpu.tuples"),
+        }
+    }
+}
 
 /// How a page is being accessed; misses are charged differently by the
 /// disk model (sequential transfer vs. seek + read).
@@ -70,6 +98,8 @@ pub struct BufferPool {
     next_file: u32,
     stats: IoStats,
     spill_model: bool,
+    observer: Observer,
+    metrics: PoolMetrics,
 }
 
 impl BufferPool {
@@ -86,7 +116,22 @@ impl BufferPool {
             next_file: 0,
             stats: IoStats::default(),
             spill_model: true,
+            observer: Observer::disabled(),
+            metrics: PoolMetrics::default(),
         }
+    }
+
+    /// Install an observer: buffer and disk traffic is counted against
+    /// its metrics registry, and evictions are emitted as events. The
+    /// default observer is disabled and costs nothing.
+    pub fn set_observer(&mut self, observer: Observer) {
+        self.metrics = PoolMetrics::resolve(&observer);
+        self.observer = observer;
+    }
+
+    /// The observer currently attached to this pool.
+    pub fn observer(&self) -> &Observer {
+        &self.observer
     }
 
     /// Create a pool sized in bytes (rounded down to whole pages).
@@ -141,13 +186,20 @@ impl BufferPool {
     pub fn read_page(&mut self, pid: PageId, kind: AccessKind) -> StorageResult<Arc<Page>> {
         if let Some(&idx) = self.page_table.get(&pid) {
             self.stats.hits += 1;
+            self.metrics.hit.incr();
             self.frames[idx].referenced = true;
             return Ok(Arc::clone(&self.frames[idx].page));
         }
         let page = Arc::clone(self.disk.get(&pid).ok_or(StorageError::PageNotFound(pid))?);
         match kind {
-            AccessKind::Sequential => self.stats.seq_misses += 1,
-            AccessKind::Random => self.stats.rand_misses += 1,
+            AccessKind::Sequential => {
+                self.stats.seq_misses += 1;
+                self.metrics.read_seq.incr();
+            }
+            AccessKind::Random => {
+                self.stats.rand_misses += 1;
+                self.metrics.read_rand.incr();
+            }
         }
         self.install(pid, Arc::clone(&page))?;
         Ok(page)
@@ -158,6 +210,7 @@ impl BufferPool {
     pub fn put_page(&mut self, pid: PageId, page: Page) -> StorageResult<()> {
         let page = Arc::new(page);
         self.stats.writes += 1;
+        self.metrics.write.incr();
         self.disk.insert(pid, Arc::clone(&page));
         let len = self.file_pages.entry(pid.file).or_insert(0);
         if pid.page_no >= *len {
@@ -199,6 +252,7 @@ impl BufferPool {
     /// Charge `n` tuples of CPU work to the current execution.
     pub fn charge_cpu(&mut self, n: u64) {
         self.stats.cpu_tuples += n;
+        self.metrics.cpu_tuples.add(n);
     }
 
     /// Charge synthetic I/O that bypasses the page cache — used for
@@ -207,6 +261,8 @@ impl BufferPool {
     pub fn charge_io(&mut self, seq_reads: u64, writes: u64) {
         self.stats.seq_misses += seq_reads;
         self.stats.writes += writes;
+        self.metrics.read_seq.add(seq_reads);
+        self.metrics.write.add(writes);
     }
 
     /// Whether memory-overflow spills are modelled (hybrid hash joins
@@ -251,8 +307,7 @@ impl BufferPool {
 
     /// Evict everything unpinned (cold restart between trace replays).
     pub fn clear(&mut self) {
-        let pinned: Vec<Frame> =
-            self.frames.drain(..).filter(|f| f.pin > 0).collect();
+        let pinned: Vec<Frame> = self.frames.drain(..).filter(|f| f.pin > 0).collect();
         self.page_table.clear();
         self.frames = pinned;
         for (idx, f) in self.frames.iter().enumerate() {
@@ -280,10 +335,18 @@ impl BufferPool {
             let f = &mut self.frames[self.hand];
             if f.pin == 0 && !f.referenced {
                 let victim = self.hand;
-                self.page_table.remove(&self.frames[victim].pid);
+                let evicted = self.frames[victim].pid;
+                self.page_table.remove(&evicted);
                 self.frames[victim] = Frame { pid, page, pin: 0, referenced: true };
                 self.page_table.insert(pid, victim);
                 self.hand = (self.hand + 1) % n;
+                self.metrics.eviction.incr();
+                if self.observer.wants(EventKind::BufferEviction) {
+                    self.observer.emit(Event::BufferEviction {
+                        file: evicted.file.0,
+                        page: evicted.page_no as u64,
+                    });
+                }
                 return Ok(());
             }
             f.referenced = false;
@@ -449,5 +512,61 @@ mod tests {
         let before = pool.snapshot();
         pool.charge_cpu(123);
         assert_eq!(pool.demand_since(before).cpu_tuples, 123);
+    }
+
+    #[test]
+    fn observer_counts_traffic_and_emits_evictions() {
+        use specdb_obs::MemorySink;
+
+        let sink = Arc::new(MemorySink::new());
+        let observer = Observer::enabled().with_sink(sink.clone());
+        let mut pool = BufferPool::new(2);
+        pool.set_observer(observer.clone());
+
+        let f = pool.create_file();
+        for i in 0..4u32 {
+            pool.put_page(PageId::new(f, i), page_with(i as u8)).unwrap();
+        }
+        pool.read_page(PageId::new(f, 3), AccessKind::Sequential).unwrap();
+        pool.read_page(PageId::new(f, 0), AccessKind::Random).unwrap();
+        pool.charge_cpu(10);
+
+        let snap = observer.metrics().snapshot();
+        assert_eq!(snap.counter("disk.write"), 4);
+        assert_eq!(snap.counter("buffer.hit"), 1);
+        assert_eq!(snap.counter("disk.read.rand"), 1);
+        assert_eq!(snap.counter("cpu.tuples"), 10);
+        // Four writes into two frames force evictions, plus one more to
+        // bring page 0 back in.
+        assert_eq!(snap.counter("buffer.eviction"), 3);
+
+        let evictions: Vec<_> = sink
+            .events()
+            .into_iter()
+            .filter(|(_, e)| e.kind() == EventKind::BufferEviction)
+            .collect();
+        assert_eq!(evictions.len(), 3);
+        assert!(matches!(evictions[0].1, Event::BufferEviction { file, page: 0 } if file == f.0));
+    }
+
+    #[test]
+    fn metrics_match_iostats_exactly() {
+        let observer = Observer::enabled();
+        let mut pool = BufferPool::new(4);
+        pool.set_observer(observer.clone());
+        let f = pool.create_file();
+        for i in 0..6u32 {
+            pool.put_page(PageId::new(f, i), page_with(i as u8)).unwrap();
+        }
+        for i in 0..6u32 {
+            let _ = pool.read_page(PageId::new(f, i), AccessKind::Sequential);
+        }
+        pool.charge_io(5, 2);
+        let stats = pool.stats();
+        let snap = observer.metrics().snapshot();
+        assert_eq!(snap.counter("buffer.hit"), stats.hits);
+        assert_eq!(snap.counter("disk.read.seq"), stats.seq_misses);
+        assert_eq!(snap.counter("disk.read.rand"), stats.rand_misses);
+        assert_eq!(snap.counter("disk.write"), stats.writes);
     }
 }

@@ -139,7 +139,8 @@ mod tests {
     #[test]
     fn demand_plus_adds_componentwise() {
         let a = ResourceDemand { seq_reads: 1, rand_reads: 2, writes: 3, hits: 4, cpu_tuples: 5 };
-        let b = ResourceDemand { seq_reads: 10, rand_reads: 20, writes: 30, hits: 40, cpu_tuples: 50 };
+        let b =
+            ResourceDemand { seq_reads: 10, rand_reads: 20, writes: 30, hits: 40, cpu_tuples: 50 };
         let c = a.plus(&b);
         assert_eq!(c.seq_reads, 11);
         assert_eq!(c.rand_reads, 22);

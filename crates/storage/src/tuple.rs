@@ -293,12 +293,7 @@ mod tests {
     use super::*;
 
     fn sample() -> Tuple {
-        Tuple::new(vec![
-            Value::Int(42),
-            Value::Float(3.25),
-            Value::Str("acme".into()),
-            Value::Null,
-        ])
+        Tuple::new(vec![Value::Int(42), Value::Float(3.25), Value::Str("acme".into()), Value::Null])
     }
 
     #[test]

@@ -17,18 +17,17 @@ use specdb_storage::{Tuple, Value};
 
 /// Nations used for skewed string fields.
 pub const NATIONS: [&str; 12] = [
-    "FRANCE", "GERMANY", "RUSSIA", "JAPAN", "CHINA", "INDIA", "BRAZIL", "CANADA", "EGYPT",
-    "KENYA", "PERU", "SPAIN",
+    "FRANCE", "GERMANY", "RUSSIA", "JAPAN", "CHINA", "INDIA", "BRAZIL", "CANADA", "EGYPT", "KENYA",
+    "PERU", "SPAIN",
 ];
 
 /// Market segments (skewed).
-pub const SEGMENTS: [&str; 5] =
-    ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
 
 /// Brands (skewed).
 pub const BRANDS: [&str; 10] = [
-    "Brand#11", "Brand#12", "Brand#13", "Brand#21", "Brand#22", "Brand#23", "Brand#31",
-    "Brand#32", "Brand#33", "Brand#41",
+    "Brand#11", "Brand#12", "Brand#13", "Brand#21", "Brand#22", "Brand#23", "Brand#31", "Brand#32",
+    "Brand#33", "Brand#41",
 ];
 
 /// Generator configuration.

@@ -127,10 +127,11 @@ mod tests {
     fn abandoned_tail_ignored() {
         let t = trace();
         let fs = t.formulations();
-        assert!(fs
-            .iter()
-            .all(|f| f.final_query.graph.selections().all(|s| s.pred.value
-                != specdb_storage::Value::Int(99))));
+        assert!(fs.iter().all(|f| f
+            .final_query
+            .graph
+            .selections()
+            .all(|s| s.pred.value != specdb_storage::Value::Int(99))));
     }
 
     #[test]

@@ -209,8 +209,7 @@ impl UserModel {
                     ops.push(EditOp::AddJoin(join.clone()));
                     graph.add_join(join);
                 } else {
-                    let present: Vec<String> =
-                        graph.relations().map(str::to_string).collect();
+                    let present: Vec<String> = graph.relations().map(str::to_string).collect();
                     let table = &present[rng.gen_range(0..present.len())];
                     if let Some(s) = self.domain.sample_selection_on(&mut rng, table) {
                         if graph.selections().any(|e| e == &s) {
@@ -223,8 +222,7 @@ impl UserModel {
             }
             // Recant phase: a tentative predicate the user thinks better of.
             if rng.gen_bool(cfg.p_recant) {
-                let present: Vec<String> =
-                    graph.relations().map(str::to_string).collect();
+                let present: Vec<String> = graph.relations().map(str::to_string).collect();
                 let table = &present[rng.gen_range(0..present.len())];
                 if let Some(s) = self.domain.sample_selection_on(&mut rng, table) {
                     if !graph.selections().any(|e| e == &s) {
@@ -374,7 +372,9 @@ mod tests {
         let traces = small_model().generate_cohort(15, 5);
         let mut durations: Vec<f64> = traces
             .iter()
-            .flat_map(|t| t.formulations().iter().map(|f| f.duration().as_secs_f64()).collect::<Vec<_>>())
+            .flat_map(|t| {
+                t.formulations().iter().map(|f| f.duration().as_secs_f64()).collect::<Vec<_>>()
+            })
             .collect();
         durations.sort_by(|a, b| a.total_cmp(b));
         let n = durations.len();

@@ -8,8 +8,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use specdb::prelude::*;
 use specdb::exec::CancelToken;
+use specdb::prelude::*;
 
 fn main() {
     // 1. A database with one relation, employee(name, age, salary).
@@ -53,15 +53,9 @@ fn main() {
     //    issues the materialization the paper's introduction describes:
     //    SELECT * FROM employee WHERE age<30 INTO TABLE young_employee.
     let mut preview = QueryGraph::new();
-    preview.add_selection(Selection::new(
-        "employee",
-        Predicate::new("age", CompareOp::Lt, 30i64),
-    ));
+    preview.add_selection(Selection::new("employee", Predicate::new("age", CompareOp::Lt, 30i64)));
     let mat = db.materialize(&preview, CancelToken::new()).expect("materialize");
-    println!(
-        "speculative mat.:       {:>8} rows into {} in {}",
-        mat.rows, mat.table, mat.elapsed
-    );
+    println!("speculative mat.:       {:>8} rows into {} in {}", mat.rows, mat.table, mat.elapsed);
 
     // 5. GO: the same query now rewrites onto the materialized relation.
     db.clear_buffer();
@@ -75,8 +69,7 @@ fn main() {
     );
     assert_eq!(normal.row_count, speculative.row_count, "same answer either way");
 
-    let improvement =
-        1.0 - speculative.elapsed.as_secs_f64() / normal.elapsed.as_secs_f64();
+    let improvement = 1.0 - speculative.elapsed.as_secs_f64() / normal.elapsed.as_secs_f64();
     println!("improvement:            {:>7.1}%", improvement * 100.0);
     println!("\nplan used:\n{}", speculative.plan);
 }

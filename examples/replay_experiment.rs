@@ -8,19 +8,17 @@
 //!
 //! Run with: `cargo run --release --example replay_experiment`
 
+use specdb::obs::Observer;
 use specdb::sim::replay::{replay_trace, ReplayConfig};
-use specdb::sim::report::{bucketize, improvement, pair_runs, render_rows};
+use specdb::sim::report::{
+    bucketize, improvement, pair_runs, render_rows, render_speculation_summary, SpeculationSummary,
+};
 use specdb::sim::{build_base_db, DatasetSpec};
 use specdb::trace::{UserModel, UserModelConfig};
 
 fn main() {
-    let spec = DatasetSpec {
-        label: "demo-100MB",
-        nominal_mb: 100,
-        buffer_mb: 32,
-        divisor: 100,
-        seed: 42,
-    };
+    let spec =
+        DatasetSpec { label: "demo-100MB", nominal_mb: 100, buffer_mb: 32, divisor: 100, seed: 42 };
     println!(
         "building {} base (actual {} MB, buffer {} pages, clock x{})...",
         spec.label,
@@ -37,27 +35,29 @@ fn main() {
     let traces = model.generate_cohort(4, 7);
     println!("replaying {} traces x {} queries, twice each...", traces.len(), 15);
 
+    // One enabled observer shared across the speculative replays so the
+    // report can quote hit rate, waste, and cost-model calibration.
+    let observer = Observer::enabled();
     let mut pairs = Vec::new();
-    let mut issued = 0;
-    let mut completed = 0;
+    let mut outcomes = Vec::new();
     for trace in &traces {
         let mut db_n = base.clone();
         let normal = replay_trace(&mut db_n, trace, &ReplayConfig::normal()).expect("normal");
         let mut db_s = base.clone();
+        db_s.set_observer(observer.clone());
         let spec_run =
             replay_trace(&mut db_s, trace, &ReplayConfig::speculative()).expect("speculative");
-        issued += spec_run.issued;
-        completed += spec_run.completed;
-        pairs.extend(pair_runs(&normal.queries, &spec_run.queries));
+        pairs.extend(pair_runs(&normal.queries, &spec_run.queries).expect("replays must align"));
+        outcomes.push(spec_run);
     }
 
     let rows = bucketize(&pairs, 0.0, 60.0, 5.0, 2);
     println!("\n{}", render_rows("improvement by execution-time bucket", &rows, true));
     println!(
-        "overall improvement: {:+.1}% over {} queries ({} manipulations issued, {} completed)",
+        "overall improvement: {:+.1}% over {} queries",
         improvement(&pairs) * 100.0,
         pairs.len(),
-        issued,
-        completed
     );
+    let summary = SpeculationSummary::from_outcomes(&outcomes);
+    println!("\n{}", render_speculation_summary(&summary, Some(observer.calibration())));
 }

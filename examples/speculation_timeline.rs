@@ -1,0 +1,94 @@
+//! The life of every speculative bet in one trace, as data.
+//!
+//! Replays a single exploration trace with full observability switched
+//! on: every speculation-lifecycle event (decision, start, cancel,
+//! completion, used-at-GO, wasted) streams to a JSONL file stamped in
+//! virtual time, and the run ends with the metrics registry's counter
+//! summary plus the speculator's prediction-calibration report.
+//!
+//! Run with: `cargo run --release --example speculation_timeline`
+//! (optional first argument: path for the JSONL event log, default
+//! `target/speculation_timeline.jsonl`).
+
+use specdb::obs::events::parse_jsonl;
+use specdb::obs::{Event, JsonlSink, Observer};
+use specdb::sim::replay::{replay_trace, ReplayConfig};
+use specdb::sim::report::{render_speculation_summary, SpeculationSummary};
+use specdb::sim::{build_base_db, DatasetSpec};
+use specdb::trace::{UserModel, UserModelConfig};
+use std::sync::Arc;
+
+fn describe(event: &Event) -> Option<String> {
+    Some(match event {
+        Event::SpecDecision { manipulation, score, predicted_build_secs, .. } => format!(
+            "decide   {manipulation} (score {score:.3}, predicted build {predicted_build_secs:.2}s)"
+        ),
+        Event::SpecStarted { manipulation, table } => {
+            format!("start    {manipulation} -> {table}")
+        }
+        Event::SpecCancelled { manipulation, reason, .. } => {
+            format!("cancel   {manipulation} ({reason:?})")
+        }
+        Event::SpecCompleted { table, build_secs, .. } => {
+            format!("complete {table} (built in {build_secs:.2}s)")
+        }
+        Event::SpecUsed { table } => format!("used     {table} by the GO query"),
+        Event::SpecWasted { table } => format!("wasted   {table} (never read)"),
+        Event::SpecCollected { table } => format!("gc       {table}"),
+        _ => return None,
+    })
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/speculation_timeline.jsonl".to_string());
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        std::fs::create_dir_all(dir).expect("create log directory");
+    }
+
+    let spec = DatasetSpec::tiny();
+    println!("building {} base database...", spec.label);
+    let base = build_base_db(&spec).expect("base db");
+
+    let sink = Arc::new(JsonlSink::create(&path).expect("create event log"));
+    let observer = Observer::enabled().with_sink(sink.clone());
+    let mut db = base.clone();
+    db.set_observer(observer.clone());
+
+    let seed = std::env::var("SPECDB_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(42);
+    // A hurried user: think gaps comparable to build times, so the
+    // timeline shows cancellations as well as completed-and-used bets.
+    let model = UserModel::new(
+        UserModelConfig {
+            queries: 12,
+            questions: 3,
+            think_median_secs: 0.2,
+            think_min_secs: 0.05,
+            think_max_secs: 2.0,
+            ..Default::default()
+        },
+        specdb::tpch::ExploreDomain::tpch(),
+    );
+    let trace = model.generate("explorer", seed);
+    println!("replaying {} timed edits with speculation on...\n", trace.edits.len());
+    let outcome = replay_trace(&mut db, &trace, &ReplayConfig::speculative()).expect("replay");
+    sink.flush().expect("flush event log");
+
+    // Replay the event log back as a human-readable timeline.
+    let log = std::fs::read_to_string(&path).expect("read event log");
+    let events = parse_jsonl(&log).expect("parse event log");
+    println!("## Speculation timeline ({} events total, log at {path})", events.len());
+    for timed in &events {
+        if let Some(line) = describe(&timed.event) {
+            println!("  t={:8.2}s  {line}", timed.t_micros as f64 / 1e6);
+        }
+    }
+
+    println!();
+    let summary = SpeculationSummary::from_outcomes(std::slice::from_ref(&outcome));
+    print!("{}", render_speculation_summary(&summary, Some(observer.calibration())));
+
+    println!("\n## Metrics");
+    print!("{}", observer.metrics().snapshot().render());
+}

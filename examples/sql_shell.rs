@@ -18,12 +18,16 @@ use specdb::tpch::{generate_into, TpchConfig};
 use std::io::{BufRead, Write};
 
 fn main() {
-    println!("generating 8MB skewed TPC-H subset (customer/orders/lineitem/part/partsupp/supplier)...");
+    println!(
+        "generating 8MB skewed TPC-H subset (customer/orders/lineitem/part/partsupp/supplier)..."
+    );
     let mut db = Database::new(DatabaseConfig::with_buffer_pages(4096));
     generate_into(&mut db, &TpchConfig::new(8)).expect("generate");
     db.clear_buffer();
     let mut session = SpeculativeSession::new(db, SpeculatorConfig::default());
-    println!("ready. SQL (conjunctive SELECT-FROM-WHERE), \\views, \\stats, \\explain <sql>, \\quit");
+    println!(
+        "ready. SQL (conjunctive SELECT-FROM-WHERE), \\views, \\stats, \\explain <sql>, \\quit"
+    );
 
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
@@ -46,8 +50,7 @@ fn main() {
                         println!("(no materialized views)");
                     }
                     for v in db.views().iter() {
-                        let rows =
-                            db.catalog().table(&v.name).map(|t| t.stats.rows).unwrap_or(0);
+                        let rows = db.catalog().table(&v.name).map(|t| t.stats.rows).unwrap_or(0);
                         println!("{}  {} rows  := {}", v.name, rows, v.graph);
                     }
                 });
@@ -108,8 +111,7 @@ fn main() {
         match session.go_with(&query) {
             Ok(outp) => {
                 for row in outp.rows.iter().take(10) {
-                    let cells: Vec<String> =
-                        row.values().iter().map(|v| format!("{v}")).collect();
+                    let cells: Vec<String> = row.values().iter().map(|v| format!("{v}")).collect();
                     println!("{}", cells.join(" | "));
                 }
                 if outp.row_count > 10 {

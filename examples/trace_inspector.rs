@@ -35,12 +35,7 @@ fn main() {
     let trace = &restored[0];
     let formulations = trace.formulations();
     let f = &formulations[1];
-    println!(
-        "\nuser {}, query #2 ({} edits over {}):",
-        trace.user,
-        f.edits.len(),
-        f.duration()
-    );
+    println!("\nuser {}, query #2 ({} edits over {}):", trace.user, f.edits.len(), f.duration());
     for te in f.edits {
         let desc = match &te.op {
             EditOp::AddRelation(r) => format!("+ relation {r}"),

@@ -18,6 +18,7 @@
 //! * [`core`] — the speculation subsystem (the paper's contribution)
 //! * [`trace`] — user-behaviour model, trace generation and replay format
 //! * [`sim`] — discrete-event experiment harness reproducing the paper
+//! * [`obs`] — metrics, structured events and prediction calibration
 //!
 //! ## Quickstart
 //!
@@ -53,6 +54,7 @@
 pub use specdb_catalog as catalog;
 pub use specdb_core as core;
 pub use specdb_exec as exec;
+pub use specdb_obs as obs;
 pub use specdb_query as query;
 pub use specdb_sim as sim;
 pub use specdb_storage as storage;

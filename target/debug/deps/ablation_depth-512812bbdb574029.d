@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_depth-512812bbdb574029.d: crates/bench/benches/ablation_depth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_depth-512812bbdb574029.rmeta: crates/bench/benches/ablation_depth.rs Cargo.toml
+
+crates/bench/benches/ablation_depth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_extensions-4da4459c1d3cf9a8.d: crates/bench/benches/ablation_extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_extensions-4da4459c1d3cf9a8.rmeta: crates/bench/benches/ablation_extensions.rs Cargo.toml
+
+crates/bench/benches/ablation_extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

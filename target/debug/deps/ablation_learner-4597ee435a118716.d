@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_learner-4597ee435a118716.d: crates/bench/benches/ablation_learner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_learner-4597ee435a118716.rmeta: crates/bench/benches/ablation_learner.rs Cargo.toml
+
+crates/bench/benches/ablation_learner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

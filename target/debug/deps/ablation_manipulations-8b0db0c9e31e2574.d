@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_manipulations-8b0db0c9e31e2574.d: crates/bench/benches/ablation_manipulations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_manipulations-8b0db0c9e31e2574.rmeta: crates/bench/benches/ablation_manipulations.rs Cargo.toml
+
+crates/bench/benches/ablation_manipulations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aggregate_semantics-884b3c5c9236afe4.d: tests/aggregate_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaggregate_semantics-884b3c5c9236afe4.rmeta: tests/aggregate_semantics.rs Cargo.toml
+
+tests/aggregate_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-80e1b66ca5230e4c.d: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-80e1b66ca5230e4c.rlib: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-80e1b66ca5230e4c.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

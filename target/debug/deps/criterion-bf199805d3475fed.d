@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-bf199805d3475fed.d: crates/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-bf199805d3475fed.rmeta: crates/criterion/src/lib.rs Cargo.toml
+
+crates/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crossbeam-d9cf0fa834003304.d: crates/crossbeam/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrossbeam-d9cf0fa834003304.rmeta: crates/crossbeam/src/lib.rs Cargo.toml
+
+crates/crossbeam/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

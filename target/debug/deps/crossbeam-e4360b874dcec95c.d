@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-e4360b874dcec95c.d: crates/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-e4360b874dcec95c.rlib: crates/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-e4360b874dcec95c.rmeta: crates/crossbeam/src/lib.rs
+
+crates/crossbeam/src/lib.rs:

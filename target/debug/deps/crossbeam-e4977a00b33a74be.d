@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crossbeam-e4977a00b33a74be.d: crates/crossbeam/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrossbeam-e4977a00b33a74be.rmeta: crates/crossbeam/src/lib.rs Cargo.toml
+
+crates/crossbeam/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-38ed06fbb6a0c25f.d: tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-38ed06fbb6a0c25f.rmeta: tests/determinism.rs Cargo.toml
+
+tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

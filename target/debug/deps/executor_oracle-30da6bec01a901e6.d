@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/executor_oracle-30da6bec01a901e6.d: tests/executor_oracle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexecutor_oracle-30da6bec01a901e6.rmeta: tests/executor_oracle.rs Cargo.toml
+
+tests/executor_oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_views-f65cd50adf35a00a.d: crates/bench/benches/fig6_views.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_views-f65cd50adf35a00a.rmeta: crates/bench/benches/fig6_views.rs Cargo.toml
+
+crates/bench/benches/fig6_views.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

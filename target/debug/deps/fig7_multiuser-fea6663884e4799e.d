@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_multiuser-fea6663884e4799e.d: crates/bench/benches/fig7_multiuser.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_multiuser-fea6663884e4799e.rmeta: crates/bench/benches/fig7_multiuser.rs Cargo.toml
+
+crates/bench/benches/fig7_multiuser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/learner_behavior-e369c2f798daacf7.d: tests/learner_behavior.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblearner_behavior-e369c2f798daacf7.rmeta: tests/learner_behavior.rs Cargo.toml
+
+tests/learner_behavior.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

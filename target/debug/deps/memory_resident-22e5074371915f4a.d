@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/memory_resident-22e5074371915f4a.d: crates/bench/benches/memory_resident.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemory_resident-22e5074371915f4a.rmeta: crates/bench/benches/memory_resident.rs Cargo.toml
+
+crates/bench/benches/memory_resident.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

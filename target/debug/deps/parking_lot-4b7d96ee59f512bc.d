@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-4b7d96ee59f512bc.d: crates/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-4b7d96ee59f512bc.rlib: crates/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-4b7d96ee59f512bc.rmeta: crates/parking_lot/src/lib.rs
+
+crates/parking_lot/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parking_lot-4ecc3f08796af40b.d: crates/parking_lot/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparking_lot-4ecc3f08796af40b.rmeta: crates/parking_lot/src/lib.rs Cargo.toml
+
+crates/parking_lot/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parking_lot-dd6824128df9ff06.d: crates/parking_lot/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparking_lot-dd6824128df9ff06.rmeta: crates/parking_lot/src/lib.rs Cargo.toml
+
+crates/parking_lot/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

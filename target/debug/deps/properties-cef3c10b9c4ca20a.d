@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-cef3c10b9c4ca20a.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-cef3c10b9c4ca20a.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

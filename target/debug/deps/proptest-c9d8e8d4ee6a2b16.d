@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-c9d8e8d4ee6a2b16.d: crates/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-c9d8e8d4ee6a2b16.rmeta: crates/proptest/src/lib.rs Cargo.toml
+
+crates/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-dd0ae2b0d45f0ac4.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-dd0ae2b0d45f0ac4.rlib: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-dd0ae2b0d45f0ac4.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

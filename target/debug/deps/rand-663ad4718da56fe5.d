@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-663ad4718da56fe5.d: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-663ad4718da56fe5.rlib: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-663ad4718da56fe5.rmeta: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

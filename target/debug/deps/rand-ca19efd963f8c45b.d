@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-ca19efd963f8c45b.d: crates/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-ca19efd963f8c45b.rmeta: crates/rand/src/lib.rs Cargo.toml
+
+crates/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-e82c880842c90d6d.d: crates/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-e82c880842c90d6d.rmeta: crates/rand/src/lib.rs Cargo.toml
+
+crates/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

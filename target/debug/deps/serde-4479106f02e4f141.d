@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-4479106f02e4f141.d: crates/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-4479106f02e4f141.rmeta: crates/serde/src/lib.rs Cargo.toml
+
+crates/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

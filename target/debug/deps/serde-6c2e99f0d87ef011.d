@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-6c2e99f0d87ef011.d: crates/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-6c2e99f0d87ef011.rlib: crates/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-6c2e99f0d87ef011.rmeta: crates/serde/src/lib.rs
+
+crates/serde/src/lib.rs:

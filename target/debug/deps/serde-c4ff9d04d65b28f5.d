@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-c4ff9d04d65b28f5.d: crates/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-c4ff9d04d65b28f5.rlib: crates/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-c4ff9d04d65b28f5.rmeta: crates/serde/src/lib.rs
+
+crates/serde/src/lib.rs:

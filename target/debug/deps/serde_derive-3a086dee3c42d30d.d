@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-3a086dee3c42d30d.d: crates/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-3a086dee3c42d30d.so: crates/serde_derive/src/lib.rs
+
+crates/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-4f2454553de83af0.d: crates/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-4f2454553de83af0.so: crates/serde_derive/src/lib.rs
+
+crates/serde_derive/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_derive-6066677f8df26c4f.d: crates/serde_derive/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_derive-6066677f8df26c4f.rmeta: crates/serde_derive/src/lib.rs Cargo.toml
+
+crates/serde_derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_derive-7fcdfcaa736863b8.d: crates/serde_derive/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_derive-7fcdfcaa736863b8.so: crates/serde_derive/src/lib.rs Cargo.toml
+
+crates/serde_derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_derive-ece6739463d997dd.d: crates/serde_derive/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_derive-ece6739463d997dd.rmeta: crates/serde_derive/src/lib.rs Cargo.toml
+
+crates/serde_derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

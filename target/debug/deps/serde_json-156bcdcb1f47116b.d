@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-156bcdcb1f47116b.d: crates/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-156bcdcb1f47116b.rlib: crates/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-156bcdcb1f47116b.rmeta: crates/serde_json/src/lib.rs
+
+crates/serde_json/src/lib.rs:

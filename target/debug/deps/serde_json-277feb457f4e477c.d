@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_json-277feb457f4e477c.d: crates/serde_json/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_json-277feb457f4e477c.rmeta: crates/serde_json/src/lib.rs Cargo.toml
+
+crates/serde_json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-691b2d6702ff11a1.d: crates/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-691b2d6702ff11a1.rlib: crates/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-691b2d6702ff11a1.rmeta: crates/serde_json/src/lib.rs
+
+crates/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/session_live-bcec2f88e4d66ad7.d: tests/session_live.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsession_live-bcec2f88e4d66ad7.rmeta: tests/session_live.rs Cargo.toml
+
+tests/session_live.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/single_user-3c7289e98e6ea4a7.d: crates/bench/benches/single_user.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsingle_user-3c7289e98e6ea4a7.rmeta: crates/bench/benches/single_user.rs Cargo.toml
+
+crates/bench/benches/single_user.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/specdb-a19a1d8715545ff2.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspecdb-a19a1d8715545ff2.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/specdb-baf64e5a0bb2de1f.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspecdb-baf64e5a0bb2de1f.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

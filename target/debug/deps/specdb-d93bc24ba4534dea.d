@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/specdb-d93bc24ba4534dea.d: src/lib.rs
+
+/root/repo/target/debug/deps/libspecdb-d93bc24ba4534dea.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libspecdb-d93bc24ba4534dea.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/specdb_bench-48f87b5b2d6aa342.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspecdb_bench-48f87b5b2d6aa342.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/specdb_bench-f1d21972ad42a044.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libspecdb_bench-f1d21972ad42a044.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libspecdb_bench-f1d21972ad42a044.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

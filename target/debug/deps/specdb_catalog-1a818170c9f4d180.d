@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/specdb_catalog-1a818170c9f4d180.d: crates/catalog/src/lib.rs crates/catalog/src/histogram.rs crates/catalog/src/index.rs crates/catalog/src/registry.rs crates/catalog/src/schema.rs crates/catalog/src/stats.rs crates/catalog/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspecdb_catalog-1a818170c9f4d180.rmeta: crates/catalog/src/lib.rs crates/catalog/src/histogram.rs crates/catalog/src/index.rs crates/catalog/src/registry.rs crates/catalog/src/schema.rs crates/catalog/src/stats.rs crates/catalog/src/table.rs Cargo.toml
+
+crates/catalog/src/lib.rs:
+crates/catalog/src/histogram.rs:
+crates/catalog/src/index.rs:
+crates/catalog/src/registry.rs:
+crates/catalog/src/schema.rs:
+crates/catalog/src/stats.rs:
+crates/catalog/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/specdb_catalog-cf885f0030ab810e.d: crates/catalog/src/lib.rs crates/catalog/src/histogram.rs crates/catalog/src/index.rs crates/catalog/src/registry.rs crates/catalog/src/schema.rs crates/catalog/src/stats.rs crates/catalog/src/table.rs
+
+/root/repo/target/debug/deps/libspecdb_catalog-cf885f0030ab810e.rlib: crates/catalog/src/lib.rs crates/catalog/src/histogram.rs crates/catalog/src/index.rs crates/catalog/src/registry.rs crates/catalog/src/schema.rs crates/catalog/src/stats.rs crates/catalog/src/table.rs
+
+/root/repo/target/debug/deps/libspecdb_catalog-cf885f0030ab810e.rmeta: crates/catalog/src/lib.rs crates/catalog/src/histogram.rs crates/catalog/src/index.rs crates/catalog/src/registry.rs crates/catalog/src/schema.rs crates/catalog/src/stats.rs crates/catalog/src/table.rs
+
+crates/catalog/src/lib.rs:
+crates/catalog/src/histogram.rs:
+crates/catalog/src/index.rs:
+crates/catalog/src/registry.rs:
+crates/catalog/src/schema.rs:
+crates/catalog/src/stats.rs:
+crates/catalog/src/table.rs:

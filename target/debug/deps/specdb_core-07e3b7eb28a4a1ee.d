@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/specdb_core-07e3b7eb28a4a1ee.d: crates/core/src/lib.rs crates/core/src/cost_model.rs crates/core/src/learner/mod.rs crates/core/src/learner/logistic.rs crates/core/src/learner/survival.rs crates/core/src/learner/think.rs crates/core/src/manipulation.rs crates/core/src/session.rs crates/core/src/space.rs crates/core/src/speculator.rs
+
+/root/repo/target/debug/deps/libspecdb_core-07e3b7eb28a4a1ee.rlib: crates/core/src/lib.rs crates/core/src/cost_model.rs crates/core/src/learner/mod.rs crates/core/src/learner/logistic.rs crates/core/src/learner/survival.rs crates/core/src/learner/think.rs crates/core/src/manipulation.rs crates/core/src/session.rs crates/core/src/space.rs crates/core/src/speculator.rs
+
+/root/repo/target/debug/deps/libspecdb_core-07e3b7eb28a4a1ee.rmeta: crates/core/src/lib.rs crates/core/src/cost_model.rs crates/core/src/learner/mod.rs crates/core/src/learner/logistic.rs crates/core/src/learner/survival.rs crates/core/src/learner/think.rs crates/core/src/manipulation.rs crates/core/src/session.rs crates/core/src/space.rs crates/core/src/speculator.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cost_model.rs:
+crates/core/src/learner/mod.rs:
+crates/core/src/learner/logistic.rs:
+crates/core/src/learner/survival.rs:
+crates/core/src/learner/think.rs:
+crates/core/src/manipulation.rs:
+crates/core/src/session.rs:
+crates/core/src/space.rs:
+crates/core/src/speculator.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/specdb_core-78e622ffa0779deb.d: crates/core/src/lib.rs crates/core/src/cost_model.rs crates/core/src/learner/mod.rs crates/core/src/learner/logistic.rs crates/core/src/learner/survival.rs crates/core/src/learner/think.rs crates/core/src/manipulation.rs crates/core/src/session.rs crates/core/src/space.rs crates/core/src/speculator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspecdb_core-78e622ffa0779deb.rmeta: crates/core/src/lib.rs crates/core/src/cost_model.rs crates/core/src/learner/mod.rs crates/core/src/learner/logistic.rs crates/core/src/learner/survival.rs crates/core/src/learner/think.rs crates/core/src/manipulation.rs crates/core/src/session.rs crates/core/src/space.rs crates/core/src/speculator.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/cost_model.rs:
+crates/core/src/learner/mod.rs:
+crates/core/src/learner/logistic.rs:
+crates/core/src/learner/survival.rs:
+crates/core/src/learner/think.rs:
+crates/core/src/manipulation.rs:
+crates/core/src/session.rs:
+crates/core/src/space.rs:
+crates/core/src/speculator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/specdb_exec-97ecea9f5afbcf35.d: crates/exec/src/lib.rs crates/exec/src/context.rs crates/exec/src/engine.rs crates/exec/src/error.rs crates/exec/src/estimate.rs crates/exec/src/optimizer.rs crates/exec/src/plan.rs crates/exec/src/rewrite.rs crates/exec/src/run.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspecdb_exec-97ecea9f5afbcf35.rmeta: crates/exec/src/lib.rs crates/exec/src/context.rs crates/exec/src/engine.rs crates/exec/src/error.rs crates/exec/src/estimate.rs crates/exec/src/optimizer.rs crates/exec/src/plan.rs crates/exec/src/rewrite.rs crates/exec/src/run.rs Cargo.toml
+
+crates/exec/src/lib.rs:
+crates/exec/src/context.rs:
+crates/exec/src/engine.rs:
+crates/exec/src/error.rs:
+crates/exec/src/estimate.rs:
+crates/exec/src/optimizer.rs:
+crates/exec/src/plan.rs:
+crates/exec/src/rewrite.rs:
+crates/exec/src/run.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/specdb_exec-dce4440115621f4f.d: crates/exec/src/lib.rs crates/exec/src/context.rs crates/exec/src/engine.rs crates/exec/src/error.rs crates/exec/src/estimate.rs crates/exec/src/optimizer.rs crates/exec/src/plan.rs crates/exec/src/rewrite.rs crates/exec/src/run.rs
+
+/root/repo/target/debug/deps/libspecdb_exec-dce4440115621f4f.rlib: crates/exec/src/lib.rs crates/exec/src/context.rs crates/exec/src/engine.rs crates/exec/src/error.rs crates/exec/src/estimate.rs crates/exec/src/optimizer.rs crates/exec/src/plan.rs crates/exec/src/rewrite.rs crates/exec/src/run.rs
+
+/root/repo/target/debug/deps/libspecdb_exec-dce4440115621f4f.rmeta: crates/exec/src/lib.rs crates/exec/src/context.rs crates/exec/src/engine.rs crates/exec/src/error.rs crates/exec/src/estimate.rs crates/exec/src/optimizer.rs crates/exec/src/plan.rs crates/exec/src/rewrite.rs crates/exec/src/run.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/context.rs:
+crates/exec/src/engine.rs:
+crates/exec/src/error.rs:
+crates/exec/src/estimate.rs:
+crates/exec/src/optimizer.rs:
+crates/exec/src/plan.rs:
+crates/exec/src/rewrite.rs:
+crates/exec/src/run.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/specdb_obs-006520657107de43.d: crates/obs/src/lib.rs crates/obs/src/calibration.rs crates/obs/src/events.rs crates/obs/src/metrics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspecdb_obs-006520657107de43.rmeta: crates/obs/src/lib.rs crates/obs/src/calibration.rs crates/obs/src/events.rs crates/obs/src/metrics.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/calibration.rs:
+crates/obs/src/events.rs:
+crates/obs/src/metrics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/specdb_obs-820c23936a65321c.d: crates/obs/src/lib.rs crates/obs/src/calibration.rs crates/obs/src/events.rs crates/obs/src/metrics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspecdb_obs-820c23936a65321c.rmeta: crates/obs/src/lib.rs crates/obs/src/calibration.rs crates/obs/src/events.rs crates/obs/src/metrics.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/calibration.rs:
+crates/obs/src/events.rs:
+crates/obs/src/metrics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

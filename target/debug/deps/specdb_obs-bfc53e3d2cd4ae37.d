@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/specdb_obs-bfc53e3d2cd4ae37.d: crates/obs/src/lib.rs crates/obs/src/calibration.rs crates/obs/src/events.rs crates/obs/src/metrics.rs
+
+/root/repo/target/debug/deps/libspecdb_obs-bfc53e3d2cd4ae37.rlib: crates/obs/src/lib.rs crates/obs/src/calibration.rs crates/obs/src/events.rs crates/obs/src/metrics.rs
+
+/root/repo/target/debug/deps/libspecdb_obs-bfc53e3d2cd4ae37.rmeta: crates/obs/src/lib.rs crates/obs/src/calibration.rs crates/obs/src/events.rs crates/obs/src/metrics.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/calibration.rs:
+crates/obs/src/events.rs:
+crates/obs/src/metrics.rs:

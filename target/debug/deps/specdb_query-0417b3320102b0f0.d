@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/specdb_query-0417b3320102b0f0.d: crates/query/src/lib.rs crates/query/src/aggregate.rs crates/query/src/canonical.rs crates/query/src/graph.rs crates/query/src/partial.rs crates/query/src/predicate.rs crates/query/src/sql.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspecdb_query-0417b3320102b0f0.rmeta: crates/query/src/lib.rs crates/query/src/aggregate.rs crates/query/src/canonical.rs crates/query/src/graph.rs crates/query/src/partial.rs crates/query/src/predicate.rs crates/query/src/sql.rs Cargo.toml
+
+crates/query/src/lib.rs:
+crates/query/src/aggregate.rs:
+crates/query/src/canonical.rs:
+crates/query/src/graph.rs:
+crates/query/src/partial.rs:
+crates/query/src/predicate.rs:
+crates/query/src/sql.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

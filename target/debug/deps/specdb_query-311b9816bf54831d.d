@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/specdb_query-311b9816bf54831d.d: crates/query/src/lib.rs crates/query/src/aggregate.rs crates/query/src/canonical.rs crates/query/src/graph.rs crates/query/src/partial.rs crates/query/src/predicate.rs crates/query/src/sql.rs
+
+/root/repo/target/debug/deps/libspecdb_query-311b9816bf54831d.rlib: crates/query/src/lib.rs crates/query/src/aggregate.rs crates/query/src/canonical.rs crates/query/src/graph.rs crates/query/src/partial.rs crates/query/src/predicate.rs crates/query/src/sql.rs
+
+/root/repo/target/debug/deps/libspecdb_query-311b9816bf54831d.rmeta: crates/query/src/lib.rs crates/query/src/aggregate.rs crates/query/src/canonical.rs crates/query/src/graph.rs crates/query/src/partial.rs crates/query/src/predicate.rs crates/query/src/sql.rs
+
+crates/query/src/lib.rs:
+crates/query/src/aggregate.rs:
+crates/query/src/canonical.rs:
+crates/query/src/graph.rs:
+crates/query/src/partial.rs:
+crates/query/src/predicate.rs:
+crates/query/src/sql.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/specdb_sim-efb06596af6c0fc3.d: crates/sim/src/lib.rs crates/sim/src/dataset.rs crates/sim/src/multi.rs crates/sim/src/replay.rs crates/sim/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspecdb_sim-efb06596af6c0fc3.rmeta: crates/sim/src/lib.rs crates/sim/src/dataset.rs crates/sim/src/multi.rs crates/sim/src/replay.rs crates/sim/src/report.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/dataset.rs:
+crates/sim/src/multi.rs:
+crates/sim/src/replay.rs:
+crates/sim/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

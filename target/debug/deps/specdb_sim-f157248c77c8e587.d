@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/specdb_sim-f157248c77c8e587.d: crates/sim/src/lib.rs crates/sim/src/dataset.rs crates/sim/src/multi.rs crates/sim/src/replay.rs crates/sim/src/report.rs
+
+/root/repo/target/debug/deps/libspecdb_sim-f157248c77c8e587.rlib: crates/sim/src/lib.rs crates/sim/src/dataset.rs crates/sim/src/multi.rs crates/sim/src/replay.rs crates/sim/src/report.rs
+
+/root/repo/target/debug/deps/libspecdb_sim-f157248c77c8e587.rmeta: crates/sim/src/lib.rs crates/sim/src/dataset.rs crates/sim/src/multi.rs crates/sim/src/replay.rs crates/sim/src/report.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/dataset.rs:
+crates/sim/src/multi.rs:
+crates/sim/src/replay.rs:
+crates/sim/src/report.rs:

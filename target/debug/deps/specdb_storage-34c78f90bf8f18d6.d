@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/specdb_storage-34c78f90bf8f18d6.d: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/clock.rs crates/storage/src/disk.rs crates/storage/src/error.rs crates/storage/src/heap.rs crates/storage/src/page.rs crates/storage/src/tuple.rs
+
+/root/repo/target/debug/deps/libspecdb_storage-34c78f90bf8f18d6.rlib: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/clock.rs crates/storage/src/disk.rs crates/storage/src/error.rs crates/storage/src/heap.rs crates/storage/src/page.rs crates/storage/src/tuple.rs
+
+/root/repo/target/debug/deps/libspecdb_storage-34c78f90bf8f18d6.rmeta: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/clock.rs crates/storage/src/disk.rs crates/storage/src/error.rs crates/storage/src/heap.rs crates/storage/src/page.rs crates/storage/src/tuple.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/buffer.rs:
+crates/storage/src/clock.rs:
+crates/storage/src/disk.rs:
+crates/storage/src/error.rs:
+crates/storage/src/heap.rs:
+crates/storage/src/page.rs:
+crates/storage/src/tuple.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/specdb_storage-bc8d61f7fbba566a.d: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/clock.rs crates/storage/src/disk.rs crates/storage/src/error.rs crates/storage/src/heap.rs crates/storage/src/page.rs crates/storage/src/tuple.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspecdb_storage-bc8d61f7fbba566a.rmeta: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/clock.rs crates/storage/src/disk.rs crates/storage/src/error.rs crates/storage/src/heap.rs crates/storage/src/page.rs crates/storage/src/tuple.rs Cargo.toml
+
+crates/storage/src/lib.rs:
+crates/storage/src/buffer.rs:
+crates/storage/src/clock.rs:
+crates/storage/src/disk.rs:
+crates/storage/src/error.rs:
+crates/storage/src/heap.rs:
+crates/storage/src/page.rs:
+crates/storage/src/tuple.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/specdb_tpch-6b287fbb3883c9e7.d: crates/tpch/src/lib.rs crates/tpch/src/explore.rs crates/tpch/src/gen.rs crates/tpch/src/schema.rs crates/tpch/src/zipf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspecdb_tpch-6b287fbb3883c9e7.rmeta: crates/tpch/src/lib.rs crates/tpch/src/explore.rs crates/tpch/src/gen.rs crates/tpch/src/schema.rs crates/tpch/src/zipf.rs Cargo.toml
+
+crates/tpch/src/lib.rs:
+crates/tpch/src/explore.rs:
+crates/tpch/src/gen.rs:
+crates/tpch/src/schema.rs:
+crates/tpch/src/zipf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

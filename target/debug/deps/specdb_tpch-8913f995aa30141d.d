@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/specdb_tpch-8913f995aa30141d.d: crates/tpch/src/lib.rs crates/tpch/src/explore.rs crates/tpch/src/gen.rs crates/tpch/src/schema.rs crates/tpch/src/zipf.rs
+
+/root/repo/target/debug/deps/libspecdb_tpch-8913f995aa30141d.rlib: crates/tpch/src/lib.rs crates/tpch/src/explore.rs crates/tpch/src/gen.rs crates/tpch/src/schema.rs crates/tpch/src/zipf.rs
+
+/root/repo/target/debug/deps/libspecdb_tpch-8913f995aa30141d.rmeta: crates/tpch/src/lib.rs crates/tpch/src/explore.rs crates/tpch/src/gen.rs crates/tpch/src/schema.rs crates/tpch/src/zipf.rs
+
+crates/tpch/src/lib.rs:
+crates/tpch/src/explore.rs:
+crates/tpch/src/gen.rs:
+crates/tpch/src/schema.rs:
+crates/tpch/src/zipf.rs:

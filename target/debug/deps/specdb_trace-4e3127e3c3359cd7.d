@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/specdb_trace-4e3127e3c3359cd7.d: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/format.rs crates/trace/src/gen.rs crates/trace/src/stats.rs
+
+/root/repo/target/debug/deps/libspecdb_trace-4e3127e3c3359cd7.rlib: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/format.rs crates/trace/src/gen.rs crates/trace/src/stats.rs
+
+/root/repo/target/debug/deps/libspecdb_trace-4e3127e3c3359cd7.rmeta: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/format.rs crates/trace/src/gen.rs crates/trace/src/stats.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/event.rs:
+crates/trace/src/format.rs:
+crates/trace/src/gen.rs:
+crates/trace/src/stats.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/specdb_trace-70233c157c985f67.d: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/format.rs crates/trace/src/gen.rs crates/trace/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspecdb_trace-70233c157c985f67.rmeta: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/format.rs crates/trace/src/gen.rs crates/trace/src/stats.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/event.rs:
+crates/trace/src/format.rs:
+crates/trace/src/gen.rs:
+crates/trace/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

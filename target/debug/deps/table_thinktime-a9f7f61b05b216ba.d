@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_thinktime-a9f7f61b05b216ba.d: crates/bench/benches/table_thinktime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_thinktime-a9f7f61b05b216ba.rmeta: crates/bench/benches/table_thinktime.rs Cargo.toml
+
+crates/bench/benches/table_thinktime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theorem31-11d8f058e508b832.d: tests/theorem31.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtheorem31-11d8f058e508b832.rmeta: tests/theorem31.rs Cargo.toml
+
+tests/theorem31.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

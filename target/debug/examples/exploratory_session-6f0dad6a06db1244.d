@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/exploratory_session-6f0dad6a06db1244.d: examples/exploratory_session.rs Cargo.toml
+
+/root/repo/target/debug/examples/libexploratory_session-6f0dad6a06db1244.rmeta: examples/exploratory_session.rs Cargo.toml
+
+examples/exploratory_session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

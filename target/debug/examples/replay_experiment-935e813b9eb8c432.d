@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/replay_experiment-935e813b9eb8c432.d: examples/replay_experiment.rs Cargo.toml
+
+/root/repo/target/debug/examples/libreplay_experiment-935e813b9eb8c432.rmeta: examples/replay_experiment.rs Cargo.toml
+
+examples/replay_experiment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/speculation_timeline-464d361886add392.d: examples/speculation_timeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libspeculation_timeline-464d361886add392.rmeta: examples/speculation_timeline.rs Cargo.toml
+
+examples/speculation_timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

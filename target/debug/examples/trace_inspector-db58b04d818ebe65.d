@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trace_inspector-db58b04d818ebe65.d: examples/trace_inspector.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrace_inspector-db58b04d818ebe65.rmeta: examples/trace_inspector.rs Cargo.toml
+
+examples/trace_inspector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libserde.rlib: /root/repo/crates/serde/src/lib.rs

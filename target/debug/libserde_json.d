@@ -1,0 +1,1 @@
+/root/repo/target/debug/libserde_json.rlib: /root/repo/crates/serde/src/lib.rs /root/repo/crates/serde_json/src/lib.rs

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/aggregate_semantics-06bc38cb0193718c.d: tests/aggregate_semantics.rs
+
+/root/repo/target/release/deps/aggregate_semantics-06bc38cb0193718c: tests/aggregate_semantics.rs
+
+tests/aggregate_semantics.rs:

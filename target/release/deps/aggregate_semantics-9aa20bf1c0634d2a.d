@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/aggregate_semantics-9aa20bf1c0634d2a.d: tests/aggregate_semantics.rs
+
+/root/repo/target/release/deps/aggregate_semantics-9aa20bf1c0634d2a: tests/aggregate_semantics.rs
+
+tests/aggregate_semantics.rs:

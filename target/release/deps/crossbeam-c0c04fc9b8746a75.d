@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-c0c04fc9b8746a75.d: crates/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-c0c04fc9b8746a75.rlib: crates/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-c0c04fc9b8746a75.rmeta: crates/crossbeam/src/lib.rs
+
+crates/crossbeam/src/lib.rs:

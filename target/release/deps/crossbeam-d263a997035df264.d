@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crossbeam-d263a997035df264.d: crates/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/crossbeam-d263a997035df264: crates/crossbeam/src/lib.rs
+
+crates/crossbeam/src/lib.rs:

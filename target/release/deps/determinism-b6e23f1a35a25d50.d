@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-b6e23f1a35a25d50.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-b6e23f1a35a25d50: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-daab3fce952719e6.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-daab3fce952719e6: tests/determinism.rs
+
+tests/determinism.rs:

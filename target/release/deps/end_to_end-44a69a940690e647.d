@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-44a69a940690e647.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-44a69a940690e647: tests/end_to_end.rs
+
+tests/end_to_end.rs:

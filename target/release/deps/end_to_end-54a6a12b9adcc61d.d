@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-54a6a12b9adcc61d.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-54a6a12b9adcc61d: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/executor_oracle-114e213026a38b0c.d: tests/executor_oracle.rs
+
+/root/repo/target/release/deps/executor_oracle-114e213026a38b0c: tests/executor_oracle.rs
+
+tests/executor_oracle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/executor_oracle-e562390b7e8b8a3e.d: tests/executor_oracle.rs
+
+/root/repo/target/release/deps/executor_oracle-e562390b7e8b8a3e: tests/executor_oracle.rs
+
+tests/executor_oracle.rs:

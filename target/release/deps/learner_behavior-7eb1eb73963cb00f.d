@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/learner_behavior-7eb1eb73963cb00f.d: tests/learner_behavior.rs
+
+/root/repo/target/release/deps/learner_behavior-7eb1eb73963cb00f: tests/learner_behavior.rs
+
+tests/learner_behavior.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/learner_behavior-c19eb36d7421636c.d: tests/learner_behavior.rs
+
+/root/repo/target/release/deps/learner_behavior-c19eb36d7421636c: tests/learner_behavior.rs
+
+tests/learner_behavior.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro-b6d9178bde32cf2e.d: crates/bench/benches/micro.rs
+
+/root/repo/target/release/deps/micro-b6d9178bde32cf2e: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parking_lot-23ad77bf32d751aa.d: crates/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/parking_lot-23ad77bf32d751aa: crates/parking_lot/src/lib.rs
+
+crates/parking_lot/src/lib.rs:

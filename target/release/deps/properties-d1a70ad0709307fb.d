@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-d1a70ad0709307fb.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-d1a70ad0709307fb: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-ec47ead56f7b52d9.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-ec47ead56f7b52d9: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-80a9fd1b1c5e9efd.d: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-80a9fd1b1c5e9efd.rlib: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-80a9fd1b1c5e9efd.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

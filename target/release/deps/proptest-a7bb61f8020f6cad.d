@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-a7bb61f8020f6cad.d: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-a7bb61f8020f6cad: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-c3863fbb08f30ce0.d: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-c3863fbb08f30ce0: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-d03f1c835de15a13.d: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-d03f1c835de15a13.rlib: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-d03f1c835de15a13.rmeta: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-6d60beb2815ca4dc.d: crates/serde/src/lib.rs
+
+/root/repo/target/release/deps/serde-6d60beb2815ca4dc: crates/serde/src/lib.rs
+
+crates/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-8f3fd16b1bfe92b0.d: crates/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-8f3fd16b1bfe92b0.rlib: crates/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-8f3fd16b1bfe92b0.rmeta: crates/serde/src/lib.rs
+
+crates/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-8799142bf7a04316.d: crates/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/serde_derive-8799142bf7a04316: crates/serde_derive/src/lib.rs
+
+crates/serde_derive/src/lib.rs:

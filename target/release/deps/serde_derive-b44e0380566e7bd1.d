@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-b44e0380566e7bd1.d: crates/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-b44e0380566e7bd1.so: crates/serde_derive/src/lib.rs
+
+crates/serde_derive/src/lib.rs:

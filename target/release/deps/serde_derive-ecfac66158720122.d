@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-ecfac66158720122.d: crates/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-ecfac66158720122.so: crates/serde_derive/src/lib.rs
+
+crates/serde_derive/src/lib.rs:

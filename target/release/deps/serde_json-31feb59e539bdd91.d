@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_json-31feb59e539bdd91.d: crates/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/serde_json-31feb59e539bdd91: crates/serde_json/src/lib.rs
+
+crates/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-d855027320949268.d: crates/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-d855027320949268.rlib: crates/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-d855027320949268.rmeta: crates/serde_json/src/lib.rs
+
+crates/serde_json/src/lib.rs:

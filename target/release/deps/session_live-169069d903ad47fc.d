@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/session_live-169069d903ad47fc.d: tests/session_live.rs
+
+/root/repo/target/release/deps/session_live-169069d903ad47fc: tests/session_live.rs
+
+tests/session_live.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/session_live-2c3cbf4802d6cf3e.d: tests/session_live.rs
+
+/root/repo/target/release/deps/session_live-2c3cbf4802d6cf3e: tests/session_live.rs
+
+tests/session_live.rs:

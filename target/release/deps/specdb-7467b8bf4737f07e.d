@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/specdb-7467b8bf4737f07e.d: src/lib.rs
+
+/root/repo/target/release/deps/specdb-7467b8bf4737f07e: src/lib.rs
+
+src/lib.rs:

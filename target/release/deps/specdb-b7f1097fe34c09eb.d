@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/specdb-b7f1097fe34c09eb.d: src/lib.rs
+
+/root/repo/target/release/deps/specdb-b7f1097fe34c09eb: src/lib.rs
+
+src/lib.rs:

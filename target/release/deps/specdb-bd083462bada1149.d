@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/specdb-bd083462bada1149.d: src/lib.rs
+
+/root/repo/target/release/deps/libspecdb-bd083462bada1149.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libspecdb-bd083462bada1149.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/specdb-f7cbcb5d3c6872e9.d: src/lib.rs
+
+/root/repo/target/release/deps/libspecdb-f7cbcb5d3c6872e9.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libspecdb-f7cbcb5d3c6872e9.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/specdb_bench-32c2b8bebab59abc.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libspecdb_bench-32c2b8bebab59abc.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libspecdb_bench-32c2b8bebab59abc.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/specdb_bench-dcadc8b0e91a87c6.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/specdb_bench-dcadc8b0e91a87c6: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

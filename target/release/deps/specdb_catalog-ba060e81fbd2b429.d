@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/specdb_catalog-ba060e81fbd2b429.d: crates/catalog/src/lib.rs crates/catalog/src/histogram.rs crates/catalog/src/index.rs crates/catalog/src/registry.rs crates/catalog/src/schema.rs crates/catalog/src/stats.rs crates/catalog/src/table.rs
+
+/root/repo/target/release/deps/libspecdb_catalog-ba060e81fbd2b429.rlib: crates/catalog/src/lib.rs crates/catalog/src/histogram.rs crates/catalog/src/index.rs crates/catalog/src/registry.rs crates/catalog/src/schema.rs crates/catalog/src/stats.rs crates/catalog/src/table.rs
+
+/root/repo/target/release/deps/libspecdb_catalog-ba060e81fbd2b429.rmeta: crates/catalog/src/lib.rs crates/catalog/src/histogram.rs crates/catalog/src/index.rs crates/catalog/src/registry.rs crates/catalog/src/schema.rs crates/catalog/src/stats.rs crates/catalog/src/table.rs
+
+crates/catalog/src/lib.rs:
+crates/catalog/src/histogram.rs:
+crates/catalog/src/index.rs:
+crates/catalog/src/registry.rs:
+crates/catalog/src/schema.rs:
+crates/catalog/src/stats.rs:
+crates/catalog/src/table.rs:

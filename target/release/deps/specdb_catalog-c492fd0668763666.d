@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/specdb_catalog-c492fd0668763666.d: crates/catalog/src/lib.rs crates/catalog/src/histogram.rs crates/catalog/src/index.rs crates/catalog/src/registry.rs crates/catalog/src/schema.rs crates/catalog/src/stats.rs crates/catalog/src/table.rs
+
+/root/repo/target/release/deps/specdb_catalog-c492fd0668763666: crates/catalog/src/lib.rs crates/catalog/src/histogram.rs crates/catalog/src/index.rs crates/catalog/src/registry.rs crates/catalog/src/schema.rs crates/catalog/src/stats.rs crates/catalog/src/table.rs
+
+crates/catalog/src/lib.rs:
+crates/catalog/src/histogram.rs:
+crates/catalog/src/index.rs:
+crates/catalog/src/registry.rs:
+crates/catalog/src/schema.rs:
+crates/catalog/src/stats.rs:
+crates/catalog/src/table.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/specdb_core-411c4a13c2a83cf0.d: crates/core/src/lib.rs crates/core/src/cost_model.rs crates/core/src/learner/mod.rs crates/core/src/learner/logistic.rs crates/core/src/learner/survival.rs crates/core/src/learner/think.rs crates/core/src/manipulation.rs crates/core/src/session.rs crates/core/src/space.rs crates/core/src/speculator.rs
+
+/root/repo/target/release/deps/specdb_core-411c4a13c2a83cf0: crates/core/src/lib.rs crates/core/src/cost_model.rs crates/core/src/learner/mod.rs crates/core/src/learner/logistic.rs crates/core/src/learner/survival.rs crates/core/src/learner/think.rs crates/core/src/manipulation.rs crates/core/src/session.rs crates/core/src/space.rs crates/core/src/speculator.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cost_model.rs:
+crates/core/src/learner/mod.rs:
+crates/core/src/learner/logistic.rs:
+crates/core/src/learner/survival.rs:
+crates/core/src/learner/think.rs:
+crates/core/src/manipulation.rs:
+crates/core/src/session.rs:
+crates/core/src/space.rs:
+crates/core/src/speculator.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/specdb_core-b1710dcf7de8c6bc.d: crates/core/src/lib.rs crates/core/src/cost_model.rs crates/core/src/learner/mod.rs crates/core/src/learner/logistic.rs crates/core/src/learner/survival.rs crates/core/src/learner/think.rs crates/core/src/manipulation.rs crates/core/src/session.rs crates/core/src/space.rs crates/core/src/speculator.rs
+
+/root/repo/target/release/deps/libspecdb_core-b1710dcf7de8c6bc.rlib: crates/core/src/lib.rs crates/core/src/cost_model.rs crates/core/src/learner/mod.rs crates/core/src/learner/logistic.rs crates/core/src/learner/survival.rs crates/core/src/learner/think.rs crates/core/src/manipulation.rs crates/core/src/session.rs crates/core/src/space.rs crates/core/src/speculator.rs
+
+/root/repo/target/release/deps/libspecdb_core-b1710dcf7de8c6bc.rmeta: crates/core/src/lib.rs crates/core/src/cost_model.rs crates/core/src/learner/mod.rs crates/core/src/learner/logistic.rs crates/core/src/learner/survival.rs crates/core/src/learner/think.rs crates/core/src/manipulation.rs crates/core/src/session.rs crates/core/src/space.rs crates/core/src/speculator.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cost_model.rs:
+crates/core/src/learner/mod.rs:
+crates/core/src/learner/logistic.rs:
+crates/core/src/learner/survival.rs:
+crates/core/src/learner/think.rs:
+crates/core/src/manipulation.rs:
+crates/core/src/session.rs:
+crates/core/src/space.rs:
+crates/core/src/speculator.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/specdb_exec-cb4ad63ffd609ba9.d: crates/exec/src/lib.rs crates/exec/src/context.rs crates/exec/src/engine.rs crates/exec/src/error.rs crates/exec/src/estimate.rs crates/exec/src/optimizer.rs crates/exec/src/plan.rs crates/exec/src/rewrite.rs crates/exec/src/run.rs
+
+/root/repo/target/release/deps/libspecdb_exec-cb4ad63ffd609ba9.rlib: crates/exec/src/lib.rs crates/exec/src/context.rs crates/exec/src/engine.rs crates/exec/src/error.rs crates/exec/src/estimate.rs crates/exec/src/optimizer.rs crates/exec/src/plan.rs crates/exec/src/rewrite.rs crates/exec/src/run.rs
+
+/root/repo/target/release/deps/libspecdb_exec-cb4ad63ffd609ba9.rmeta: crates/exec/src/lib.rs crates/exec/src/context.rs crates/exec/src/engine.rs crates/exec/src/error.rs crates/exec/src/estimate.rs crates/exec/src/optimizer.rs crates/exec/src/plan.rs crates/exec/src/rewrite.rs crates/exec/src/run.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/context.rs:
+crates/exec/src/engine.rs:
+crates/exec/src/error.rs:
+crates/exec/src/estimate.rs:
+crates/exec/src/optimizer.rs:
+crates/exec/src/plan.rs:
+crates/exec/src/rewrite.rs:
+crates/exec/src/run.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/specdb_obs-a533bb7a342ec97e.d: crates/obs/src/lib.rs crates/obs/src/calibration.rs crates/obs/src/events.rs crates/obs/src/metrics.rs
+
+/root/repo/target/release/deps/specdb_obs-a533bb7a342ec97e: crates/obs/src/lib.rs crates/obs/src/calibration.rs crates/obs/src/events.rs crates/obs/src/metrics.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/calibration.rs:
+crates/obs/src/events.rs:
+crates/obs/src/metrics.rs:

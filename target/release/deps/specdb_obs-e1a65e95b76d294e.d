@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/specdb_obs-e1a65e95b76d294e.d: crates/obs/src/lib.rs crates/obs/src/calibration.rs crates/obs/src/events.rs crates/obs/src/metrics.rs
+
+/root/repo/target/release/deps/libspecdb_obs-e1a65e95b76d294e.rlib: crates/obs/src/lib.rs crates/obs/src/calibration.rs crates/obs/src/events.rs crates/obs/src/metrics.rs
+
+/root/repo/target/release/deps/libspecdb_obs-e1a65e95b76d294e.rmeta: crates/obs/src/lib.rs crates/obs/src/calibration.rs crates/obs/src/events.rs crates/obs/src/metrics.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/calibration.rs:
+crates/obs/src/events.rs:
+crates/obs/src/metrics.rs:

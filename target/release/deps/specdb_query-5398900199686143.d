@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/specdb_query-5398900199686143.d: crates/query/src/lib.rs crates/query/src/aggregate.rs crates/query/src/canonical.rs crates/query/src/graph.rs crates/query/src/partial.rs crates/query/src/predicate.rs crates/query/src/sql.rs
+
+/root/repo/target/release/deps/specdb_query-5398900199686143: crates/query/src/lib.rs crates/query/src/aggregate.rs crates/query/src/canonical.rs crates/query/src/graph.rs crates/query/src/partial.rs crates/query/src/predicate.rs crates/query/src/sql.rs
+
+crates/query/src/lib.rs:
+crates/query/src/aggregate.rs:
+crates/query/src/canonical.rs:
+crates/query/src/graph.rs:
+crates/query/src/partial.rs:
+crates/query/src/predicate.rs:
+crates/query/src/sql.rs:

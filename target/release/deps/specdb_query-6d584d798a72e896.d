@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/specdb_query-6d584d798a72e896.d: crates/query/src/lib.rs crates/query/src/aggregate.rs crates/query/src/canonical.rs crates/query/src/graph.rs crates/query/src/partial.rs crates/query/src/predicate.rs crates/query/src/sql.rs
+
+/root/repo/target/release/deps/libspecdb_query-6d584d798a72e896.rlib: crates/query/src/lib.rs crates/query/src/aggregate.rs crates/query/src/canonical.rs crates/query/src/graph.rs crates/query/src/partial.rs crates/query/src/predicate.rs crates/query/src/sql.rs
+
+/root/repo/target/release/deps/libspecdb_query-6d584d798a72e896.rmeta: crates/query/src/lib.rs crates/query/src/aggregate.rs crates/query/src/canonical.rs crates/query/src/graph.rs crates/query/src/partial.rs crates/query/src/predicate.rs crates/query/src/sql.rs
+
+crates/query/src/lib.rs:
+crates/query/src/aggregate.rs:
+crates/query/src/canonical.rs:
+crates/query/src/graph.rs:
+crates/query/src/partial.rs:
+crates/query/src/predicate.rs:
+crates/query/src/sql.rs:

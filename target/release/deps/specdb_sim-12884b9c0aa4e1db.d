@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/specdb_sim-12884b9c0aa4e1db.d: crates/sim/src/lib.rs crates/sim/src/dataset.rs crates/sim/src/multi.rs crates/sim/src/replay.rs crates/sim/src/report.rs
+
+/root/repo/target/release/deps/libspecdb_sim-12884b9c0aa4e1db.rlib: crates/sim/src/lib.rs crates/sim/src/dataset.rs crates/sim/src/multi.rs crates/sim/src/replay.rs crates/sim/src/report.rs
+
+/root/repo/target/release/deps/libspecdb_sim-12884b9c0aa4e1db.rmeta: crates/sim/src/lib.rs crates/sim/src/dataset.rs crates/sim/src/multi.rs crates/sim/src/replay.rs crates/sim/src/report.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/dataset.rs:
+crates/sim/src/multi.rs:
+crates/sim/src/replay.rs:
+crates/sim/src/report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/specdb_sim-df37bfd60f0a7201.d: crates/sim/src/lib.rs crates/sim/src/dataset.rs crates/sim/src/multi.rs crates/sim/src/replay.rs crates/sim/src/report.rs
+
+/root/repo/target/release/deps/specdb_sim-df37bfd60f0a7201: crates/sim/src/lib.rs crates/sim/src/dataset.rs crates/sim/src/multi.rs crates/sim/src/replay.rs crates/sim/src/report.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/dataset.rs:
+crates/sim/src/multi.rs:
+crates/sim/src/replay.rs:
+crates/sim/src/report.rs:

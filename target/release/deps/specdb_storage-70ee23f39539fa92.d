@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/specdb_storage-70ee23f39539fa92.d: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/clock.rs crates/storage/src/disk.rs crates/storage/src/error.rs crates/storage/src/heap.rs crates/storage/src/page.rs crates/storage/src/tuple.rs
+
+/root/repo/target/release/deps/specdb_storage-70ee23f39539fa92: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/clock.rs crates/storage/src/disk.rs crates/storage/src/error.rs crates/storage/src/heap.rs crates/storage/src/page.rs crates/storage/src/tuple.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/buffer.rs:
+crates/storage/src/clock.rs:
+crates/storage/src/disk.rs:
+crates/storage/src/error.rs:
+crates/storage/src/heap.rs:
+crates/storage/src/page.rs:
+crates/storage/src/tuple.rs:

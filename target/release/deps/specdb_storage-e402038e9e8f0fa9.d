@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/specdb_storage-e402038e9e8f0fa9.d: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/clock.rs crates/storage/src/disk.rs crates/storage/src/error.rs crates/storage/src/heap.rs crates/storage/src/page.rs crates/storage/src/tuple.rs
+
+/root/repo/target/release/deps/libspecdb_storage-e402038e9e8f0fa9.rlib: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/clock.rs crates/storage/src/disk.rs crates/storage/src/error.rs crates/storage/src/heap.rs crates/storage/src/page.rs crates/storage/src/tuple.rs
+
+/root/repo/target/release/deps/libspecdb_storage-e402038e9e8f0fa9.rmeta: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/clock.rs crates/storage/src/disk.rs crates/storage/src/error.rs crates/storage/src/heap.rs crates/storage/src/page.rs crates/storage/src/tuple.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/buffer.rs:
+crates/storage/src/clock.rs:
+crates/storage/src/disk.rs:
+crates/storage/src/error.rs:
+crates/storage/src/heap.rs:
+crates/storage/src/page.rs:
+crates/storage/src/tuple.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/specdb_tpch-481bcf7cc9618503.d: crates/tpch/src/lib.rs crates/tpch/src/explore.rs crates/tpch/src/gen.rs crates/tpch/src/schema.rs crates/tpch/src/zipf.rs
+
+/root/repo/target/release/deps/libspecdb_tpch-481bcf7cc9618503.rlib: crates/tpch/src/lib.rs crates/tpch/src/explore.rs crates/tpch/src/gen.rs crates/tpch/src/schema.rs crates/tpch/src/zipf.rs
+
+/root/repo/target/release/deps/libspecdb_tpch-481bcf7cc9618503.rmeta: crates/tpch/src/lib.rs crates/tpch/src/explore.rs crates/tpch/src/gen.rs crates/tpch/src/schema.rs crates/tpch/src/zipf.rs
+
+crates/tpch/src/lib.rs:
+crates/tpch/src/explore.rs:
+crates/tpch/src/gen.rs:
+crates/tpch/src/schema.rs:
+crates/tpch/src/zipf.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/specdb_tpch-ac66ad676a8778a7.d: crates/tpch/src/lib.rs crates/tpch/src/explore.rs crates/tpch/src/gen.rs crates/tpch/src/schema.rs crates/tpch/src/zipf.rs
+
+/root/repo/target/release/deps/specdb_tpch-ac66ad676a8778a7: crates/tpch/src/lib.rs crates/tpch/src/explore.rs crates/tpch/src/gen.rs crates/tpch/src/schema.rs crates/tpch/src/zipf.rs
+
+crates/tpch/src/lib.rs:
+crates/tpch/src/explore.rs:
+crates/tpch/src/gen.rs:
+crates/tpch/src/schema.rs:
+crates/tpch/src/zipf.rs:

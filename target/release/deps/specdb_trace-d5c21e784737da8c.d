@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/specdb_trace-d5c21e784737da8c.d: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/format.rs crates/trace/src/gen.rs crates/trace/src/stats.rs
+
+/root/repo/target/release/deps/libspecdb_trace-d5c21e784737da8c.rlib: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/format.rs crates/trace/src/gen.rs crates/trace/src/stats.rs
+
+/root/repo/target/release/deps/libspecdb_trace-d5c21e784737da8c.rmeta: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/format.rs crates/trace/src/gen.rs crates/trace/src/stats.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/event.rs:
+crates/trace/src/format.rs:
+crates/trace/src/gen.rs:
+crates/trace/src/stats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/specdb_trace-fcc46d4eaa7e6b91.d: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/format.rs crates/trace/src/gen.rs crates/trace/src/stats.rs
+
+/root/repo/target/release/deps/specdb_trace-fcc46d4eaa7e6b91: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/format.rs crates/trace/src/gen.rs crates/trace/src/stats.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/event.rs:
+crates/trace/src/format.rs:
+crates/trace/src/gen.rs:
+crates/trace/src/stats.rs:

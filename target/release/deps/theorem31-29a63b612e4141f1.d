@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/theorem31-29a63b612e4141f1.d: tests/theorem31.rs
+
+/root/repo/target/release/deps/theorem31-29a63b612e4141f1: tests/theorem31.rs
+
+tests/theorem31.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/theorem31-801aa2e970f6349a.d: tests/theorem31.rs
+
+/root/repo/target/release/deps/theorem31-801aa2e970f6349a: tests/theorem31.rs
+
+tests/theorem31.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/exploratory_session-741559c63613ef3b.d: examples/exploratory_session.rs
+
+/root/repo/target/release/examples/exploratory_session-741559c63613ef3b: examples/exploratory_session.rs
+
+examples/exploratory_session.rs:

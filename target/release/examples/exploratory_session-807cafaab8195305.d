@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/exploratory_session-807cafaab8195305.d: examples/exploratory_session.rs
+
+/root/repo/target/release/examples/exploratory_session-807cafaab8195305: examples/exploratory_session.rs
+
+examples/exploratory_session.rs:

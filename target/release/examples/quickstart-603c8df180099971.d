@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-603c8df180099971.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-603c8df180099971: examples/quickstart.rs
+
+examples/quickstart.rs:

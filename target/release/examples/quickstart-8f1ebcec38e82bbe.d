@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-8f1ebcec38e82bbe.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-8f1ebcec38e82bbe: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/replay_experiment-46974c203a12196f.d: examples/replay_experiment.rs
+
+/root/repo/target/release/examples/replay_experiment-46974c203a12196f: examples/replay_experiment.rs
+
+examples/replay_experiment.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/replay_experiment-5716f73c186e0b33.d: examples/replay_experiment.rs
+
+/root/repo/target/release/examples/replay_experiment-5716f73c186e0b33: examples/replay_experiment.rs
+
+examples/replay_experiment.rs:

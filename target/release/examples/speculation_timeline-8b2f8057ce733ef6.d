@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/speculation_timeline-8b2f8057ce733ef6.d: examples/speculation_timeline.rs
+
+/root/repo/target/release/examples/speculation_timeline-8b2f8057ce733ef6: examples/speculation_timeline.rs
+
+examples/speculation_timeline.rs:

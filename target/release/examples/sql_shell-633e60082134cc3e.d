@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sql_shell-633e60082134cc3e.d: examples/sql_shell.rs
+
+/root/repo/target/release/examples/sql_shell-633e60082134cc3e: examples/sql_shell.rs
+
+examples/sql_shell.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sql_shell-745e6dfdc147605d.d: examples/sql_shell.rs
+
+/root/repo/target/release/examples/sql_shell-745e6dfdc147605d: examples/sql_shell.rs
+
+examples/sql_shell.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/trace_inspector-7a86b44999515fb9.d: examples/trace_inspector.rs
+
+/root/repo/target/release/examples/trace_inspector-7a86b44999515fb9: examples/trace_inspector.rs
+
+examples/trace_inspector.rs:

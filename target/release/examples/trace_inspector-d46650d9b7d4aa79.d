@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/trace_inspector-d46650d9b7d4aa79.d: examples/trace_inspector.rs
+
+/root/repo/target/release/examples/trace_inspector-d46650d9b7d4aa79: examples/trace_inspector.rs
+
+examples/trace_inspector.rs:

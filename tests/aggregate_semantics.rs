@@ -49,8 +49,8 @@ fn sum_avg_min_max_skip_nulls() {
 #[test]
 fn all_null_group_aggregates_to_null() {
     let mut db = db_with_nulls();
-    let q = parse_sql(&db, "SELECT grp, sum(v), avg(v), min(v), count(v) FROM t GROUP BY grp")
-        .unwrap();
+    let q =
+        parse_sql(&db, "SELECT grp, sum(v), avg(v), min(v), count(v) FROM t GROUP BY grp").unwrap();
     let out = db.execute(&q).unwrap();
     assert_eq!(out.row_count, 2);
     // Groups come out key-sorted: grp 0 then grp 1.

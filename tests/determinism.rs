@@ -18,11 +18,7 @@ fn database_generation_is_deterministic() {
     let a = build_base_db(&DatasetSpec::tiny()).unwrap();
     let b = build_base_db(&DatasetSpec::tiny()).unwrap();
     for t in specdb::tpch::TPCH_TABLES {
-        assert_eq!(
-            a.catalog().table(t).unwrap().stats,
-            b.catalog().table(t).unwrap().stats,
-            "{t}"
-        );
+        assert_eq!(a.catalog().table(t).unwrap().stats, b.catalog().table(t).unwrap().stats, "{t}");
     }
 }
 

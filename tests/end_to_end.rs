@@ -84,10 +84,7 @@ fn cost_based_mode_never_worse_than_forced_estimates() {
     // Highly selective final query: the base index should win over the
     // big unindexed view; cost-based mode is free to skip the view.
     let mut g = sub.clone();
-    g.add_selection(Selection::new(
-        "lineitem",
-        Predicate::new("l_orderkey", CompareOp::Eq, 3i64),
-    ));
+    g.add_selection(Selection::new("lineitem", Predicate::new("l_orderkey", CompareOp::Eq, 3i64)));
     let q = Query::star(g);
     let cost_based = db.execute_discard(&q).unwrap();
     db.set_view_mode(ViewMode::Forced);
@@ -132,7 +129,7 @@ fn replay_preserves_answers_and_wins_on_average() {
         }
         total_normal += n.total().as_secs_f64();
         total_spec += s.total().as_secs_f64();
-        let pairs = pair_runs(&n.queries, &s.queries);
+        let pairs = pair_runs(&n.queries, &s.queries).expect("aligned replays");
         assert_eq!(pairs.len(), 15);
     }
     assert!(

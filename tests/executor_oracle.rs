@@ -101,7 +101,10 @@ fn build_engine(db: &TestDb, indexes: bool) -> Database {
     engine
         .create_table(
             "r",
-            Schema::new(vec![ColumnDef::new("k", DataType::Int), ColumnDef::new("a", DataType::Int)]),
+            Schema::new(vec![
+                ColumnDef::new("k", DataType::Int),
+                ColumnDef::new("a", DataType::Int),
+            ]),
         )
         .unwrap();
     engine
@@ -117,7 +120,10 @@ fn build_engine(db: &TestDb, indexes: bool) -> Database {
     engine
         .create_table(
             "t",
-            Schema::new(vec![ColumnDef::new("j", DataType::Int), ColumnDef::new("c", DataType::Int)]),
+            Schema::new(vec![
+                ColumnDef::new("j", DataType::Int),
+                ColumnDef::new("c", DataType::Int),
+            ]),
         )
         .unwrap();
     engine
@@ -126,16 +132,16 @@ fn build_engine(db: &TestDb, indexes: bool) -> Database {
     engine
         .load(
             "s",
-            db.s.iter().map(|&(k, j, b)| {
-                Tuple::new(vec![Value::Int(k), Value::Int(j), Value::Int(b)])
-            }),
+            db.s.iter()
+                .map(|&(k, j, b)| Tuple::new(vec![Value::Int(k), Value::Int(j), Value::Int(b)])),
         )
         .unwrap();
     engine
         .load("t", db.t.iter().map(|&(j, c)| Tuple::new(vec![Value::Int(j), Value::Int(c)])))
         .unwrap();
     if indexes {
-        for (t, c) in [("r", "k"), ("r", "a"), ("s", "k"), ("s", "j"), ("s", "b"), ("t", "j"), ("t", "c")]
+        for (t, c) in
+            [("r", "k"), ("r", "a"), ("s", "k"), ("s", "j"), ("s", "b"), ("t", "j"), ("t", "c")]
         {
             engine.create_index(t, c).unwrap();
             engine.create_histogram(t, c).unwrap();

@@ -95,7 +95,8 @@ fn logistic_mode_generalizes_across_constants() {
     // The counting learner keys on (table, column) here too, so both
     // should learn this; the logistic learner must also score *novel*
     // constants confidently.
-    let mk_sel = |col: &str, v: i64| Selection::new("orders", Predicate::new(col, CompareOp::Lt, v));
+    let mk_sel =
+        |col: &str, v: i64| Selection::new("orders", Predicate::new(col, CompareOp::Lt, v));
     let mut counting = Learner::new(LearnerConfig::default());
     let mut logistic =
         Learner::new(LearnerConfig { mode: SurvivalMode::Logistic, ..Default::default() });

@@ -50,10 +50,7 @@ fn arb_join() -> impl Strategy<Value = Join> {
 }
 
 fn arb_graph() -> impl Strategy<Value = QueryGraph> {
-    (
-        prop::collection::vec(arb_selection(), 0..4),
-        prop::collection::vec(arb_join(), 0..3),
-    )
+    (prop::collection::vec(arb_selection(), 0..4), prop::collection::vec(arb_join(), 0..3))
         .prop_map(|(sels, joins)| {
             let mut g = QueryGraph::new();
             for s in sels {

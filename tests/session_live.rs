@@ -18,10 +18,7 @@ fn db() -> Database {
 }
 
 fn nation(v: &str) -> EditOp {
-    EditOp::AddSelection(Selection::new(
-        "customer",
-        Predicate::new("c_nation", CompareOp::Eq, v),
-    ))
+    EditOp::AddSelection(Selection::new("customer", Predicate::new("c_nation", CompareOp::Eq, v)))
 }
 
 #[test]
@@ -37,10 +34,7 @@ fn consecutive_queries_reuse_surviving_views() {
     let second = s.go().expect("second GO");
     assert_eq!(first.row_count, second.row_count);
     if s.stats().completed >= 1 {
-        assert!(
-            !second.used_views.is_empty(),
-            "surviving view should answer the repeat query"
-        );
+        assert!(!second.used_views.is_empty(), "surviving view should answer the repeat query");
     }
     s.finish();
 }
@@ -84,9 +78,8 @@ fn rapid_fire_edits_never_deadlock_or_crash() {
             }
         }
         s.edit(EditOp::AddJoin(Join::new("orders", "o_custkey", "customer", "c_custkey")));
-        let out = s.go().expect("GO under churn");
-        assert!(out.row_count > 0 || out.row_count == 0); // executed without error
-        // Clear the canvas for the next round.
+        let _ = s.go().expect("GO under churn"); // executed without error
+                                                 // Clear the canvas for the next round.
         for rel in ["customer", "orders"] {
             s.edit(EditOp::RemoveRelation(rel.into()));
         }
@@ -110,10 +103,6 @@ fn finish_returns_database_with_consistent_views() {
     let db = s.finish();
     // Every registered view has a backing catalog table.
     for v in db.views().iter() {
-        assert!(
-            db.catalog().table(&v.name).is_some(),
-            "view {} must have storage",
-            v.name
-        );
+        assert!(db.catalog().table(&v.name).is_some(), "view {} must have storage", v.name);
     }
 }
