@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aggregate_semantics-f42878ec4dbe567d.d: tests/aggregate_semantics.rs
+
+/root/repo/target/debug/deps/aggregate_semantics-f42878ec4dbe567d: tests/aggregate_semantics.rs
+
+tests/aggregate_semantics.rs:

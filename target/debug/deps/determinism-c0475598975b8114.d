@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-c0475598975b8114.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-c0475598975b8114: tests/determinism.rs
+
+tests/determinism.rs:

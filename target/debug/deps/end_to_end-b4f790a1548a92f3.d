@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-b4f790a1548a92f3.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-b4f790a1548a92f3: tests/end_to_end.rs
+
+tests/end_to_end.rs:

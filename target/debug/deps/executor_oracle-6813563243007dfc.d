@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/executor_oracle-6813563243007dfc.d: tests/executor_oracle.rs
+
+/root/repo/target/debug/deps/executor_oracle-6813563243007dfc: tests/executor_oracle.rs
+
+tests/executor_oracle.rs:

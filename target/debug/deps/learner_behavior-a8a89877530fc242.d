@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/learner_behavior-a8a89877530fc242.d: tests/learner_behavior.rs
+
+/root/repo/target/debug/deps/learner_behavior-a8a89877530fc242: tests/learner_behavior.rs
+
+tests/learner_behavior.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-0ac6001a598525d0.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-0ac6001a598525d0: tests/properties.rs
+
+tests/properties.rs:

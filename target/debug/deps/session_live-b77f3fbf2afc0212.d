@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/session_live-b77f3fbf2afc0212.d: tests/session_live.rs
+
+/root/repo/target/debug/deps/session_live-b77f3fbf2afc0212: tests/session_live.rs
+
+tests/session_live.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/specdb-0b0e35ba5b9b8ba5.d: src/lib.rs
+
+/root/repo/target/debug/deps/specdb-0b0e35ba5b9b8ba5: src/lib.rs
+
+src/lib.rs:

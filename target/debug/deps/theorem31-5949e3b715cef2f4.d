@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorem31-5949e3b715cef2f4.d: tests/theorem31.rs
+
+/root/repo/target/debug/deps/theorem31-5949e3b715cef2f4: tests/theorem31.rs
+
+tests/theorem31.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/exploratory_session-23b6cdf3a40d82cd.d: examples/exploratory_session.rs
+
+/root/repo/target/debug/examples/exploratory_session-23b6cdf3a40d82cd: examples/exploratory_session.rs
+
+examples/exploratory_session.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-85babcd7b2732a79.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-85babcd7b2732a79: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/replay_experiment-c9faeeb30492c66d.d: examples/replay_experiment.rs
+
+/root/repo/target/debug/examples/replay_experiment-c9faeeb30492c66d: examples/replay_experiment.rs
+
+examples/replay_experiment.rs:

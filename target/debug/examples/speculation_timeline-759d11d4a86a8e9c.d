@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/speculation_timeline-759d11d4a86a8e9c.d: examples/speculation_timeline.rs
+
+/root/repo/target/debug/examples/speculation_timeline-759d11d4a86a8e9c: examples/speculation_timeline.rs
+
+examples/speculation_timeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sql_shell-97e4ef6856363fa4.d: examples/sql_shell.rs
+
+/root/repo/target/debug/examples/sql_shell-97e4ef6856363fa4: examples/sql_shell.rs
+
+examples/sql_shell.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_inspector-abd3410c79633679.d: examples/trace_inspector.rs
+
+/root/repo/target/debug/examples/trace_inspector-abd3410c79633679: examples/trace_inspector.rs
+
+examples/trace_inspector.rs:
