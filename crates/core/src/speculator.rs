@@ -13,14 +13,15 @@
 use crate::cost_model::CostModel;
 use crate::learner::Profile;
 use crate::manipulation::Manipulation;
-use crate::space::{ManipulationSpace, SpaceConfig};
+use crate::space::{IncrementalSpace, ManipulationSpace, SpaceConfig};
 use crate::CostModelConfig;
+use parking_lot::Mutex;
 use specdb_exec::Database;
 use specdb_query::QueryGraph;
 use specdb_storage::VirtualTime;
 
 /// Speculator configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SpeculatorConfig {
     /// Manipulation-space configuration.
     pub space: SpaceConfig,
@@ -29,6 +30,22 @@ pub struct SpeculatorConfig {
     /// Minimum expected benefit (virtual seconds) before acting; filters
     /// out noise-level wins that are not worth the system load.
     pub min_benefit_secs: f64,
+    /// Maintain the candidate set incrementally across edits
+    /// ([`IncrementalSpace`]) instead of re-enumerating from scratch.
+    /// Produces bit-identical decisions either way; on by default, and
+    /// the decision-loop benchmark's no-cache arm turns it off.
+    pub incremental: bool,
+}
+
+impl Default for SpeculatorConfig {
+    fn default() -> Self {
+        SpeculatorConfig {
+            space: SpaceConfig::default(),
+            cost: CostModelConfig::default(),
+            min_benefit_secs: 0.0,
+            incremental: true,
+        }
+    }
 }
 
 /// The speculator's choice for the current partial query.
@@ -55,6 +72,11 @@ impl Decision {
 /// The Speculator component.
 pub struct Speculator {
     space: ManipulationSpace,
+    /// Delta-maintained candidate state when `incremental` is on. Behind
+    /// a mutex because `decide` takes `&self` and the speculator is
+    /// shared (`Arc`) with the session worker; contention is nil — one
+    /// decide runs at a time.
+    incremental: Option<Mutex<IncrementalSpace>>,
     cost_model: CostModel,
     min_benefit: f64,
 }
@@ -69,7 +91,10 @@ impl Speculator {
     /// Speculator with the given configuration.
     pub fn new(config: SpeculatorConfig) -> Self {
         Speculator {
-            space: ManipulationSpace::new(config.space),
+            space: ManipulationSpace::new(config.space.clone()),
+            incremental: config
+                .incremental
+                .then(|| Mutex::new(IncrementalSpace::new(config.space))),
             cost_model: CostModel::new(config.cost),
             min_benefit: config.min_benefit_secs.max(0.0),
         }
@@ -90,7 +115,11 @@ impl Speculator {
             build: VirtualTime::ZERO,
             delta_secs: 0.0,
         };
-        for m in self.space.enumerate(partial, db) {
+        let candidates = match &self.incremental {
+            Some(inc) => inc.lock().candidates(partial, db),
+            None => self.space.enumerate(partial, db),
+        };
+        for m in candidates {
             if m.is_null() {
                 continue;
             }

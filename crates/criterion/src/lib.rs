@@ -6,8 +6,27 @@
 //! `Bencher::iter`, `black_box`) backed by a simple adaptive wall-clock
 //! timer: each routine is run in growing batches until the measurement
 //! window is long enough to trust, then mean ns/iteration is printed.
-//! No statistics, plots, or baselines — just honest numbers on stderr.
+//!
+//! # Baselines
+//!
+//! Regression tracking without the real criterion's statistics engine:
+//!
+//! * `--save-baseline <name>` records every benchmark's mean ns/iter to
+//!   `target/criterion-baselines/<name>.json` (merging with any earlier
+//!   runs saved under the same name, so multi-binary bench suites
+//!   accumulate into one file).
+//! * `--baseline <name>` loads that file and prints a percentage delta
+//!   next to each benchmark that has a recorded baseline.
+//!
+//! Both flags accept `--flag value` and `--flag=value` forms and are
+//! parsed from `std::env::args`, ignoring everything else (cargo bench
+//! passes `--bench` etc.). The directory can be redirected with the
+//! `CRITERION_BASELINE_DIR` environment variable. The file format is a
+//! flat JSON object `{"bench name": mean_ns, ...}` — stable, diffable,
+//! and parseable without a JSON library.
 
+use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Opaque value barrier preventing the optimizer from deleting work.
@@ -15,18 +34,54 @@ pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
 }
 
+/// Where baseline files live unless `CRITERION_BASELINE_DIR` overrides.
+const DEFAULT_BASELINE_DIR: &str = "target/criterion-baselines";
+
 /// Benchmark registry and configuration, mirroring `criterion::Criterion`.
 pub struct Criterion {
     sample_size: usize,
+    save_baseline: Option<String>,
+    baseline: Option<String>,
+    baseline_dir: PathBuf,
+    /// Baseline means loaded for comparison (`--baseline`).
+    loaded: BTreeMap<String, f64>,
+    /// Means measured this run, pending save (`--save-baseline`).
+    results: BTreeMap<String, f64>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 10 }
+        let args: Vec<String> = std::env::args().collect();
+        Self::from_args(&args)
     }
 }
 
 impl Criterion {
+    /// Build from an explicit argument list (`Default` feeds it
+    /// `std::env::args`). Unknown arguments are ignored.
+    pub fn from_args(args: &[String]) -> Self {
+        let dir = std::env::var("CRITERION_BASELINE_DIR")
+            .unwrap_or_else(|_| DEFAULT_BASELINE_DIR.to_string());
+        let mut c = Criterion {
+            sample_size: 10,
+            save_baseline: flag_value(args, "--save-baseline"),
+            baseline: flag_value(args, "--baseline"),
+            baseline_dir: PathBuf::from(dir),
+            loaded: BTreeMap::new(),
+            results: BTreeMap::new(),
+        };
+        if let Some(name) = c.baseline.clone() {
+            match std::fs::read_to_string(c.baseline_path(&name)) {
+                Ok(text) => c.loaded = parse_flat_json(&text),
+                Err(e) => eprintln!(
+                    "criterion: baseline '{name}' not readable at {}: {e}",
+                    c.baseline_path(&name).display()
+                ),
+            }
+        }
+        c
+    }
+
     /// Set the number of measured samples per benchmark.
     pub fn sample_size(mut self, n: usize) -> Self {
         assert!(n > 0, "sample_size must be positive");
@@ -34,7 +89,18 @@ impl Criterion {
         self
     }
 
-    /// Measure `routine` and print its mean time per iteration.
+    /// Redirect baseline storage (primarily for tests).
+    pub fn baseline_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.baseline_dir = dir.into();
+        self
+    }
+
+    fn baseline_path(&self, name: &str) -> PathBuf {
+        self.baseline_dir.join(format!("{name}.json"))
+    }
+
+    /// Measure `routine` and print its mean time per iteration, plus a
+    /// delta against the loaded baseline when one is present.
     pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
@@ -49,12 +115,118 @@ impl Criterion {
         }
         if iters == 0 {
             eprintln!("bench {name:<40} (no iterations recorded)");
-        } else {
-            let ns = total.as_nanos() as f64 / iters as f64;
-            eprintln!("bench {name:<40} {ns:>14.1} ns/iter ({iters} iters)");
+            return self;
+        }
+        let ns = total.as_nanos() as f64 / iters as f64;
+        let delta = match self.loaded.get(name) {
+            Some(&base) if base > 0.0 => {
+                let pct = (ns - base) / base * 100.0;
+                format!("  {pct:+7.1}% vs baseline ({base:.1} ns)")
+            }
+            _ => String::new(),
+        };
+        eprintln!("bench {name:<40} {ns:>14.1} ns/iter ({iters} iters){delta}");
+        if self.save_baseline.is_some() {
+            self.results.insert(name.to_string(), ns);
         }
         self
     }
+
+    /// Write pending results to the save-baseline file, merging with any
+    /// existing content so several bench binaries share one baseline.
+    /// Called by `Drop`; public so tests can flush deterministically.
+    pub fn flush_baseline(&mut self) {
+        let Some(name) = self.save_baseline.clone() else { return };
+        if self.results.is_empty() {
+            return;
+        }
+        let path = self.baseline_path(&name);
+        let mut merged =
+            std::fs::read_to_string(&path).map(|t| parse_flat_json(&t)).unwrap_or_default();
+        merged.append(&mut self.results);
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        match std::fs::write(&path, write_flat_json(&merged)) {
+            Ok(()) => eprintln!("criterion: saved baseline '{name}' to {}", path.display()),
+            Err(e) => eprintln!("criterion: failed to save baseline '{name}': {e}"),
+        }
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        self.flush_baseline();
+    }
+}
+
+/// Extract `--flag value` or `--flag=value` from an argument list.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if a == flag {
+            return iter.next().cloned();
+        }
+        if let Some(rest) = a.strip_prefix(flag) {
+            if let Some(v) = rest.strip_prefix('=') {
+                return Some(v.to_string());
+            }
+        }
+    }
+    None
+}
+
+/// Serialize `{"name": mean_ns, ...}` with sorted keys.
+fn write_flat_json(map: &BTreeMap<String, f64>) -> String {
+    let mut out = String::from("{\n");
+    for (i, (k, v)) in map.iter().enumerate() {
+        let comma = if i + 1 < map.len() { "," } else { "" };
+        out.push_str(&format!("  \"{}\": {v}{comma}\n", escape_json(k)));
+    }
+    out.push('}');
+    out.push('\n');
+    out
+}
+
+fn escape_json(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Parse the flat `{"name": number, ...}` format written above. Not a
+/// general JSON parser; tolerant of whitespace and trailing commas,
+/// silently skipping lines it cannot interpret.
+fn parse_flat_json(text: &str) -> BTreeMap<String, f64> {
+    let mut map = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else { continue };
+        // Find the closing quote, honouring backslash escapes.
+        let mut key = String::new();
+        let mut chars = rest.chars();
+        let mut closed = false;
+        while let Some(ch) = chars.next() {
+            match ch {
+                '\\' => {
+                    if let Some(esc) = chars.next() {
+                        key.push(esc);
+                    }
+                }
+                '"' => {
+                    closed = true;
+                    break;
+                }
+                _ => key.push(ch),
+            }
+        }
+        if !closed {
+            continue;
+        }
+        let value = chars.as_str().trim_start().strip_prefix(':').map(str::trim);
+        if let Some(v) = value.and_then(|v| v.parse::<f64>().ok()) {
+            map.insert(key, v);
+        }
+    }
+    map
 }
 
 /// Timing context handed to each benchmark closure.
@@ -128,5 +300,57 @@ mod tests {
             b.iter(|| ran += 1);
         });
         assert!(ran > 0);
+    }
+
+    #[test]
+    fn flag_parsing_accepts_both_forms_and_ignores_noise() {
+        let args: Vec<String> = ["bench-bin", "--bench", "--save-baseline", "main", "--quiet"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(flag_value(&args, "--save-baseline").as_deref(), Some("main"));
+        assert_eq!(flag_value(&args, "--baseline"), None);
+        let eq: Vec<String> = ["x", "--baseline=pr42"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(flag_value(&eq, "--baseline").as_deref(), Some("pr42"));
+    }
+
+    #[test]
+    fn flat_json_roundtrips() {
+        let mut m = BTreeMap::new();
+        m.insert("decide/cached".to_string(), 123.5);
+        m.insert("odd \"name\"\\path".to_string(), 7.0);
+        let text = write_flat_json(&m);
+        assert_eq!(parse_flat_json(&text), m);
+        // Tolerates unknown surrounding lines.
+        let noisy = format!("// header\n{text}\n[1,2,3]\n");
+        assert_eq!(parse_flat_json(&noisy), m);
+    }
+
+    #[test]
+    fn baseline_save_then_compare() {
+        let dir = std::env::temp_dir().join(format!("crit-baseline-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let args: Vec<String> =
+            ["bin", "--save-baseline", "t"].iter().map(|s| s.to_string()).collect();
+        let mut saver = Criterion::from_args(&args).sample_size(1).baseline_dir(&dir);
+        saver.bench_function("fast_loop", |b| b.iter(|| black_box(2 * 2)));
+        saver.flush_baseline();
+        let path = dir.join("t.json");
+        let saved = parse_flat_json(&std::fs::read_to_string(&path).unwrap());
+        assert!(saved.contains_key("fast_loop"), "{saved:?}");
+
+        // Merging: a second binary adds its own benches to the same file.
+        let mut second = Criterion::from_args(&args).sample_size(1).baseline_dir(&dir);
+        second.bench_function("other_bench", |b| b.iter(|| black_box(3 * 3)));
+        drop(second); // Drop flushes
+        let saved = parse_flat_json(&std::fs::read_to_string(&path).unwrap());
+        assert!(saved.contains_key("fast_loop") && saved.contains_key("other_bench"));
+
+        // Comparison prints deltas for benches present in the baseline.
+        let mut cmp = Criterion::from_args(&["bin".to_string()]).sample_size(1).baseline_dir(&dir);
+        cmp.loaded = saved;
+        cmp.bench_function("fast_loop", |b| b.iter(|| black_box(2 * 2)));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

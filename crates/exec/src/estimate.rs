@@ -17,6 +17,8 @@ use crate::plan::{BoundPred, Plan, PlanNode};
 use specdb_catalog::Catalog;
 use specdb_query::CompareOp;
 use specdb_storage::{BufferPool, DiskModel, ResourceDemand, Value, VirtualTime};
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::ops::Bound;
 
 /// Estimated output cardinality and resource demand of a plan.
@@ -66,19 +68,42 @@ impl CostEstimate {
 }
 
 /// Statistics-driven estimator over a catalog snapshot.
+///
+/// An instance lives for one optimization pass over one catalog state, so
+/// it memoizes per-(table, predicate) selectivities and per-subplan cost
+/// estimates without any invalidation scheme: the greedy/DP join-order
+/// search re-visits the same scan and join subplans many times, and
+/// without the memo that re-walk is exponential in join count.
 pub struct Estimator<'a> {
     catalog: &'a Catalog,
     pool: &'a BufferPool,
+    sel_memo: RefCell<HashMap<String, f64>>,
+    est_memo: RefCell<HashMap<String, CostEstimate>>,
 }
 
 impl<'a> Estimator<'a> {
     /// Construct over the current catalog and pool.
     pub fn new(catalog: &'a Catalog, pool: &'a BufferPool) -> Self {
-        Estimator { catalog, pool }
+        Estimator {
+            catalog,
+            pool,
+            sel_memo: RefCell::new(HashMap::new()),
+            est_memo: RefCell::new(HashMap::new()),
+        }
     }
 
-    /// Selectivity of `table.column op value`.
+    /// Selectivity of `table.column op value` (memoized per instance).
     pub fn selectivity(&self, table: &str, column: &str, op: CompareOp, value: &Value) -> f64 {
+        let key = format!("{table}|{column}|{}|{value}", op.sql());
+        if let Some(&s) = self.sel_memo.borrow().get(&key) {
+            return s;
+        }
+        let s = self.selectivity_uncached(table, column, op, value);
+        self.sel_memo.borrow_mut().insert(key, s);
+        s
+    }
+
+    fn selectivity_uncached(&self, table: &str, column: &str, op: CompareOp, value: &Value) -> f64 {
         if let Some(h) = self.catalog.histogram(table, column) {
             return match op {
                 CompareOp::Eq => h.fraction_eq(value),
@@ -166,8 +191,22 @@ impl<'a> Estimator<'a> {
         (below_hi - below_lo).clamp(0.0, 1.0)
     }
 
-    /// Recursively estimate a plan.
+    /// Recursively estimate a plan (memoized per instance: the join-order
+    /// search estimates the same subplans repeatedly).
     pub fn estimate(&self, plan: &Plan) -> CostEstimate {
+        // Plan trees are pure data with a complete `Debug` rendering, so
+        // the rendering doubles as a structural memo key; `cols.len()`
+        // joins it because the hash-join width heuristic reads it.
+        let key = format!("{}|{:?}", plan.cols.len(), plan.node);
+        if let Some(&e) = self.est_memo.borrow().get(&key) {
+            return e;
+        }
+        let e = self.estimate_uncached(plan);
+        self.est_memo.borrow_mut().insert(key, e);
+        e
+    }
+
+    fn estimate_uncached(&self, plan: &Plan) -> CostEstimate {
         match &plan.node {
             PlanNode::SeqScan { table, filters } => {
                 let (rows, pages) = self.table_size(table);

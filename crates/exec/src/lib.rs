@@ -24,6 +24,7 @@ pub mod error;
 pub mod estimate;
 pub mod optimizer;
 pub mod plan;
+pub mod plan_cache;
 pub mod rewrite;
 pub mod run;
 
@@ -33,4 +34,5 @@ pub use error::{ExecError, ExecResult};
 pub use estimate::{CostEstimate, Estimator};
 pub use optimizer::JoinOrder;
 pub use plan::{BoundPred, Plan, PlanNode};
+pub use plan_cache::{PlanCache, PlanCacheStats};
 pub use rewrite::{MatchMode, ViewDef, ViewRegistry};

@@ -90,9 +90,12 @@ pub fn plan_query_with(
         })
         .collect::<ExecResult<Vec<_>>>()?;
     // Combine disconnected components: smallest estimated output first,
-    // folded into left-deep cartesian products.
-    comp_plans.sort_by(|a, b| est.estimate(a).rows.total_cmp(&est.estimate(b).rows));
-    let mut iter = comp_plans.into_iter();
+    // folded into left-deep cartesian products. Estimate once per plan,
+    // not once per comparison.
+    let mut keyed: Vec<(f64, Plan)> =
+        comp_plans.drain(..).map(|p| (est.estimate(&p).rows, p)).collect();
+    keyed.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut iter = keyed.into_iter().map(|(_, p)| p);
     let mut plan = iter.next().expect("nonempty graph yields at least one component");
     for right in iter {
         let mut cols = plan.cols.clone();
@@ -170,8 +173,11 @@ fn plan_component(
             Ok((r.to_string(), access_plan(catalog, est, disk, r, &sels)?))
         })
         .collect::<ExecResult<Vec<_>>>()?;
-    // Seed with the smallest estimated output.
-    access.sort_by(|a, b| est.estimate(&a.1).rows.total_cmp(&est.estimate(&b.1).rows));
+    // Seed with the smallest estimated output (estimate once per plan).
+    let mut keyed: Vec<(f64, (String, Plan))> =
+        access.drain(..).map(|a| (est.estimate(&a.1).rows, a)).collect();
+    keyed.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut access: Vec<(String, Plan)> = keyed.into_iter().map(|(_, a)| a).collect();
     let (seed_rel, seed_plan) = access.remove(0);
     let mut joined: BTreeSet<String> = BTreeSet::new();
     joined.insert(seed_rel);

@@ -54,9 +54,23 @@ impl ViewRegistry {
         self.by_key.insert(canonical_key(&def.graph), def);
     }
 
+    /// [`ViewRegistry::register`] with the defining graph's canonical key
+    /// already rendered — callers that computed the key for other
+    /// bookkeeping (the engine's `materialize`) avoid re-walking the
+    /// graph. `key` must equal `canonical_key(&def.graph)`.
+    pub fn register_with_key(&mut self, key: String, def: ViewDef) {
+        debug_assert_eq!(key, canonical_key(&def.graph));
+        self.by_key.insert(key, def);
+    }
+
     /// Look up a view by its defining graph.
     pub fn get(&self, graph: &QueryGraph) -> Option<&ViewDef> {
         self.by_key.get(&canonical_key(graph))
+    }
+
+    /// [`ViewRegistry::get`] for a pre-rendered canonical key.
+    pub fn get_by_key(&self, key: &str) -> Option<&ViewDef> {
+        self.by_key.get(key)
     }
 
     /// Remove a view by table name; returns it if present.
@@ -332,6 +346,17 @@ mod tests {
         assert!(reg.get(&view_sigma_r().graph).is_some());
         assert!(reg.remove_by_name("mv_sigr").is_some());
         assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn keyed_register_and_lookup_agree_with_graph_paths() {
+        let mut reg = ViewRegistry::new();
+        let v = view_sigma_r();
+        let key = canonical_key(&v.graph);
+        reg.register_with_key(key.clone(), v.clone());
+        assert_eq!(reg.get_by_key(&key).unwrap().name, "mv_sigr");
+        assert_eq!(reg.get(&v.graph).unwrap().name, "mv_sigr");
+        assert!(reg.get_by_key("R(nope);").is_none());
     }
 
     #[test]

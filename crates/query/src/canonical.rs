@@ -29,7 +29,13 @@ pub fn canonical_key(g: &QueryGraph) -> String {
 /// A short, filesystem/table-name-safe digest of the canonical key
 /// (FNV-1a 64-bit). Used to name materialized relations (`mv_<digest>`).
 pub fn short_digest(g: &QueryGraph) -> String {
-    let key = canonical_key(g);
+    short_digest_of_key(&canonical_key(g))
+}
+
+/// [`short_digest`] over an already-rendered canonical key. Callers that
+/// cache keys (the plan cache, the incremental manipulation space) derive
+/// digests without re-walking the graph.
+pub fn short_digest_of_key(key: &str) -> String {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in key.bytes() {
         h ^= b as u64;
@@ -74,6 +80,12 @@ mod tests {
         let d = short_digest(&sample());
         assert_eq!(d.len(), 16);
         assert!(d.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn digest_of_key_matches_digest_of_graph() {
+        let g = sample();
+        assert_eq!(short_digest(&g), short_digest_of_key(&canonical_key(&g)));
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod predicate;
 pub mod sql;
 
 pub use aggregate::{AggFunc, AggSpec, Aggregate};
-pub use canonical::canonical_key;
+pub use canonical::{canonical_key, short_digest, short_digest_of_key};
 pub use graph::{Join, Query, QueryGraph, Selection};
 pub use partial::{EditOp, PartialQuery};
 pub use predicate::{CompareOp, Predicate};

@@ -154,7 +154,7 @@ impl Default for ReplayConfig {
 }
 
 /// One final query's measurement.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QueryMeasurement {
     /// Query index within the trace.
     pub index: usize,
@@ -164,8 +164,10 @@ pub struct QueryMeasurement {
     pub rows: u64,
 }
 
-/// The outcome of replaying one trace.
-#[derive(Debug, Clone, Default)]
+/// The outcome of replaying one trace. `PartialEq` so the determinism
+/// suite can assert that two replays (e.g. plan-cache on vs. off) agree
+/// field-for-field.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ReplayOutcome {
     /// Per-query measurements, in trace order.
     pub queries: Vec<QueryMeasurement>,

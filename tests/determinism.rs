@@ -43,6 +43,27 @@ fn replay_is_deterministic() {
     }
 }
 
+/// The plan cache and the incremental manipulation space are pure
+/// memoization: with them on or off, a speculative replay must produce
+/// the *bit-identical* outcome — same decisions, same timings, same
+/// manipulation lifecycle counts.
+#[test]
+fn replay_identical_with_caching_on_and_off() {
+    let base = build_base_db(&DatasetSpec::tiny()).unwrap();
+    let trace = UserModel::default().generate("u", 1234);
+    let run = |cached: bool| {
+        let mut db = base.clone();
+        db.set_plan_cache(cached);
+        let mut cfg = ReplayConfig::speculative();
+        cfg.speculator.incremental = cached;
+        replay_trace(&mut db, &trace, &cfg).unwrap()
+    };
+    let cached = run(true);
+    let uncached = run(false);
+    assert!(cached.issued > 0, "trace must exercise speculation");
+    assert_eq!(cached, uncached, "caching changed observable replay behaviour");
+}
+
 #[test]
 fn multi_user_replay_is_deterministic() {
     use specdb::sim::replay_multi;
