@@ -1,0 +1,154 @@
+//! Executor throughput: batch-vectorized vs row-at-a-time execution.
+//!
+//! PR 2 left replay wall-clock dominated by query execution, so the
+//! batch executor (`specdb_exec::batch`) is the next lever: operators
+//! exchange 1024-tuple batches, scans fuse filter/project, and hot heap
+//! files are served from the decoded segment cache. This bench runs a
+//! memory-resident TPC-H workload (scans, joins, aggregates) through
+//! both paths — `batch_exec` on with every table's segments pinned, and
+//! off — verifying along the way that rows and virtual-time accounting
+//! are bit-identical (the batch path is a wall-clock optimization only).
+//!
+//! Results land in `BENCH_executor.json` at the repository root so CI
+//! can archive them; the criterion-style stderr lines participate in
+//! `--save-baseline` / `--baseline` regression tracking. Set
+//! `SPECDB_BENCH_SMOKE=1` for a seconds-scale smoke run — in smoke mode
+//! the process exits non-zero if the batch path is slower than the row
+//! path, which is the CI regression gate.
+
+use criterion::{black_box, Criterion};
+use specdb_bench::BenchEnv;
+use specdb_exec::Database;
+use specdb_query::{parse_sql, Query};
+use specdb_sim::{build_base_db, DatasetSpec};
+use specdb_storage::ResourceDemand;
+use std::time::Instant;
+
+/// The measured workload: decode-heavy scans, a hash join, and grouped
+/// aggregates over the TPC-H subset.
+const WORKLOAD: &[&str] = &[
+    "SELECT c_name, c_acctbal FROM customer WHERE c_nation = 'FRANCE'",
+    "SELECT * FROM customer WHERE c_acctbal >= 9500",
+    "SELECT o_totalprice FROM orders WHERE o_orderpriority = 1",
+    "SELECT count(*), avg(o_totalprice), max(o_totalprice) FROM orders \
+     WHERE o_orderpriority = 1",
+    "SELECT customer.c_name, orders.o_totalprice FROM customer, orders \
+     WHERE orders.o_custkey = customer.c_custkey AND c_nation = 'FRANCE' \
+     AND o_orderpriority <= 2",
+];
+
+fn workload(db: &Database) -> Vec<Query> {
+    WORKLOAD
+        .iter()
+        .map(|sql| parse_sql(db, sql).unwrap_or_else(|e| panic!("{sql}: {e:?}")))
+        .collect()
+}
+
+/// Run every workload query, returning total rows and summed demand
+/// (compared across arms to assert the paths behave identically).
+fn run_workload(db: &mut Database, qs: &[Query]) -> (u64, ResourceDemand) {
+    let mut rows = 0u64;
+    let mut demand = ResourceDemand::default();
+    for q in qs {
+        let out = db.execute_discard(q).expect("execute");
+        rows += out.row_count;
+        demand = demand.plus(&out.demand);
+    }
+    (rows, demand)
+}
+
+/// Mean wall-clock microseconds per workload query over `passes` passes.
+fn time_arm(db: &mut Database, qs: &[Query], passes: usize) -> f64 {
+    let start = Instant::now();
+    for _ in 0..passes {
+        black_box(run_workload(db, qs));
+    }
+    start.elapsed().as_secs_f64() * 1e6 / (passes * qs.len()) as f64
+}
+
+fn write_json(path: &std::path::Path, body: &str) {
+    if let Err(e) = std::fs::write(path, body) {
+        eprintln!("executor: cannot write {}: {e}", path.display());
+    } else {
+        eprintln!("executor: wrote {}", path.display());
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("SPECDB_BENCH_SMOKE").map(|v| v == "1").unwrap_or(false);
+    let env = BenchEnv::from_env();
+    let spec_ds =
+        if smoke { DatasetSpec::tiny() } else { DatasetSpec::paper_trio(env.divisor).remove(0) };
+    let passes = if smoke { 10 } else { 50 };
+
+    eprintln!(
+        "executor: dataset {} ({} MB), {} passes{}",
+        spec_ds.label,
+        spec_ds.actual_mb(),
+        passes,
+        if smoke { " [smoke]" } else { "" }
+    );
+    let base = build_base_db(&spec_ds).expect("base db");
+    let mut db_batch = base.clone();
+    let mut db_row = base.clone();
+    db_row.set_batch_exec(false);
+    // The memory-resident fast path under test: pin every table's
+    // decoded segments for the batch arm (materialized speculation
+    // results get this automatically from `Database::materialize`).
+    for t in specdb_tpch::TPCH_TABLES {
+        db_batch.cache_table_segments(t).expect("cache segments");
+    }
+    let qs = workload(&base);
+
+    // Warm both arms (buffer pool + segment cache) and hold them to the
+    // equivalence contract: same rows, same virtual-time accounting.
+    let warm_batch = run_workload(&mut db_batch, &qs);
+    let warm_row = run_workload(&mut db_row, &qs);
+    assert_eq!(warm_batch, warm_row, "batch and row paths diverged");
+    let identical = warm_batch == warm_row;
+    let seg_pages = db_batch.pool().seg_resident();
+
+    // Criterion lines (participate in --save-baseline / --baseline).
+    let mut c = Criterion::default().sample_size(if smoke { 2 } else { 10 });
+    c.bench_function("executor/workload_batch", |b| b.iter(|| run_workload(&mut db_batch, &qs)));
+    c.bench_function("executor/workload_row", |b| b.iter(|| run_workload(&mut db_row, &qs)));
+
+    // Headline numbers: mean per-query wall-clock per arm.
+    let batch_us = time_arm(&mut db_batch, &qs, passes);
+    let row_us = time_arm(&mut db_row, &qs, passes);
+    let speedup = row_us / batch_us.max(1e-9);
+
+    // Per-query breakdown (stderr only; helps attribute regressions).
+    for (q, sql) in qs.iter().zip(WORKLOAD) {
+        let qb = time_arm(&mut db_batch, std::slice::from_ref(q), passes);
+        let qr = time_arm(&mut db_row, std::slice::from_ref(q), passes);
+        eprintln!("executor:   {:6.1} vs {:6.1} us ({:.2}x)  {}", qb, qr, qr / qb.max(1e-9), sql);
+    }
+
+    println!();
+    println!(
+        "executor ({} queries x {passes} passes, {seg_pages} segment-cached pages): \
+         batch {batch_us:.1} us/query, row {row_us:.1} us/query ({speedup:.2}x)",
+        qs.len()
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"executor\",\n  \"smoke\": {smoke},\n  \
+         \"dataset\": \"{}\",\n  \"dataset_mb\": {},\n  \"queries\": {},\n  \"passes\": {passes},\n  \
+         \"seg_cached_pages\": {seg_pages},\n  \
+         \"us_per_query\": {{ \"batch\": {batch_us:.3}, \"row\": {row_us:.3} }},\n  \
+         \"speedup\": {speedup:.3},\n  \"identical\": {identical}\n}}\n",
+        spec_ds.label,
+        spec_ds.actual_mb(),
+        qs.len(),
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_executor.json");
+    write_json(&path, &json);
+
+    // CI regression gate: on the smoke workload the batch path must not
+    // be slower than the row path.
+    if smoke && speedup < 1.0 {
+        eprintln!("executor: FAIL — batch path slower than row path ({speedup:.2}x)");
+        std::process::exit(1);
+    }
+}

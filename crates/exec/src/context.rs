@@ -42,23 +42,45 @@ impl CancelToken {
     }
 }
 
+/// Counters accumulated by the batch executor during one execution.
+///
+/// Zero when the row-at-a-time path ran. The engine publishes these as
+/// the `exec.batches` and `exec.fused_scans` metrics after each query.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Batches emitted by batch-producing operators.
+    pub batches: u64,
+    /// Scan loops that fused filtering (and projection) into batch
+    /// production instead of running them as separate operators.
+    pub fused_scans: u64,
+}
+
 /// Mutable state threaded through plan execution.
 pub struct ExecCtx<'a> {
     /// The buffer pool (I/O accounting flows through it).
     pub pool: &'a mut BufferPool,
     /// Cancellation flag.
     pub cancel: CancelToken,
+    /// Tuples per [`crate::batch::Batch`] on the batch path.
+    pub batch_size: usize,
+    /// Batch-pipeline counters (written by [`crate::batch::run_batched`]).
+    pub batch_stats: BatchStats,
 }
 
 impl<'a> ExecCtx<'a> {
     /// Context with no cancellation.
     pub fn new(pool: &'a mut BufferPool) -> Self {
-        ExecCtx { pool, cancel: CancelToken::new() }
+        Self::with_cancel(pool, CancelToken::new())
     }
 
     /// Context with a shared cancellation token.
     pub fn with_cancel(pool: &'a mut BufferPool, cancel: CancelToken) -> Self {
-        ExecCtx { pool, cancel }
+        ExecCtx {
+            pool,
+            cancel,
+            batch_size: crate::batch::DEFAULT_BATCH_SIZE,
+            batch_stats: BatchStats::default(),
+        }
     }
 }
 

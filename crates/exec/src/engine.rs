@@ -7,7 +7,8 @@
 //! [`DiskModel`] assigns to it — the raw material for all of
 //! the paper's timing experiments.
 
-use crate::context::{CancelToken, ExecCtx};
+use crate::batch;
+use crate::context::{BatchStats, CancelToken, ExecCtx};
 use crate::error::{ExecError, ExecResult};
 use crate::estimate::Estimator;
 use crate::optimizer::{self, qualify, JoinOrder};
@@ -57,6 +58,11 @@ pub struct DatabaseConfig {
     /// by DDL epoch (see [`crate::plan_cache`]). On by default; the
     /// decision-loop benchmark disables it for its comparison arm.
     pub plan_cache: bool,
+    /// Execute plans on the batch-vectorized path (see [`crate::batch`]).
+    /// On by default; results and virtual-time accounting are identical
+    /// to the row path, only wall-clock differs. The executor benchmark
+    /// disables it for its comparison arm.
+    pub batch_exec: bool,
 }
 
 impl DatabaseConfig {
@@ -70,6 +76,7 @@ impl DatabaseConfig {
             join_order: JoinOrder::Greedy,
             spill_model: true,
             plan_cache: true,
+            batch_exec: true,
         }
     }
 
@@ -111,6 +118,12 @@ impl DatabaseConfig {
     /// Toggle plan/estimate memoization (see [`crate::plan_cache`]).
     pub fn plan_cache(mut self, on: bool) -> Self {
         self.plan_cache = on;
+        self
+    }
+
+    /// Toggle batch-vectorized execution (see [`crate::batch`]).
+    pub fn batch_exec(mut self, on: bool) -> Self {
+        self.batch_exec = on;
         self
     }
 }
@@ -206,6 +219,7 @@ pub struct Database {
     match_mode: MatchMode,
     join_order: JoinOrder,
     staged: std::collections::HashMap<String, u32>,
+    batch_exec: bool,
     /// Plan/estimate memo. `RefCell` because estimate paths take `&self`;
     /// `Database` only ever crosses threads by move or behind a mutex
     /// (it is `Send`, not `Sync`), so the interior mutability is safe.
@@ -226,8 +240,47 @@ impl Database {
             match_mode: config.match_mode,
             join_order: config.join_order,
             staged: std::collections::HashMap::new(),
+            batch_exec: config.batch_exec,
             plan_cache: RefCell::new(PlanCache::new(config.plan_cache)),
         }
+    }
+
+    /// Toggle batch-vectorized execution at runtime. Safe at any point:
+    /// both paths produce bit-identical results and accounting.
+    pub fn set_batch_exec(&mut self, on: bool) {
+        self.batch_exec = on;
+    }
+
+    /// True when plans execute on the batch-vectorized path.
+    pub fn batch_exec_enabled(&self) -> bool {
+        self.batch_exec
+    }
+
+    /// Pin `table`'s heap in the decoded segment cache (the
+    /// memory-resident fast path), regardless of its size. Batch-path
+    /// scans of a pinned table skip per-tuple decoding once warm; I/O
+    /// accounting is unchanged. Materialized views are pinned
+    /// automatically by [`Database::materialize`].
+    pub fn cache_table_segments(&mut self, table: &str) -> ExecResult<()> {
+        let heap = self
+            .catalog
+            .table(table)
+            .ok_or_else(|| ExecError::UnknownTable(table.into()))?
+            .heap;
+        self.pool.mark_hot(heap.file);
+        Ok(())
+    }
+
+    /// Undo [`Database::cache_table_segments`], dropping the table's
+    /// decoded segments.
+    pub fn uncache_table_segments(&mut self, table: &str) -> ExecResult<()> {
+        let heap = self
+            .catalog
+            .table(table)
+            .ok_or_else(|| ExecError::UnknownTable(table.into()))?
+            .heap;
+        self.pool.unmark_hot(heap.file);
+        Ok(())
     }
 
     /// Current DDL epoch: advances on every catalog-shape change
@@ -512,19 +565,31 @@ impl Database {
         let snap = self.pool.snapshot();
         let mut rows = Vec::new();
         let mut row_count = 0u64;
+        let batch_stats;
         {
             let mut ctx = ExecCtx::with_cancel(&mut self.pool, cancel);
-            run::run(&plan, &self.catalog, &mut ctx, &mut |t| {
-                row_count += 1;
-                if collect {
-                    rows.push(t);
-                }
-                Ok(())
-            })?;
+            if self.batch_exec {
+                batch::run_batched(&plan, &self.catalog, &mut ctx, &mut |b| {
+                    row_count += b.len() as u64;
+                    if collect {
+                        rows.extend(b);
+                    }
+                    Ok(())
+                })?;
+            } else {
+                run::run(&plan, &self.catalog, &mut ctx, &mut |t| {
+                    row_count += 1;
+                    if collect {
+                        rows.push(t);
+                    }
+                    Ok(())
+                })?;
+            }
+            batch_stats = ctx.batch_stats;
         }
         let demand = self.pool.demand_since(snap);
         let elapsed = self.disk.time(&demand);
-        self.emit_query_events(&plan, row_count, elapsed, &used_views);
+        self.emit_query_events(&plan, row_count, elapsed, &used_views, batch_stats);
         Ok(QueryOutput {
             rows,
             row_count,
@@ -544,10 +609,15 @@ impl Database {
         row_count: u64,
         elapsed: VirtualTime,
         used_views: &[String],
+        batch_stats: BatchStats,
     ) {
         let observer = self.pool.observer();
         let metrics = observer.metrics();
         metrics.counter("exec.queries").incr();
+        if batch_stats != BatchStats::default() {
+            metrics.counter("exec.batches").add(batch_stats.batches);
+            metrics.counter("exec.fused_scans").add(batch_stats.fused_scans);
+        }
         if !used_views.is_empty() {
             metrics.counter("exec.queries.view_rewritten").incr();
         }
@@ -679,10 +749,19 @@ impl Database {
         let mut staged: Vec<Tuple> = Vec::new();
         {
             let mut ctx = ExecCtx::with_cancel(&mut self.pool, cancel.clone());
-            run::run(&plan, &self.catalog, &mut ctx, &mut |t| {
-                staged.push(t.project(&keep));
-                Ok(())
-            })?;
+            if self.batch_exec {
+                batch::run_batched(&plan, &self.catalog, &mut ctx, &mut |b| {
+                    for t in b {
+                        staged.push(t.project(&keep));
+                    }
+                    Ok(())
+                })?;
+            } else {
+                run::run(&plan, &self.catalog, &mut ctx, &mut |t| {
+                    staged.push(t.project(&keep));
+                    Ok(())
+                })?;
+            }
         }
         let heap = HeapFile::create(&mut self.pool);
         let mut loader = specdb_storage::heap::BulkLoader::new(heap, &self.pool);
@@ -700,6 +779,10 @@ impl Database {
         let name = format!("mv_{}", specdb_query::short_digest_of_key(&graph_key));
         let stats = TableStats::analyze(&mut self.pool, heap, schema.arity())?;
         self.catalog.register(&name, schema, heap, stats, true);
+        // Materialized speculation results are exactly the hot re-read
+        // case the decoded segment cache exists for: pin them so the
+        // final query's re-execution skips the page-decode path.
+        self.pool.mark_hot(heap.file);
         self.views
             .register_with_key(graph_key, ViewDef { name: name.clone(), graph: graph.clone() });
         self.bump_ddl_epoch();
@@ -1160,6 +1243,58 @@ mod tests {
         let after = db.execute(&q).unwrap();
         assert!(!after.used_views.is_empty(), "forced mode must rewrite the core");
         assert_eq!(before.rows, after.rows, "aggregates over a view must agree");
+    }
+
+    #[test]
+    fn batch_and_row_paths_agree_end_to_end() {
+        let mut batch_db = emp_db();
+        let mut row_db = emp_db();
+        row_db.set_batch_exec(false);
+        assert!(batch_db.batch_exec_enabled());
+        assert!(!row_db.batch_exec_enabled());
+        let mut sub = QueryGraph::new();
+        sub.add_selection(Selection::new("employee", Predicate::new("age", CompareOp::Lt, 30)));
+        let mat_b = batch_db.materialize(&sub, CancelToken::new()).unwrap();
+        let mat_r = row_db.materialize(&sub, CancelToken::new()).unwrap();
+        assert_eq!(mat_b.rows, mat_r.rows);
+        assert_eq!(mat_b.demand, mat_r.demand);
+        for q in [age_query(30), age_query(55)] {
+            batch_db.clear_buffer();
+            row_db.clear_buffer();
+            let b = batch_db.execute(&q).unwrap();
+            let r = row_db.execute(&q).unwrap();
+            assert_eq!(b.rows, r.rows, "tuples and order must be identical");
+            assert_eq!(b.demand, r.demand, "virtual-time accounting must be identical");
+            assert_eq!(b.elapsed, r.elapsed);
+        }
+    }
+
+    #[test]
+    fn materialized_views_are_segment_cached() {
+        let mut db = emp_db();
+        let mut sub = QueryGraph::new();
+        sub.add_selection(Selection::new("employee", Predicate::new("age", CompareOp::Lt, 30)));
+        let mat = db.materialize(&sub, CancelToken::new()).unwrap();
+        let file = db.catalog().table(&mat.table).unwrap().heap.file;
+        assert!(db.pool().is_hot(file), "materialize must pin the result heap");
+        // A query over the view populates the decoded segment cache.
+        db.execute_discard(&age_query(30)).unwrap();
+        assert!(db.pool().seg_resident() > 0);
+        db.drop_materialized(&mat.table);
+        assert!(!db.pool().is_hot(file), "drop must release the pin");
+    }
+
+    #[test]
+    fn cache_table_segments_round_trip() {
+        let mut db = emp_db();
+        db.cache_table_segments("employee").unwrap();
+        let file = db.catalog().table("employee").unwrap().heap.file;
+        assert!(db.pool().is_hot(file));
+        db.execute_discard(&age_query(60)).unwrap();
+        assert!(db.pool().seg_resident() > 0);
+        db.uncache_table_segments("employee").unwrap();
+        assert!(!db.pool().is_hot(file));
+        assert!(db.cache_table_segments("ghost").is_err());
     }
 
     #[test]

@@ -34,12 +34,23 @@ pub struct CostEstimate {
     pub cpu: f64,
     /// Estimated page writes (spill traffic).
     pub write_pages: f64,
+    /// Estimated bytes of operator working memory (hash-join build sides).
+    /// Charged to [`ResourceDemand::mem_bytes`]; the disk model assigns it
+    /// no time, but the speculator sees build-side footprint.
+    pub mem_bytes: f64,
 }
 
 impl CostEstimate {
     /// The zero estimate.
     pub fn zero() -> Self {
-        CostEstimate { rows: 0.0, seq_pages: 0.0, rand_pages: 0.0, cpu: 0.0, write_pages: 0.0 }
+        CostEstimate {
+            rows: 0.0,
+            seq_pages: 0.0,
+            rand_pages: 0.0,
+            cpu: 0.0,
+            write_pages: 0.0,
+            mem_bytes: 0.0,
+        }
     }
 
     /// Convert to a resource demand (for the disk model).
@@ -50,6 +61,7 @@ impl CostEstimate {
             writes: self.write_pages.max(0.0).round() as u64,
             hits: 0,
             cpu_tuples: self.cpu.max(0.0).round() as u64,
+            mem_bytes: self.mem_bytes.max(0.0).round() as u64,
         }
     }
 
@@ -64,6 +76,7 @@ impl CostEstimate {
         self.rand_pages += other.rand_pages;
         self.cpu += other.cpu;
         self.write_pages += other.write_pages;
+        self.mem_bytes += other.mem_bytes;
     }
 }
 
@@ -217,6 +230,7 @@ impl<'a> Estimator<'a> {
                     rand_pages: 0.0,
                     cpu: rows,
                     write_pages: 0.0,
+                    mem_bytes: 0.0,
                 }
             }
             PlanNode::IndexScan { table, column, lo, hi, filters } => {
@@ -236,6 +250,7 @@ impl<'a> Estimator<'a> {
                     rand_pages: 1.0 + fetch_pages,
                     cpu: 2.0 * matched,
                     write_pages: 0.0,
+                    mem_bytes: 0.0,
                 }
             }
             PlanNode::HashJoin { left, right, lkey, rkey, residual } => {
@@ -261,6 +276,7 @@ impl<'a> Estimator<'a> {
                     rand_pages: 0.0,
                     cpu: l.rows + r.rows,
                     write_pages: spill_pages,
+                    mem_bytes: build_bytes,
                 };
                 est.absorb(&l);
                 est.absorb(&r);
@@ -289,6 +305,7 @@ impl<'a> Estimator<'a> {
                     rand_pages: fetch,
                     cpu: probes * (1.0 + matched_per_probe),
                     write_pages: 0.0,
+                    mem_bytes: 0.0,
                 };
                 est.absorb(&o);
                 est
@@ -303,6 +320,7 @@ impl<'a> Estimator<'a> {
                     rand_pages: 0.0,
                     cpu: l.rows * r.rows,
                     write_pages: 0.0,
+                    mem_bytes: 0.0,
                 };
                 est.absorb(&l);
                 est.absorb(&r);

@@ -8,7 +8,10 @@
 //! * [`context`] — execution context and cancellation tokens (speculative
 //!   manipulations are cancellable mid-flight, paper Section 3.1),
 //! * [`plan`] — physical plan trees with bound predicates,
-//! * [`run`] — the push-based executor for plans,
+//! * [`run`] — the push-based row-at-a-time executor for plans,
+//! * [`batch`] — the batch-vectorized executor (the default path):
+//!   operators exchange [`batch::Batch`] buffers, scans fuse
+//!   filter/project and read through the decoded segment cache,
 //! * [`estimate`] — cardinality/cost estimation from catalog statistics
 //!   and histograms,
 //! * [`optimizer`] — access-path selection and greedy join ordering,
@@ -18,6 +21,7 @@
 //!   catalog, optimizer and executor together, measuring every
 //!   operation's virtual elapsed time.
 
+pub mod batch;
 pub mod context;
 pub mod engine;
 pub mod error;
@@ -28,7 +32,8 @@ pub mod plan_cache;
 pub mod rewrite;
 pub mod run;
 
-pub use context::{CancelToken, ExecCtx};
+pub use batch::{run_batched, run_collect_batched, Batch, DEFAULT_BATCH_SIZE};
+pub use context::{BatchStats, CancelToken, ExecCtx};
 pub use engine::{Database, DatabaseConfig, MaterializeOutcome, OpOutcome, QueryOutput, ViewMode};
 pub use error::{ExecError, ExecResult};
 pub use estimate::{CostEstimate, Estimator};

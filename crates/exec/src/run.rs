@@ -61,9 +61,10 @@ pub fn run(
     }
 }
 
-/// Accumulator state for one aggregate function.
+/// Accumulator state for one aggregate function (shared with the batch
+/// executor so both paths aggregate identically).
 #[derive(Clone)]
-enum Acc {
+pub(crate) enum Acc {
     Count(u64),
     Sum(f64, bool),
     Min(Option<Value>),
@@ -72,7 +73,7 @@ enum Acc {
 }
 
 impl Acc {
-    fn new(f: AggFunc) -> Acc {
+    pub(crate) fn new(f: AggFunc) -> Acc {
         match f {
             AggFunc::Count => Acc::Count(0),
             AggFunc::Sum => Acc::Sum(0.0, false),
@@ -83,7 +84,7 @@ impl Acc {
     }
 
     /// Feed one input value (`None` = COUNT(*) semantics: count the row).
-    fn feed(&mut self, v: Option<&Value>) {
+    pub(crate) fn feed(&mut self, v: Option<&Value>) {
         match (self, v) {
             (Acc::Count(n), None) => *n += 1,
             (Acc::Count(n), Some(v)) if !v.is_null() => *n += 1,
@@ -108,7 +109,7 @@ impl Acc {
         }
     }
 
-    fn finish(self) -> Value {
+    pub(crate) fn finish(self) -> Value {
         match self {
             Acc::Count(n) => Value::Int(n as i64),
             Acc::Sum(s, true) => Value::Float(s),
@@ -244,7 +245,7 @@ fn index_scan(
     Ok(())
 }
 
-fn as_ref_bound(b: &Bound<Value>) -> Bound<&Value> {
+pub(crate) fn as_ref_bound(b: &Bound<Value>) -> Bound<&Value> {
     match b {
         Bound::Included(v) => Bound::Included(v),
         Bound::Excluded(v) => Bound::Excluded(v),
@@ -275,6 +276,10 @@ fn hash_join(
         Ok(())
     })?;
     ctx.pool.charge_cpu(table.values().map(|v| v.len() as u64).sum());
+    // The build side is a pipeline breaker held wholly in memory; charge
+    // its footprint so the cost model and metrics see it. The disk model
+    // assigns no time to memory, so virtual durations are unchanged.
+    ctx.pool.charge_mem(build_bytes);
     // Hybrid hash-join spill model: when the build side exceeds the
     // buffer pool, the overflow fraction `f = 1 − pool/build` of *both*
     // inputs is partitioned to scratch files and read back. The

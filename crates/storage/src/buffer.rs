@@ -14,8 +14,9 @@
 use crate::disk::ResourceDemand;
 use crate::error::{StorageError, StorageResult};
 use crate::page::{FileId, Page, PageId, PAGE_SIZE};
+use crate::tuple::Tuple;
 use specdb_obs::{Counter, Event, EventKind, Observer};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Pre-resolved metric handles so the per-access hot path never touches
@@ -29,6 +30,9 @@ struct PoolMetrics {
     write: Counter,
     eviction: Counter,
     cpu_tuples: Counter,
+    seg_hit: Counter,
+    seg_miss: Counter,
+    mem_bytes: Counter,
 }
 
 impl PoolMetrics {
@@ -41,6 +45,9 @@ impl PoolMetrics {
             write: m.counter("disk.write"),
             eviction: m.counter("buffer.eviction"),
             cpu_tuples: m.counter("cpu.tuples"),
+            seg_hit: m.counter("segcache.hit"),
+            seg_miss: m.counter("segcache.miss"),
+            mem_bytes: m.counter("mem.build.bytes"),
         }
     }
 }
@@ -69,6 +76,9 @@ pub struct IoStats {
     pub writes: u64,
     /// Tuples processed by operators (charged by the executor).
     pub cpu_tuples: u64,
+    /// Operator working-memory bytes charged by the executor (hash-join
+    /// build sides). Footprint accounting, not timed by the disk model.
+    pub mem_bytes: u64,
 }
 
 /// An opaque snapshot of [`IoStats`], used to compute deltas.
@@ -100,6 +110,17 @@ pub struct BufferPool {
     spill_model: bool,
     observer: Observer,
     metrics: PoolMetrics,
+    /// Decoded-tuple segment cache: pages of small or hot files kept as
+    /// decoded `Tuple` vectors so batch scans skip per-tuple decoding.
+    /// Purely a wall-clock fast path — every access still goes through
+    /// [`BufferPool::read_page`] accounting, so virtual-time I/O charges
+    /// are identical whether or not a segment is cached.
+    seg_cache: HashMap<PageId, Arc<Vec<Tuple>>>,
+    /// Files pinned into the segment cache regardless of size or budget
+    /// (materialized speculation results, explicitly cached tables).
+    seg_hot: HashSet<FileId>,
+    /// Max pages auto-cached for files not marked hot.
+    seg_budget: usize,
 }
 
 impl BufferPool {
@@ -118,6 +139,9 @@ impl BufferPool {
             spill_model: true,
             observer: Observer::disabled(),
             metrics: PoolMetrics::default(),
+            seg_cache: HashMap::new(),
+            seg_hot: HashSet::new(),
+            seg_budget: capacity,
         }
     }
 
@@ -161,9 +185,11 @@ impl BufferPool {
     /// Used when materialized relations are garbage-collected.
     pub fn free_file(&mut self, file: FileId) {
         let pages = self.file_len(file);
+        self.seg_hot.remove(&file);
         for page_no in 0..pages {
             let pid = PageId::new(file, page_no);
             self.disk.remove(&pid);
+            self.seg_cache.remove(&pid);
             if let Some(idx) = self.page_table.remove(&pid) {
                 // Replace the frame with a tombstone by swap-removing from
                 // the frame vector and fixing up the moved frame's index.
@@ -211,6 +237,7 @@ impl BufferPool {
         let page = Arc::new(page);
         self.stats.writes += 1;
         self.metrics.write.incr();
+        self.seg_cache.remove(&pid); // decoded image is stale now
         self.disk.insert(pid, Arc::clone(&page));
         let len = self.file_pages.entry(pid.file).or_insert(0);
         if pid.page_no >= *len {
@@ -255,6 +282,86 @@ impl BufferPool {
         self.metrics.cpu_tuples.add(n);
     }
 
+    /// Charge `bytes` of operator working memory (hash-join build sides).
+    /// Footprint accounting only: the disk model assigns it no time, but
+    /// it flows through [`ResourceDemand::mem_bytes`] and the
+    /// `mem.build.bytes` metric so the cost model and observability layer
+    /// see pipeline-breaker memory.
+    pub fn charge_mem(&mut self, bytes: u64) {
+        self.stats.mem_bytes += bytes;
+        self.metrics.mem_bytes.add(bytes);
+    }
+
+    /// Number of pages a file may have auto-cached in decoded form before
+    /// the segment cache stops growing (hot files are exempt).
+    const SEG_SMALL_PAGES: u32 = 256;
+
+    /// Read a page through the pool and return its decoded tuples,
+    /// serving repeat reads of small or hot files from the decoded
+    /// segment cache. The underlying [`BufferPool::read_page`] is always
+    /// performed first, so hit/miss accounting, frame installs, and
+    /// evictions are bit-identical to the undecoded path — the cache only
+    /// skips the per-tuple decode work on repeat access (the dominant
+    /// wall-clock cost of memory-resident scans).
+    pub fn read_page_decoded(
+        &mut self,
+        pid: PageId,
+        kind: AccessKind,
+    ) -> StorageResult<Arc<Vec<Tuple>>> {
+        let page = self.read_page(pid, kind)?;
+        if let Some(seg) = self.seg_cache.get(&pid) {
+            self.metrics.seg_hit.incr();
+            return Ok(Arc::clone(seg));
+        }
+        self.metrics.seg_miss.incr();
+        let tuples: Vec<Tuple> = page
+            .iter()
+            .map(|(_, bytes)| Tuple::decode(bytes))
+            .collect::<StorageResult<_>>()?;
+        let tuples = Arc::new(tuples);
+        let cacheable = self.seg_hot.contains(&pid.file)
+            || (self.file_len(pid.file) <= Self::SEG_SMALL_PAGES
+                && self.seg_cache.len() < self.seg_budget);
+        if cacheable {
+            self.seg_cache.insert(pid, Arc::clone(&tuples));
+        }
+        Ok(tuples)
+    }
+
+    /// Pin `file` into the decoded segment cache: its pages are cached on
+    /// first decoded read regardless of file size or cache budget, and
+    /// stay cached until the file is written or freed. Used for
+    /// materialized speculation results and explicitly cached tables.
+    pub fn mark_hot(&mut self, file: FileId) {
+        self.seg_hot.insert(file);
+    }
+
+    /// Remove `file` from the hot set and drop its decoded pages.
+    pub fn unmark_hot(&mut self, file: FileId) {
+        self.seg_hot.remove(&file);
+        self.seg_cache.retain(|pid, _| pid.file != file);
+    }
+
+    /// True if `file` is pinned into the decoded segment cache.
+    pub fn is_hot(&self, file: FileId) -> bool {
+        self.seg_hot.contains(&file)
+    }
+
+    /// Number of decoded pages currently held by the segment cache.
+    pub fn seg_resident(&self) -> usize {
+        self.seg_cache.len()
+    }
+
+    /// Replace the auto-caching budget (pages of non-hot files the
+    /// segment cache may hold; default = pool capacity).
+    pub fn set_seg_budget(&mut self, pages: usize) {
+        self.seg_budget = pages;
+        if self.seg_cache.len() > pages {
+            let hot = &self.seg_hot;
+            self.seg_cache.retain(|pid, _| hot.contains(&pid.file));
+        }
+    }
+
     /// Charge synthetic I/O that bypasses the page cache — used for
     /// modelled effects like hash-join partition spills, whose scratch
     /// files a real system streams straight to and from disk.
@@ -292,6 +399,7 @@ impl BufferPool {
             writes: self.stats.writes - snap.0.writes,
             hits: self.stats.hits - snap.0.hits,
             cpu_tuples: self.stats.cpu_tuples - snap.0.cpu_tuples,
+            mem_bytes: self.stats.mem_bytes - snap.0.mem_bytes,
         }
     }
 
@@ -512,6 +620,79 @@ mod tests {
         let before = pool.snapshot();
         pool.charge_cpu(123);
         assert_eq!(pool.demand_since(before).cpu_tuples, 123);
+    }
+
+    #[test]
+    fn mem_charge_flows_to_demand_without_io() {
+        let mut pool = BufferPool::new(2);
+        let before = pool.snapshot();
+        pool.charge_mem(4096);
+        let d = pool.demand_since(before);
+        assert_eq!(d.mem_bytes, 4096);
+        assert_eq!(d.disk_reads(), 0);
+        assert_eq!(d.cpu_tuples, 0);
+    }
+
+    #[test]
+    fn decoded_reads_charge_identically_to_raw_reads() {
+        let mut pool = BufferPool::new(4);
+        let f = pool.create_file();
+        let mut page = Page::new();
+        page.insert(&Tuple::new(vec![crate::tuple::Value::Int(7)]).encode()).unwrap();
+        pool.put_page(PageId::new(f, 0), page).unwrap();
+        pool.clear();
+        // First decoded read: one sequential miss, exactly like read_page.
+        let before = pool.snapshot();
+        let tuples = pool.read_page_decoded(PageId::new(f, 0), AccessKind::Sequential).unwrap();
+        assert_eq!(tuples.len(), 1);
+        let d = pool.demand_since(before);
+        assert_eq!((d.seq_reads, d.hits), (1, 0));
+        // Repeat read: a buffer hit, served from the segment cache.
+        let before = pool.snapshot();
+        let again = pool.read_page_decoded(PageId::new(f, 0), AccessKind::Sequential).unwrap();
+        let d = pool.demand_since(before);
+        assert_eq!((d.seq_reads, d.hits), (0, 1));
+        assert!(Arc::ptr_eq(&tuples, &again), "repeat read must reuse the decoded segment");
+    }
+
+    #[test]
+    fn segment_cache_invalidated_by_write_and_free() {
+        let mut pool = BufferPool::new(4);
+        let f = pool.create_file();
+        let mut page = Page::new();
+        page.insert(&Tuple::new(vec![crate::tuple::Value::Int(1)]).encode()).unwrap();
+        pool.put_page(PageId::new(f, 0), page).unwrap();
+        pool.read_page_decoded(PageId::new(f, 0), AccessKind::Sequential).unwrap();
+        assert_eq!(pool.seg_resident(), 1);
+        // Overwriting the page drops the stale decode.
+        let mut page2 = Page::new();
+        page2.insert(&Tuple::new(vec![crate::tuple::Value::Int(2)]).encode()).unwrap();
+        pool.put_page(PageId::new(f, 0), page2).unwrap();
+        assert_eq!(pool.seg_resident(), 0);
+        let t = pool.read_page_decoded(PageId::new(f, 0), AccessKind::Sequential).unwrap();
+        assert_eq!(t[0], Tuple::new(vec![crate::tuple::Value::Int(2)]));
+        // Freeing the file drops its decoded pages and hot mark.
+        pool.mark_hot(f);
+        pool.free_file(f);
+        assert_eq!(pool.seg_resident(), 0);
+        assert!(!pool.is_hot(f));
+    }
+
+    #[test]
+    fn hot_files_bypass_budget_and_unmark_drops() {
+        let mut pool = BufferPool::new(8);
+        pool.set_seg_budget(0); // auto-caching off
+        let f = pool.create_file();
+        let mut page = Page::new();
+        page.insert(&Tuple::new(vec![crate::tuple::Value::Int(1)]).encode()).unwrap();
+        pool.put_page(PageId::new(f, 0), page).unwrap();
+        pool.read_page_decoded(PageId::new(f, 0), AccessKind::Sequential).unwrap();
+        assert_eq!(pool.seg_resident(), 0, "budget 0 blocks auto-caching");
+        pool.mark_hot(f);
+        pool.read_page_decoded(PageId::new(f, 0), AccessKind::Sequential).unwrap();
+        assert_eq!(pool.seg_resident(), 1, "hot files cache regardless of budget");
+        pool.unmark_hot(f);
+        assert_eq!(pool.seg_resident(), 0);
     }
 
     #[test]

@@ -28,6 +28,11 @@ pub struct ResourceDemand {
     pub hits: u64,
     /// Tuples processed by operators.
     pub cpu_tuples: u64,
+    /// Bytes of operator working memory allocated (hash-join build
+    /// sides). Footprint accounting only: the disk model charges no time
+    /// for it, but the cost model and observability layer see how much
+    /// memory an execution's pipeline breakers held.
+    pub mem_bytes: u64,
 }
 
 impl ResourceDemand {
@@ -44,6 +49,7 @@ impl ResourceDemand {
             writes: self.writes + other.writes,
             hits: self.hits + other.hits,
             cpu_tuples: self.cpu_tuples + other.cpu_tuples,
+            mem_bytes: self.mem_bytes + other.mem_bytes,
         }
     }
 }
@@ -138,15 +144,29 @@ mod tests {
 
     #[test]
     fn demand_plus_adds_componentwise() {
-        let a = ResourceDemand { seq_reads: 1, rand_reads: 2, writes: 3, hits: 4, cpu_tuples: 5 };
-        let b =
-            ResourceDemand { seq_reads: 10, rand_reads: 20, writes: 30, hits: 40, cpu_tuples: 50 };
+        let a = ResourceDemand {
+            seq_reads: 1,
+            rand_reads: 2,
+            writes: 3,
+            hits: 4,
+            cpu_tuples: 5,
+            mem_bytes: 6,
+        };
+        let b = ResourceDemand {
+            seq_reads: 10,
+            rand_reads: 20,
+            writes: 30,
+            hits: 40,
+            cpu_tuples: 50,
+            mem_bytes: 60,
+        };
         let c = a.plus(&b);
         assert_eq!(c.seq_reads, 11);
         assert_eq!(c.rand_reads, 22);
         assert_eq!(c.writes, 33);
         assert_eq!(c.hits, 44);
         assert_eq!(c.cpu_tuples, 55);
+        assert_eq!(c.mem_bytes, 66);
         assert_eq!(c.disk_reads(), 33);
     }
 }

@@ -45,6 +45,19 @@ impl HeapFile {
         page.iter().map(|(_, bytes)| Tuple::decode(bytes)).collect()
     }
 
+    /// Read all live tuples of one page through the decoded segment cache
+    /// (sequential access) — the batch executor's scan primitive. I/O
+    /// accounting is identical to [`HeapFile::read_page`]; repeat reads of
+    /// small or hot files skip per-tuple decoding entirely (see
+    /// [`BufferPool::read_page_decoded`]).
+    pub fn read_page_decoded(
+        &self,
+        pool: &mut BufferPool,
+        page_no: u32,
+    ) -> StorageResult<std::sync::Arc<Vec<Tuple>>> {
+        pool.read_page_decoded(PageId::new(self.file, page_no), AccessKind::Sequential)
+    }
+
     /// Read all live tuples of one page together with their ids.
     pub fn read_page_with_ids(
         &self,

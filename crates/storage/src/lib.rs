@@ -9,7 +9,7 @@
 //! * [`buffer`] — an LRU buffer pool with pin/unpin and hit/miss accounting,
 //! * [`disk`] — a virtual-time disk model that converts I/O counts into
 //!   simulated elapsed time calibrated to 2002-era hardware,
-//! * [`tuple`] — the value/tuple representation and its page encoding,
+//! * [`mod@tuple`] — the value/tuple representation and its page encoding,
 //! * [`clock`] — virtual time types shared by the whole workspace.
 //!
 //! Everything is deterministic and in-memory: the "disk" is a map of page
