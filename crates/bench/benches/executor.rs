@@ -1,31 +1,35 @@
-//! Executor throughput: batch-vectorized vs row-at-a-time execution.
+//! Executor throughput: row-at-a-time vs row-major batches vs columnar.
 //!
-//! PR 2 left replay wall-clock dominated by query execution, so the
-//! batch executor (`specdb_exec::batch`) is the next lever: operators
-//! exchange 1024-tuple batches, scans fuse filter/project, and hot heap
-//! files are served from the decoded segment cache. This bench runs a
-//! memory-resident TPC-H workload (scans, joins, aggregates) through
-//! both paths — `batch_exec` on with every table's segments pinned, and
-//! off — verifying along the way that rows and virtual-time accounting
-//! are bit-identical (the batch path is a wall-clock optimization only).
+//! PR 2 left replay wall-clock dominated by query execution; PR 3 added
+//! the row-major batch pipeline, and PR 4 made it columnar
+//! (`specdb_exec::batch`): scans forward cached column segments
+//! zero-copy, filters build selection vectors, projection is column
+//! pointer selection, and index-nested-loop joins probe batch-at-a-time.
+//! This bench runs a memory-resident TPC-H workload (scans, joins,
+//! aggregates) through all three [`ExecMode`]s — the batch arms with
+//! every table's segments pinned — verifying along the way that rows and
+//! virtual-time accounting are bit-identical across modes (the batch
+//! paths are wall-clock optimizations only).
 //!
 //! Results land in `BENCH_executor.json` at the repository root so CI
 //! can archive them; the criterion-style stderr lines participate in
 //! `--save-baseline` / `--baseline` regression tracking. Set
 //! `SPECDB_BENCH_SMOKE=1` for a seconds-scale smoke run — in smoke mode
-//! the process exits non-zero if the batch path is slower than the row
-//! path, which is the CI regression gate.
+//! the process exits non-zero if the columnar path is slower than the
+//! row baseline, which is the CI regression gate.
 
 use criterion::{black_box, Criterion};
 use specdb_bench::BenchEnv;
-use specdb_exec::Database;
+use specdb_exec::{Database, ExecMode};
 use specdb_query::{parse_sql, Query};
 use specdb_sim::{build_base_db, DatasetSpec};
 use specdb_storage::ResourceDemand;
 use std::time::Instant;
 
 /// The measured workload: decode-heavy scans, a hash join, and grouped
-/// aggregates over the TPC-H subset.
+/// aggregates over the TPC-H subset. The first and third queries are
+/// projection-narrow (the columnar layout's best case: two of eight and
+/// one of nine columns survive the scan).
 const WORKLOAD: &[&str] = &[
     "SELECT c_name, c_acctbal FROM customer WHERE c_nation = 'FRANCE'",
     "SELECT * FROM customer WHERE c_acctbal >= 9500",
@@ -45,7 +49,7 @@ fn workload(db: &Database) -> Vec<Query> {
 }
 
 /// Run every workload query, returning total rows and summed demand
-/// (compared across arms to assert the paths behave identically).
+/// (compared across arms to assert the modes behave identically).
 fn run_workload(db: &mut Database, qs: &[Query]) -> (u64, ResourceDemand) {
     let mut rows = 0u64;
     let mut demand = ResourceDemand::default();
@@ -74,6 +78,9 @@ fn write_json(path: &std::path::Path, body: &str) {
     }
 }
 
+/// The three measured pipelines, in bench-progression order.
+const MODES: [ExecMode; 3] = [ExecMode::Row, ExecMode::BatchRow, ExecMode::Columnar];
+
 fn main() {
     let smoke = std::env::var("SPECDB_BENCH_SMOKE").map(|v| v == "1").unwrap_or(false);
     let env = BenchEnv::from_env();
@@ -89,46 +96,68 @@ fn main() {
         if smoke { " [smoke]" } else { "" }
     );
     let base = build_base_db(&spec_ds).expect("base db");
-    let mut db_batch = base.clone();
-    let mut db_row = base.clone();
-    db_row.set_batch_exec(false);
-    // The memory-resident fast path under test: pin every table's
-    // decoded segments for the batch arm (materialized speculation
-    // results get this automatically from `Database::materialize`).
-    for t in specdb_tpch::TPCH_TABLES {
-        db_batch.cache_table_segments(t).expect("cache segments");
-    }
+    // One arm per mode. The memory-resident fast path under test: pin
+    // every table's decoded column segments for the batch arms
+    // (materialized speculation results get this automatically from
+    // `Database::materialize`); the row path never reads the cache.
+    let mut arms: Vec<Database> = MODES
+        .iter()
+        .map(|&mode| {
+            let mut db = base.clone();
+            db.set_exec_mode(mode);
+            if mode != ExecMode::Row {
+                for t in specdb_tpch::TPCH_TABLES {
+                    db.cache_table_segments(t).expect("cache segments");
+                }
+            }
+            db
+        })
+        .collect();
     let qs = workload(&base);
 
-    // Warm both arms (buffer pool + segment cache) and hold them to the
+    // Warm every arm (buffer pool + segment cache) and hold them to the
     // equivalence contract: same rows, same virtual-time accounting.
-    let warm_batch = run_workload(&mut db_batch, &qs);
-    let warm_row = run_workload(&mut db_row, &qs);
-    assert_eq!(warm_batch, warm_row, "batch and row paths diverged");
-    let identical = warm_batch == warm_row;
-    let seg_pages = db_batch.pool().seg_resident();
+    let warm: Vec<(u64, ResourceDemand)> =
+        arms.iter_mut().map(|db| run_workload(db, &qs)).collect();
+    let identical = warm.iter().all(|w| *w == warm[0]);
+    assert!(identical, "executor modes diverged: {warm:?}");
+    let seg_pages = arms.last().expect("arms").pool().seg_resident();
 
     // Criterion lines (participate in --save-baseline / --baseline).
     let mut c = Criterion::default().sample_size(if smoke { 2 } else { 10 });
-    c.bench_function("executor/workload_batch", |b| b.iter(|| run_workload(&mut db_batch, &qs)));
-    c.bench_function("executor/workload_row", |b| b.iter(|| run_workload(&mut db_row, &qs)));
+    for (db, &mode) in arms.iter_mut().zip(&MODES) {
+        let label = format!("executor/workload_{}", mode.as_str().replace('-', "_"));
+        c.bench_function(&label, |b| b.iter(|| run_workload(db, &qs)));
+    }
 
     // Headline numbers: mean per-query wall-clock per arm.
-    let batch_us = time_arm(&mut db_batch, &qs, passes);
-    let row_us = time_arm(&mut db_row, &qs, passes);
-    let speedup = row_us / batch_us.max(1e-9);
+    let us: Vec<f64> = arms.iter_mut().map(|db| time_arm(db, &qs, passes)).collect();
+    let (row_us, batch_row_us, columnar_us) = (us[0], us[1], us[2]);
+    let speedup = row_us / columnar_us.max(1e-9);
+    let speedup_vs_batch_row = batch_row_us / columnar_us.max(1e-9);
 
     // Per-query breakdown (stderr only; helps attribute regressions).
-    for (q, sql) in qs.iter().zip(WORKLOAD) {
-        let qb = time_arm(&mut db_batch, std::slice::from_ref(q), passes);
-        let qr = time_arm(&mut db_row, std::slice::from_ref(q), passes);
-        eprintln!("executor:   {:6.1} vs {:6.1} us ({:.2}x)  {}", qb, qr, qr / qb.max(1e-9), sql);
+    for (qi, (q, sql)) in qs.iter().zip(WORKLOAD).enumerate() {
+        let per: Vec<f64> = arms
+            .iter_mut()
+            .map(|db| time_arm(db, std::slice::from_ref(q), passes))
+            .collect();
+        eprintln!(
+            "executor:   q{qi}: row {:7.1} | batch-row {:7.1} | columnar {:7.1} us \
+             ({:.2}x vs row)  {}",
+            per[0],
+            per[1],
+            per[2],
+            per[0] / per[2].max(1e-9),
+            sql
+        );
     }
 
     println!();
     println!(
         "executor ({} queries x {passes} passes, {seg_pages} segment-cached pages): \
-         batch {batch_us:.1} us/query, row {row_us:.1} us/query ({speedup:.2}x)",
+         row {row_us:.1} | batch-row {batch_row_us:.1} | columnar {columnar_us:.1} us/query \
+         ({speedup:.2}x vs row, {speedup_vs_batch_row:.2}x vs batch-row)",
         qs.len()
     );
 
@@ -136,8 +165,10 @@ fn main() {
         "{{\n  \"bench\": \"executor\",\n  \"smoke\": {smoke},\n  \
          \"dataset\": \"{}\",\n  \"dataset_mb\": {},\n  \"queries\": {},\n  \"passes\": {passes},\n  \
          \"seg_cached_pages\": {seg_pages},\n  \
-         \"us_per_query\": {{ \"batch\": {batch_us:.3}, \"row\": {row_us:.3} }},\n  \
-         \"speedup\": {speedup:.3},\n  \"identical\": {identical}\n}}\n",
+         \"us_per_query\": {{ \"row\": {row_us:.3}, \"batch_row\": {batch_row_us:.3}, \
+         \"batch_columnar\": {columnar_us:.3} }},\n  \
+         \"speedup\": {speedup:.3},\n  \"speedup_vs_batch_row\": {speedup_vs_batch_row:.3},\n  \
+         \"identical\": {identical}\n}}\n",
         spec_ds.label,
         spec_ds.actual_mb(),
         qs.len(),
@@ -145,10 +176,17 @@ fn main() {
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_executor.json");
     write_json(&path, &json);
 
-    // CI regression gate: on the smoke workload the batch path must not
-    // be slower than the row path.
+    // CI regression gate: on the smoke workload the columnar path must
+    // not be slower than the row baseline, nor meaningfully slower than
+    // the row-major batch pipeline it replaced (10% noise allowance).
     if smoke && speedup < 1.0 {
-        eprintln!("executor: FAIL — batch path slower than row path ({speedup:.2}x)");
+        eprintln!("executor: FAIL — columnar path slower than row path ({speedup:.2}x)");
+        std::process::exit(1);
+    }
+    if smoke && speedup_vs_batch_row < 0.9 {
+        eprintln!(
+            "executor: FAIL — columnar path regressed vs batch-row ({speedup_vs_batch_row:.2}x)"
+        );
         std::process::exit(1);
     }
 }

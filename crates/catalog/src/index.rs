@@ -14,6 +14,7 @@
 use crate::schema::Schema;
 use serde::{Deserialize, Serialize};
 use specdb_storage::{AccessKind, BufferPool, HeapFile, StorageResult, Tuple, TupleId, Value};
+use std::collections::HashMap;
 use std::ops::Bound;
 
 /// A static ordered index mapping key values to tuple ids.
@@ -131,6 +132,18 @@ impl OrderedIndex {
         self.lookup(pool, Bound::Included(key), Bound::Included(key))
     }
 
+    /// Start a batch of point probes against this index (see
+    /// [`BatchProber`]). One prober should serve one executor batch.
+    pub fn batch_prober(&self) -> BatchProber<'_> {
+        BatchProber {
+            index: self,
+            leaves: HashMap::new(),
+            results: HashMap::new(),
+            probes: 0,
+            saved_descents: 0,
+        }
+    }
+
     /// Drop the index's leaf pages.
     pub fn destroy(self, pool: &mut BufferPool) {
         self.leaves.destroy(pool);
@@ -144,6 +157,105 @@ impl OrderedIndex {
         }
         let per_page = (self.entries / pages).max(1);
         1 + matched / per_page
+    }
+}
+
+/// Amortizes a batch of point probes over one ordered pass of the leaf
+/// level: each leaf page a batch touches is decoded at most once, and
+/// repeat probes for a key already seen in the batch reuse the first
+/// probe's result outright.
+///
+/// **Accounting contract**: every probe still issues exactly the
+/// [`BufferPool::read_page`] calls (same pages, same order, same
+/// [`AccessKind`]s) that a per-tuple [`OrderedIndex::lookup_eq`] descent
+/// would, so buffer state, hit/miss counts, and virtual-time demand are
+/// bit-identical to the row-at-a-time path. What the batch saves is the
+/// wall-clock descent work: per-entry tuple decoding of every visited
+/// leaf, once per probe.
+pub struct BatchProber<'i> {
+    index: &'i OrderedIndex,
+    /// Leaf page number → entries decoded once for the whole batch.
+    leaves: HashMap<u32, Vec<(Value, TupleId)>>,
+    /// Key → (leaf pages its descent reads, matching rids), filled by the
+    /// first probe of each distinct key in the batch.
+    results: HashMap<Value, (Vec<u32>, Vec<TupleId>)>,
+    probes: u64,
+    saved_descents: u64,
+}
+
+impl BatchProber<'_> {
+    /// Probes served by this prober so far.
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Probes that decoded no leaf entries at all — descents saved
+    /// relative to per-tuple [`OrderedIndex::lookup_eq`] calls.
+    pub fn saved_descents(&self) -> u64 {
+        self.saved_descents
+    }
+
+    /// Point lookup with per-batch leaf memoization. Results and I/O
+    /// accounting are identical to [`OrderedIndex::lookup_eq`].
+    pub fn lookup_eq(&mut self, pool: &mut BufferPool, key: &Value) -> StorageResult<Vec<TupleId>> {
+        self.probes += 1;
+        let index = self.index;
+        if index.fences.is_empty() {
+            self.saved_descents += 1;
+            return Ok(Vec::new());
+        }
+        if let Some((pages, rids)) = self.results.get(key) {
+            // A descent for this key replays the same page-read sequence
+            // regardless of pool state; charge it, then reuse the rids.
+            for (i, &page_no) in pages.iter().enumerate() {
+                let pid = specdb_storage::PageId::new(index.leaves.file, page_no);
+                let kind = if i == 0 { AccessKind::Random } else { AccessKind::Sequential };
+                pool.read_page(pid, kind)?;
+            }
+            self.saved_descents += 1;
+            return Ok(rids.clone());
+        }
+        // Same start leaf as `lookup` (fence-spill rule: start at the last
+        // leaf whose fence is strictly below the key).
+        let start_leaf = index.fences.partition_point(|f| f < key).saturating_sub(1) as u32;
+        let total = index.leaves.pages(pool);
+        let mut visited: Vec<u32> = Vec::new();
+        let mut out: Vec<TupleId> = Vec::new();
+        let mut fresh_decode = false;
+        for page_no in start_leaf..total {
+            let pid = specdb_storage::PageId::new(index.leaves.file, page_no);
+            let kind = if visited.is_empty() { AccessKind::Random } else { AccessKind::Sequential };
+            let page = pool.read_page(pid, kind)?;
+            visited.push(page_no);
+            let entries = match self.leaves.entry(page_no) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    fresh_decode = true;
+                    let mut decoded = Vec::with_capacity(page.slot_count());
+                    for (_, bytes) in page.iter() {
+                        let entry = Tuple::decode(bytes)?;
+                        let rid = decode_rid(&entry);
+                        decoded.push((entry.get(0).clone(), rid));
+                    }
+                    e.insert(decoded)
+                }
+            };
+            // Entries are sorted within a leaf: binary-search the equal
+            // range instead of decoding and comparing every entry.
+            let lo = entries.partition_point(|(k, _)| k < key);
+            let hi = entries.partition_point(|(k, _)| k <= key);
+            out.extend(entries[lo..hi].iter().map(|(_, rid)| *rid));
+            if hi < entries.len() {
+                // This page holds an entry above the key: the per-tuple
+                // descent stops here too (after reading this page).
+                break;
+            }
+        }
+        if !fresh_decode {
+            self.saved_descents += 1;
+        }
+        self.results.insert(key.clone(), (visited, out.clone()));
+        Ok(out)
     }
 }
 
@@ -332,6 +444,95 @@ mod tests {
         let d = pool.demand_since(before);
         assert_eq!(d.rand_reads, 1, "first leaf is a random read");
         assert!(d.seq_reads > 0, "subsequent leaves are sequential");
+    }
+
+    /// Probe `keys` through a fresh per-tuple descent and through a
+    /// [`BatchProber`] on identical cold pools; rids and resource demand
+    /// must match exactly.
+    fn assert_prober_agrees(
+        make: impl Fn() -> (BufferPool, OrderedIndex),
+        keys: &[Value],
+        expect_saved: u64,
+    ) {
+        let (mut pool_a, idx_a) = make();
+        let (mut pool_b, idx_b) = make();
+        pool_a.clear();
+        pool_b.clear();
+        let snap_a = pool_a.snapshot();
+        let snap_b = pool_b.snapshot();
+        let mut prober = idx_b.batch_prober();
+        for key in keys {
+            let per_tuple = idx_a.lookup_eq(&mut pool_a, key).unwrap();
+            let batched = prober.lookup_eq(&mut pool_b, key).unwrap();
+            assert_eq!(per_tuple, batched, "rids for {key} must match");
+        }
+        assert_eq!(
+            pool_a.demand_since(snap_a),
+            pool_b.demand_since(snap_b),
+            "probe accounting must be identical"
+        );
+        assert_eq!(prober.probes(), keys.len() as u64);
+        // Repeat keys are guaranteed savings (leaf-memo hits can add
+        // more, depending on how keys pack into leaf pages).
+        assert!(
+            prober.saved_descents() >= expect_saved,
+            "expected at least {expect_saved} saved descents, got {}",
+            prober.saved_descents()
+        );
+        assert!(prober.saved_descents() < prober.probes());
+    }
+
+    #[test]
+    fn batch_prober_matches_per_tuple_descents() {
+        let make = || {
+            let (pool, _, idx) = setup(5000);
+            (pool, idx)
+        };
+        // Duplicate and missing keys; every repeat after the first pass
+        // over a key's leaves is a saved descent.
+        let keys: Vec<Value> =
+            [7i64, 4999, 7, 0, 7, 12345, 0].iter().map(|&k| Value::Int(k)).collect();
+        assert_prober_agrees(make, &keys, 3);
+    }
+
+    #[test]
+    fn batch_prober_handles_fence_spilled_duplicates() {
+        // Same fixture as duplicates_spilling_into_previous_leaf_tail:
+        // keys equal to a fence also sit at the previous leaf's tail.
+        let make = || {
+            let mut pool = BufferPool::new(1024);
+            let heap = HeapFile::create(&mut pool);
+            let mut loader = BulkLoader::new(heap, &pool);
+            let mut pairs = Vec::new();
+            for i in 0..400i64 {
+                let key = if i < 185 {
+                    1
+                } else if i < 205 {
+                    5
+                } else {
+                    9 + i
+                };
+                let tid = loader.push(&mut pool, &Tuple::new(vec![Value::Int(key)])).unwrap();
+                pairs.push((Value::Int(key), tid));
+            }
+            loader.finish(&mut pool).unwrap();
+            let idx = OrderedIndex::build(&mut pool, pairs).unwrap();
+            (pool, idx)
+        };
+        let keys: Vec<Value> = [5i64, 1, 5, 300, 1].iter().map(|&k| Value::Int(k)).collect();
+        assert_prober_agrees(make, &keys, 2);
+        let (mut pool, idx) = make();
+        let mut prober = idx.batch_prober();
+        assert_eq!(prober.lookup_eq(&mut pool, &Value::Int(5)).unwrap().len(), 20);
+    }
+
+    #[test]
+    fn batch_prober_on_empty_index() {
+        let mut pool = BufferPool::new(16);
+        let idx = OrderedIndex::build(&mut pool, Vec::new()).unwrap();
+        let mut prober = idx.batch_prober();
+        assert!(prober.lookup_eq(&mut pool, &Value::Int(1)).unwrap().is_empty());
+        assert_eq!(prober.saved_descents(), 1);
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod stats;
 pub mod table;
 
 pub use histogram::Histogram;
-pub use index::OrderedIndex;
+pub use index::{BatchProber, OrderedIndex};
 pub use registry::Catalog;
 pub use schema::{ColumnDef, DataType, Schema};
 pub use stats::{ColumnStats, TableStats};

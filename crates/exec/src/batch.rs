@@ -1,60 +1,219 @@
-//! Batch-vectorized plan execution.
+//! Columnar batch execution: column vectors plus selection vectors.
 //!
-//! The row executor in [`crate::run`] drives one tuple at a time through
-//! a `dyn FnMut(Tuple)` callback; per-tuple dynamic dispatch and decode
-//! work dominate wall-clock once the working set is memory resident.
-//! This module executes the same plans over [`Batch`] buffers instead:
-//! operators exchange `Vec<Tuple>` chunks of up to
-//! [`DEFAULT_BATCH_SIZE`] tuples, scans fuse filtering (and a parent
-//! projection, a hash-join probe, or an aggregation) into the
-//! batch-producing loop, and sequential scans read
-//! through the buffer pool's decoded segment cache
-//! ([`specdb_storage::BufferPool::read_page_decoded`]) so re-scans of
-//! small or hot files — materialized speculation results in particular —
-//! skip per-tuple decoding entirely.
+//! The default executor path. Operators exchange [`ColumnBatch`]es —
+//! per-column `Vec<Value>` vectors shared by `Arc`, plus an optional
+//! selection vector listing the live row indexes — instead of the
+//! row-major `Vec<Tuple>` chunks of [`crate::batch_row`]:
 //!
-//! **Equivalence contract**: for any plan, the batch path produces the
-//! same tuples in the same order as [`crate::run::run`], and charges the
-//! same virtual-time resource demand (page reads, hits, CPU tuples,
-//! writes, memory). The segment cache only elides wall-clock decode
-//! work; it never changes I/O accounting, because
-//! `read_page_decoded` performs the ordinary `read_page` bookkeeping
-//! first. The differential suite `tests/batch_exec.rs` holds both paths
-//! to this contract.
+//! * **scans** forward a heap page's cached [`ColumnSegment`] columns
+//!   zero-copy ([`specdb_storage::BufferPool::read_page_columnar`]),
+//! * **filters** evaluate one predicate column at a time into a
+//!   selection vector — survivors are never copied,
+//! * **projection** is `Arc` pointer selection of the kept columns,
+//! * **hash joins** gather build/probe keys from the key column only,
+//! * **index-nested-loop joins** probe each outer batch through a
+//!   [`specdb_catalog::BatchProber`], decoding every touched index leaf
+//!   at most once per batch instead of once per outer tuple.
+//!
+//! Filter kernels are specialized from catalog column metadata
+//! ([`specdb_catalog::DataType`]) for `Int`/`Float` columns, but columns
+//! themselves stay `Vec<Value>`-backed: a `Float` column may legally
+//! store `Int` values (`DataType::admits`) and `Int`/`Int` comparisons
+//! must stay integer-exact, so a fixed-stride `f64` layout would break
+//! bit-identity with the row oracle. The kernels keep the exact
+//! [`Value`] comparison semantics per element and only skip the generic
+//! tag dispatch.
+//!
+//! **Equivalence contract**: for any plan, this path produces the same
+//! tuples in the same order as [`crate::run::run`], and charges the same
+//! virtual-time resource demand (page reads, hits, CPU tuples, writes,
+//! memory). Columnar layout, selection vectors, and batched index probes
+//! elide wall-clock work only; every page access still flows through
+//! [`specdb_storage::BufferPool::read_page`] accounting in the same
+//! order. The differential suite `tests/batch_exec.rs` holds all
+//! executor paths to this contract.
 
 use crate::context::ExecCtx;
 use crate::error::{ExecError, ExecResult};
 use crate::plan::{BoundPred, Plan, PlanNode};
 use crate::run::{as_ref_bound, Acc};
-use specdb_catalog::Catalog;
-use specdb_query::AggFunc;
-use specdb_storage::{AccessKind, PageId, Tuple, Value};
+use specdb_catalog::{Catalog, DataType, Schema};
+use specdb_query::{AggFunc, CompareOp};
+use specdb_storage::{AccessKind, ColumnSegment, ColumnVec, PageId, Tuple, Value};
+use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::ops::Bound;
+use std::sync::Arc;
 
-/// A chunk of tuples exchanged between batch operators.
-pub type Batch = Vec<Tuple>;
-
-/// Default number of tuples per [`Batch`].
+/// Default maximum number of logical rows per [`ColumnBatch`].
 pub const DEFAULT_BATCH_SIZE: usize = 1024;
 
-/// Accumulates tuples and flushes a [`Batch`] to `out` whenever
-/// `cap` tuples are buffered (and once more at the end for the tail).
+/// A columnar chunk of rows exchanged between batch operators: `Arc`ed
+/// column vectors plus an optional selection vector of live row indexes
+/// (in output order). `sel == None` means every underlying row is live.
+#[derive(Debug, Clone)]
+pub struct ColumnBatch {
+    cols: Vec<ColumnVec>,
+    sel: Option<Arc<Vec<u32>>>,
+    /// Underlying (pre-selection) row count of the column vectors.
+    rows: usize,
+}
+
+impl ColumnBatch {
+    /// Batch over owned column vectors, all rows live. Columns must have
+    /// equal lengths.
+    pub fn new(cols: Vec<ColumnVec>) -> Self {
+        let rows = cols.first().map_or(0, |c| c.len());
+        debug_assert!(cols.iter().all(|c| c.len() == rows), "ragged column batch");
+        ColumnBatch { cols, sel: None, rows }
+    }
+
+    /// Zero-copy batch over a decoded page segment's columns.
+    pub fn from_segment(seg: &ColumnSegment) -> Self {
+        ColumnBatch::new(seg.cols().to_vec())
+    }
+
+    /// Replace the selection vector (row indexes into the underlying
+    /// columns, in output order).
+    pub fn with_sel(mut self, sel: Vec<u32>) -> Self {
+        debug_assert!(sel.iter().all(|&i| (i as usize) < self.rows));
+        self.sel = Some(Arc::new(sel));
+        self
+    }
+
+    /// Logical (selected) row count.
+    pub fn len(&self) -> usize {
+        self.sel.as_ref().map_or(self.rows, |s| s.len())
+    }
+
+    /// True if no rows are selected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Physical row index of logical row `row`.
+    fn phys(&self, row: usize) -> usize {
+        match &self.sel {
+            Some(sel) => sel[row] as usize,
+            None => row,
+        }
+    }
+
+    /// Value at logical `(row, col)`.
+    pub fn value(&self, row: usize, col: usize) -> &Value {
+        &self.cols[col][self.phys(row)]
+    }
+
+    /// Project to the given columns: pure `Arc` pointer selection, the
+    /// selection vector is shared untouched.
+    pub fn project(&self, keep: &[usize]) -> ColumnBatch {
+        ColumnBatch {
+            cols: keep.iter().map(|&c| Arc::clone(&self.cols[c])).collect(),
+            sel: self.sel.clone(),
+            rows: self.rows,
+        }
+    }
+
+    /// Encoded byte size of one logical row, equal to the row path's
+    /// [`Tuple::encoded_len`] for the gathered tuple (accounting parity
+    /// for hash-join build/probe byte charges).
+    fn row_encoded_len(&self, row: usize) -> usize {
+        let p = self.phys(row);
+        2 + self.cols.iter().map(|c| c[p].encoded_len()).sum::<usize>()
+    }
+
+    /// Clone one logical row's values in column order.
+    fn gather_row(&self, row: usize) -> Vec<Value> {
+        let p = self.phys(row);
+        self.cols.iter().map(|c| c[p].clone()).collect()
+    }
+
+    /// Materialize every logical row as a [`Tuple`], appended to `out` —
+    /// the row-major boundary for result collection.
+    pub fn to_tuples(&self, out: &mut Vec<Tuple>) {
+        out.reserve(self.len());
+        for row in 0..self.len() {
+            out.push(Tuple::new(self.gather_row(row)));
+        }
+    }
+
+    /// Split into chunks of at most `cap` logical rows (columns stay
+    /// shared; only selection vectors are built).
+    fn emit_chunked(
+        self,
+        cap: usize,
+        out: &mut dyn FnMut(ColumnBatch) -> ExecResult<()>,
+    ) -> ExecResult<u64> {
+        let cap = cap.max(1);
+        let n = self.len();
+        if n == 0 {
+            return Ok(0);
+        }
+        if n <= cap {
+            out(self)?;
+            return Ok(1);
+        }
+        let mut emitted = 0u64;
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + cap).min(n);
+            let sel: Vec<u32> = match &self.sel {
+                Some(sel) => sel[start..end].to_vec(),
+                None => (start as u32..end as u32).collect(),
+            };
+            out(ColumnBatch {
+                cols: self.cols.clone(),
+                sel: Some(Arc::new(sel)),
+                rows: self.rows,
+            })?;
+            emitted += 1;
+            start = end;
+        }
+        Ok(emitted)
+    }
+}
+
+/// Accumulates row-built operator output column-wise and flushes a
+/// [`ColumnBatch`] to `out` whenever `cap` rows are buffered (and once
+/// more at the end for the tail). Scans bypass this and forward their
+/// zero-copy batches via [`ColumnBatch::emit_chunked`].
 struct Emitter<'o> {
-    buf: Batch,
+    cols: Vec<Vec<Value>>,
+    len: usize,
     cap: usize,
     batches: u64,
-    out: &'o mut dyn FnMut(Batch) -> ExecResult<()>,
+    out: &'o mut dyn FnMut(ColumnBatch) -> ExecResult<()>,
 }
 
 impl<'o> Emitter<'o> {
-    fn new(cap: usize, out: &'o mut dyn FnMut(Batch) -> ExecResult<()>) -> Self {
-        Emitter { buf: Vec::new(), cap: cap.max(1), batches: 0, out }
+    fn new(
+        width: usize,
+        cap: usize,
+        out: &'o mut dyn FnMut(ColumnBatch) -> ExecResult<()>,
+    ) -> Self {
+        Emitter {
+            cols: (0..width).map(|_| Vec::new()).collect(),
+            len: 0,
+            cap: cap.max(1),
+            batches: 0,
+            out,
+        }
     }
 
-    fn push(&mut self, t: Tuple) -> ExecResult<()> {
-        self.buf.push(t);
-        if self.buf.len() >= self.cap {
+    fn push_row(&mut self, values: impl IntoIterator<Item = Value>) -> ExecResult<()> {
+        let mut n = 0;
+        for (col, v) in self.cols.iter_mut().zip(values) {
+            col.push(v);
+            n += 1;
+        }
+        debug_assert_eq!(n, self.cols.len(), "row narrower than emitter");
+        self.len += 1;
+        if self.len >= self.cap {
             self.flush()
         } else {
             Ok(())
@@ -62,12 +221,14 @@ impl<'o> Emitter<'o> {
     }
 
     fn flush(&mut self) -> ExecResult<()> {
-        if self.buf.is_empty() {
+        if self.len == 0 {
             return Ok(());
         }
+        let width = self.cols.len();
+        let full = std::mem::replace(&mut self.cols, (0..width).map(|_| Vec::new()).collect());
+        self.len = 0;
         self.batches += 1;
-        let full = std::mem::take(&mut self.buf);
-        (self.out)(full)
+        (self.out)(ColumnBatch::new(full.into_iter().map(Arc::new).collect()))
     }
 
     /// Flush the tail and return how many batches were emitted.
@@ -77,15 +238,16 @@ impl<'o> Emitter<'o> {
     }
 }
 
-/// Execute a plan, invoking `out` for every batch of result tuples.
+/// Execute a plan, invoking `out` for every [`ColumnBatch`] of results.
 ///
 /// Batches are non-empty and hold at most [`ExecCtx::batch_size`]
-/// tuples; concatenated they are exactly the row path's output.
+/// logical rows; gathered row-major and concatenated they are exactly
+/// the row path's output.
 pub fn run_batched(
     plan: &Plan,
     catalog: &Catalog,
     ctx: &mut ExecCtx<'_>,
-    out: &mut dyn FnMut(Batch) -> ExecResult<()>,
+    out: &mut dyn FnMut(ColumnBatch) -> ExecResult<()>,
 ) -> ExecResult<()> {
     match &plan.node {
         PlanNode::SeqScan { table, filters } => {
@@ -97,9 +259,7 @@ pub fn run_batched(
             PlanNode::SeqScan { table, filters } => {
                 fused_seq_scan(table, filters, Some(keep), catalog, ctx, out)
             }
-            _ => run_batched(input, catalog, ctx, &mut |b: Batch| {
-                out(b.into_iter().map(|t| t.project(keep)).collect())
-            }),
+            _ => run_batched(input, catalog, ctx, &mut |b: ColumnBatch| out(b.project(keep))),
         },
         PlanNode::IndexScan { table, column, lo, hi, filters } => {
             index_scan_batched(table, column, lo, hi, filters, catalog, ctx, out)
@@ -134,55 +294,197 @@ pub fn run_batched(
     }
 }
 
-/// Execute a plan on the batch path and collect all results.
+/// Execute a plan on the columnar path and collect all results row-major.
 pub fn run_collect_batched(
     plan: &Plan,
     catalog: &Catalog,
     ctx: &mut ExecCtx<'_>,
 ) -> ExecResult<Vec<Tuple>> {
     let mut rows = Vec::new();
-    run_batched(plan, catalog, ctx, &mut |mut b: Batch| {
-        rows.append(&mut b);
+    run_batched(plan, catalog, ctx, &mut |b: ColumnBatch| {
+        b.to_tuples(&mut rows);
         Ok(())
     })?;
     Ok(rows)
+}
+
+/// Collect a plan's output as column batches (pipeline breakers that
+/// re-iterate their input, e.g. the index-nested-loop outer side).
+fn collect_batches(
+    plan: &Plan,
+    catalog: &Catalog,
+    ctx: &mut ExecCtx<'_>,
+) -> ExecResult<Vec<ColumnBatch>> {
+    let mut batches = Vec::new();
+    run_batched(plan, catalog, ctx, &mut |b: ColumnBatch| {
+        batches.push(b);
+        Ok(())
+    })?;
+    Ok(batches)
+}
+
+// ---------------------------------------------------------------------
+// Filter kernels
+// ---------------------------------------------------------------------
+
+/// Does `ord` (of `left.cmp(right)`) satisfy `op`? Mirrors
+/// [`CompareOp::eval`] exactly.
+#[inline]
+fn ord_matches(op: CompareOp, ord: Ordering) -> bool {
+    match op {
+        CompareOp::Eq => ord == Ordering::Equal,
+        CompareOp::Ne => ord != Ordering::Equal,
+        CompareOp::Lt => ord == Ordering::Less,
+        CompareOp::Le => ord != Ordering::Greater,
+        CompareOp::Gt => ord == Ordering::Greater,
+        CompareOp::Ge => ord != Ordering::Less,
+    }
+}
+
+/// Which specialized comparison loop a predicate column gets, chosen
+/// from the catalog's column type and the predicate constant. Every
+/// kernel is still total over [`Value`] variants (loose typing:
+/// `DataType::admits` lets `Int` into `Float` columns), so a wrong hint
+/// could never change results — only speed.
+enum FilterKernel<'v> {
+    /// `Int` column vs `Int` constant: integer-exact comparison.
+    IntInt { k: i64, c: &'v Value },
+    /// Numeric column vs numeric constant: `total_cmp` after widening,
+    /// exactly as [`Value::cmp`]'s mixed arms do.
+    Numeric(&'v Value),
+    /// `Str` column vs `Str` constant.
+    StrStr { s: &'v str, c: &'v Value },
+    /// Anything else: the generic [`CompareOp::eval`].
+    General(&'v Value),
+}
+
+impl<'v> FilterKernel<'v> {
+    fn choose(col_ty: Option<DataType>, value: &'v Value) -> FilterKernel<'v> {
+        match (col_ty, value) {
+            (Some(DataType::Int), Value::Int(k)) => FilterKernel::IntInt { k: *k, c: value },
+            (Some(DataType::Int | DataType::Float), Value::Int(_) | Value::Float(_)) => {
+                FilterKernel::Numeric(value)
+            }
+            (Some(DataType::Str), Value::Str(s)) => FilterKernel::StrStr { s, c: value },
+            _ => FilterKernel::General(value),
+        }
+    }
+
+    /// Evaluate `v op constant` with the specialized loop body.
+    #[inline]
+    fn matches(&self, op: CompareOp, v: &Value) -> bool {
+        match self {
+            FilterKernel::IntInt { k, c } => match v {
+                Value::Int(x) => ord_matches(op, x.cmp(k)),
+                Value::Null => false,
+                other => op.eval(other, c),
+            },
+            FilterKernel::Numeric(c) => match (v, c) {
+                (Value::Int(x), Value::Int(k)) => ord_matches(op, x.cmp(k)),
+                (Value::Int(x), Value::Float(k)) => ord_matches(op, (*x as f64).total_cmp(k)),
+                (Value::Float(x), Value::Int(k)) => ord_matches(op, x.total_cmp(&(*k as f64))),
+                (Value::Float(x), Value::Float(k)) => ord_matches(op, x.total_cmp(k)),
+                (Value::Null, _) => false,
+                (other, c) => op.eval(other, c),
+            },
+            FilterKernel::StrStr { s, c } => match v {
+                Value::Str(x) => ord_matches(op, x.as_str().cmp(s)),
+                Value::Null => false,
+                other => op.eval(other, c),
+            },
+            FilterKernel::General(c) => op.eval(v, c),
+        }
+    }
+}
+
+/// Evaluate scan filters column-at-a-time into a selection vector.
+/// `None` means "all rows live" (no filters). A predicate on a NULL
+/// constant matches nothing ([`CompareOp::eval`] three-valued logic).
+fn eval_filters(seg: &ColumnSegment, filters: &[BoundPred], schema: &Schema) -> Option<Vec<u32>> {
+    if filters.is_empty() {
+        return None;
+    }
+    let mut sel: Option<Vec<u32>> = None;
+    for f in filters {
+        let col_ty = schema.columns().get(f.idx).map(|c| c.ty);
+        let kernel = FilterKernel::choose(col_ty, &f.value);
+        let col = seg.col(f.idx).as_slice();
+        let next = match &sel {
+            None => {
+                let mut v = Vec::new();
+                for (i, val) in col.iter().enumerate() {
+                    if kernel.matches(f.op, val) {
+                        v.push(i as u32);
+                    }
+                }
+                v
+            }
+            Some(prev) => {
+                let mut v = Vec::with_capacity(prev.len());
+                for &i in prev {
+                    if kernel.matches(f.op, &col[i as usize]) {
+                        v.push(i);
+                    }
+                }
+                v
+            }
+        };
+        if next.is_empty() {
+            return Some(next);
+        }
+        sel = Some(next);
+    }
+    sel
 }
 
 fn apply_filters(t: &Tuple, filters: &[BoundPred]) -> bool {
     filters.iter().all(|f| f.matches(t))
 }
 
+// ---------------------------------------------------------------------
+// Operators
+// ---------------------------------------------------------------------
+
 /// The fused scan→filter(→project) loop: one pass over the heap pages
-/// produces filtered (and optionally projected) batches directly.
+/// forwards each page's cached column vectors zero-copy, with filters
+/// evaluated into selection vectors and projection as column selection.
 ///
 /// Accounting matches the row path exactly: one sequential page access
 /// and `charge_cpu(page tuples)` per page, whether or not the decoded
-/// segment cache serves the tuples.
+/// segment cache serves the columns.
 fn fused_seq_scan(
     table: &str,
     filters: &[BoundPred],
     keep: Option<&[usize]>,
     catalog: &Catalog,
     ctx: &mut ExecCtx<'_>,
-    out: &mut dyn FnMut(Batch) -> ExecResult<()>,
+    out: &mut dyn FnMut(ColumnBatch) -> ExecResult<()>,
 ) -> ExecResult<()> {
     let t = catalog.table(table).ok_or_else(|| ExecError::UnknownTable(table.into()))?;
     let heap = t.heap;
-    let mut em = Emitter::new(ctx.batch_size, out);
+    let schema = t.schema.clone();
+    let mut batches = 0u64;
     for page_no in 0..heap.pages(ctx.pool) {
         ctx.cancel.check()?;
-        let tuples = heap.read_page_decoded(ctx.pool, page_no)?;
-        ctx.pool.charge_cpu(tuples.len() as u64);
-        for tuple in tuples.iter() {
-            if apply_filters(tuple, filters) {
-                match keep {
-                    Some(keep) => em.push(tuple.project(keep))?,
-                    None => em.push(tuple.clone())?,
-                }
-            }
+        let seg = heap.read_page_columnar(ctx.pool, page_no)?;
+        ctx.pool.charge_cpu(seg.rows() as u64);
+        ctx.batch_stats.rows_scanned += seg.rows() as u64;
+        let sel = eval_filters(&seg, filters, &schema);
+        let live = sel.as_ref().map_or(seg.rows(), |s| s.len());
+        ctx.batch_stats.rows_selected += live as u64;
+        if live == 0 {
+            continue;
         }
+        let mut batch = ColumnBatch::from_segment(&seg);
+        if let Some(sel) = sel {
+            batch = batch.with_sel(sel);
+        }
+        if let Some(keep) = keep {
+            batch = batch.project(keep);
+        }
+        ctx.batch_stats.cols_scanned += batch.width() as u64;
+        batches += batch.emit_chunked(ctx.batch_size, out)?;
     }
-    let batches = em.finish()?;
     ctx.batch_stats.batches += batches;
     ctx.batch_stats.fused_scans += 1;
     Ok(())
@@ -197,9 +499,10 @@ fn index_scan_batched(
     filters: &[BoundPred],
     catalog: &Catalog,
     ctx: &mut ExecCtx<'_>,
-    out: &mut dyn FnMut(Batch) -> ExecResult<()>,
+    out: &mut dyn FnMut(ColumnBatch) -> ExecResult<()>,
 ) -> ExecResult<()> {
-    let _t = catalog.table(table).ok_or_else(|| ExecError::UnknownTable(table.into()))?;
+    let t = catalog.table(table).ok_or_else(|| ExecError::UnknownTable(table.into()))?;
+    let width = t.schema.arity();
     let index = catalog.index(table, column).ok_or_else(|| ExecError::UnknownColumn {
         rel: table.into(),
         column: format!("{column} (no index)"),
@@ -218,7 +521,7 @@ fn index_scan_batched(
             _ => by_page.push((rid.page, vec![rid.slot])),
         }
     }
-    let mut em = Emitter::new(ctx.batch_size, out);
+    let mut em = Emitter::new(width, ctx.batch_size, out);
     for (pid, slots) in by_page {
         ctx.cancel.check()?;
         let page = ctx.pool.read_page(pid, AccessKind::Random)?;
@@ -227,7 +530,7 @@ fn index_scan_batched(
             if let Some(bytes) = page.get(slot as usize)? {
                 let tuple = Tuple::decode(bytes)?;
                 if apply_filters(&tuple, filters) {
-                    em.push(tuple)?;
+                    em.push_row(tuple.into_values())?;
                 }
             }
         }
@@ -246,22 +549,26 @@ fn hash_join_batched(
     residual: &[(usize, usize)],
     catalog: &Catalog,
     ctx: &mut ExecCtx<'_>,
-    out: &mut dyn FnMut(Batch) -> ExecResult<()>,
+    out: &mut dyn FnMut(ColumnBatch) -> ExecResult<()>,
 ) -> ExecResult<()> {
-    // Build phase: consume the left input batch-wise into a hash table.
-    let mut table: HashMap<Value, Vec<Tuple>> = HashMap::new();
+    // Build phase: consume the left input batch-wise. Keys are gathered
+    // from the key column only; stored rows are gathered once into a
+    // row store indexed by the hash table's buckets.
+    let mut build_rows: Vec<Vec<Value>> = Vec::new();
+    let mut table: HashMap<Value, Vec<u32>> = HashMap::new();
     let mut build_bytes: u64 = 0;
-    run_batched(left, catalog, ctx, &mut |b: Batch| {
-        for t in b {
-            let key = t.get(lkey).clone();
+    run_batched(left, catalog, ctx, &mut |b: ColumnBatch| {
+        for row in 0..b.len() {
+            let key = b.value(row, lkey);
             if !key.is_null() {
-                build_bytes += t.encoded_len() as u64;
-                table.entry(key).or_default().push(t);
+                build_bytes += b.row_encoded_len(row) as u64;
+                table.entry(key.clone()).or_default().push(build_rows.len() as u32);
+                build_rows.push(b.gather_row(row));
             }
         }
         Ok(())
     })?;
-    ctx.pool.charge_cpu(table.values().map(|v| v.len() as u64).sum());
+    ctx.pool.charge_cpu(build_rows.len() as u64);
     ctx.pool.charge_mem(build_bytes);
     // Same hybrid-hash spill model as the row path (see crate::run).
     let pool_bytes = ctx.pool.capacity() as u64 * specdb_storage::PAGE_SIZE as u64;
@@ -271,52 +578,35 @@ fn hash_join_batched(
         0.0
     };
     let mut probe_bytes: u64 = 0;
+    let width = left.cols.len() + right.cols.len();
+    let mut em = Emitter::new(width, ctx.batch_size, out);
     // Probe phase: probe rows arrive in scan order, so match output
     // order is identical to the row path (bucket insertion order). A
-    // sequential-scan probe side fuses into the probe loop: rows are
-    // probed as borrowed segment-cache tuples and only join *matches*
-    // are materialized, instead of cloning every probe-side row first.
-    let lwidth = left.cols.len();
-    let mut em = Emitter::new(ctx.batch_size, out);
-    let mut probe = |r: &Tuple, em: &mut Emitter<'_>| -> ExecResult<()> {
-        probe_bytes += r.encoded_len() as u64;
-        let key = r.get(rkey);
-        if key.is_null() {
-            return Ok(());
-        }
-        if let Some(matches) = table.get(key) {
-            for l in matches {
-                let pass = residual.iter().all(|&(li, ri)| {
-                    debug_assert!(li < lwidth);
-                    l.get(li) == r.get(ri) && !l.get(li).is_null()
-                });
-                if pass {
-                    em.push(l.concat(r))?;
-                }
-            }
-        }
-        Ok(())
-    };
+    // sequential-scan probe side fuses into the probe loop: keys and
+    // residual columns are read straight from the segment's columns and
+    // only join *matches* are gathered.
     if let PlanNode::SeqScan { table: rtable, filters: rfilters } = &right.node {
         let rt = catalog.table(rtable).ok_or_else(|| ExecError::UnknownTable(rtable.into()))?;
         let heap = rt.heap;
+        let rschema = rt.schema.clone();
         for page_no in 0..heap.pages(ctx.pool) {
             ctx.cancel.check()?;
-            let tuples = heap.read_page_decoded(ctx.pool, page_no)?;
-            ctx.pool.charge_cpu(tuples.len() as u64);
-            for r in tuples.iter() {
-                if apply_filters(r, rfilters) {
-                    probe(r, &mut em)?;
-                }
-            }
+            let seg = heap.read_page_columnar(ctx.pool, page_no)?;
+            ctx.pool.charge_cpu(seg.rows() as u64);
+            ctx.batch_stats.rows_scanned += seg.rows() as u64;
+            let sel = eval_filters(&seg, rfilters, &rschema);
+            let live = sel.as_ref().map_or(seg.rows(), |s| s.len());
+            ctx.batch_stats.rows_selected += live as u64;
+            let batch = match sel {
+                Some(sel) => ColumnBatch::from_segment(&seg).with_sel(sel),
+                None => ColumnBatch::from_segment(&seg),
+            };
+            probe_columnar(&batch, rkey, residual, &table, &build_rows, &mut probe_bytes, &mut em)?;
         }
         ctx.batch_stats.fused_scans += 1;
     } else {
-        run_batched(right, catalog, ctx, &mut |b: Batch| {
-            for r in b {
-                probe(&r, &mut em)?;
-            }
-            Ok(())
+        run_batched(right, catalog, ctx, &mut |b: ColumnBatch| {
+            probe_columnar(&b, rkey, residual, &table, &build_rows, &mut probe_bytes, &mut em)
         })?;
     }
     let batches = em.finish()?;
@@ -325,6 +615,38 @@ fn hash_join_batched(
         let page = specdb_storage::PAGE_SIZE as f64;
         let pages = (spill_fraction * (build_bytes + probe_bytes) as f64 / page).ceil() as u64;
         ctx.pool.charge_io(pages, pages);
+    }
+    Ok(())
+}
+
+/// Probe one batch against the build side, emitting matches.
+fn probe_columnar(
+    b: &ColumnBatch,
+    rkey: usize,
+    residual: &[(usize, usize)],
+    table: &HashMap<Value, Vec<u32>>,
+    build_rows: &[Vec<Value>],
+    probe_bytes: &mut u64,
+    em: &mut Emitter<'_>,
+) -> ExecResult<()> {
+    for row in 0..b.len() {
+        *probe_bytes += b.row_encoded_len(row) as u64;
+        let key = b.value(row, rkey);
+        if key.is_null() {
+            continue;
+        }
+        if let Some(matches) = table.get(key) {
+            for &li in matches {
+                let l = &build_rows[li as usize];
+                let pass = residual.iter().all(|&(lc, rc)| {
+                    debug_assert!(lc < l.len());
+                    l[lc] == *b.value(row, rc) && !l[lc].is_null()
+                });
+                if pass {
+                    em.push_row(l.iter().cloned().chain(b.gather_row(row)))?;
+                }
+            }
+        }
     }
     Ok(())
 }
@@ -339,15 +661,16 @@ fn index_nl_join_batched(
     residual: &[(usize, usize)],
     catalog: &Catalog,
     ctx: &mut ExecCtx<'_>,
-    out: &mut dyn FnMut(Batch) -> ExecResult<()>,
+    out: &mut dyn FnMut(ColumnBatch) -> ExecResult<()>,
 ) -> ExecResult<()> {
     let inner = catalog
         .table(inner_table)
         .ok_or_else(|| ExecError::UnknownTable(inner_table.into()))?;
     let heap = inner.heap;
+    let inner_width = inner.schema.arity();
     // As on the row path, the outer side is materialized first: index
-    // probes need the pool mutably.
-    let outer_rows = run_collect_batched(outer, catalog, ctx)?;
+    // probes need the pool mutably. Batches are kept columnar.
+    let outer_batches = collect_batches(outer, catalog, ctx)?;
     let index =
         catalog
             .index(inner_table, inner_column)
@@ -355,27 +678,41 @@ fn index_nl_join_batched(
                 rel: inner_table.into(),
                 column: format!("{inner_column} (no index)"),
             })?;
-    let mut em = Emitter::new(ctx.batch_size, out);
-    for o in &outer_rows {
-        ctx.cancel.check()?;
-        let key = o.get(okey);
-        if key.is_null() {
+    let width = outer.cols.len() + inner_width;
+    let mut em = Emitter::new(width, ctx.batch_size, out);
+    for b in &outer_batches {
+        if b.is_empty() {
             continue;
         }
-        let rids = index.lookup_eq(ctx.pool, key)?;
-        ctx.pool.charge_cpu(1 + rids.len() as u64);
-        for rid in rids {
-            let inner_tuple = heap.get(ctx.pool, rid)?;
-            if !apply_filters(&inner_tuple, inner_filters) {
+        // One batched index pass per outer batch: the prober decodes each
+        // leaf the batch touches at most once and reuses results for
+        // duplicate keys. Probes stay in outer-row order (not sorted key
+        // order) because the virtual I/O accounting must replay the
+        // per-tuple descent sequence exactly; only decode work is saved.
+        let mut prober = index.batch_prober();
+        ctx.batch_stats.index_probe_batches += 1;
+        for row in 0..b.len() {
+            ctx.cancel.check()?;
+            let key = b.value(row, okey);
+            if key.is_null() {
                 continue;
             }
-            let pass = residual
-                .iter()
-                .all(|&(oi, ii)| o.get(oi) == inner_tuple.get(ii) && !o.get(oi).is_null());
-            if pass {
-                em.push(o.concat(&inner_tuple))?;
+            let rids = prober.lookup_eq(ctx.pool, key)?;
+            ctx.pool.charge_cpu(1 + rids.len() as u64);
+            for rid in rids {
+                let inner_tuple = heap.get(ctx.pool, rid)?;
+                if !apply_filters(&inner_tuple, inner_filters) {
+                    continue;
+                }
+                let pass = residual.iter().all(|&(oc, ic)| {
+                    *b.value(row, oc) == *inner_tuple.get(ic) && !b.value(row, oc).is_null()
+                });
+                if pass {
+                    em.push_row(b.gather_row(row).into_iter().chain(inner_tuple.into_values()))?;
+                }
             }
         }
+        ctx.batch_stats.index_probe_saved += prober.saved_descents();
     }
     let batches = em.finish()?;
     ctx.batch_stats.batches += batches;
@@ -388,19 +725,28 @@ fn nested_loop_batched(
     cond: &[(usize, usize)],
     catalog: &Catalog,
     ctx: &mut ExecCtx<'_>,
-    out: &mut dyn FnMut(Batch) -> ExecResult<()>,
+    out: &mut dyn FnMut(ColumnBatch) -> ExecResult<()>,
 ) -> ExecResult<()> {
-    let left_rows = run_collect_batched(left, catalog, ctx)?;
+    // Materialize the gathered left rows once; they are re-walked for
+    // every right row.
+    let mut left_rows: Vec<Vec<Value>> = Vec::new();
+    run_batched(left, catalog, ctx, &mut |b: ColumnBatch| {
+        for row in 0..b.len() {
+            left_rows.push(b.gather_row(row));
+        }
+        Ok(())
+    })?;
     let mut right_count: u64 = 0;
-    let mut em = Emitter::new(ctx.batch_size, out);
-    run_batched(right, catalog, ctx, &mut |b: Batch| {
-        for r in b {
+    let width = left.cols.len() + right.cols.len();
+    let mut em = Emitter::new(width, ctx.batch_size, out);
+    run_batched(right, catalog, ctx, &mut |b: ColumnBatch| {
+        for row in 0..b.len() {
             right_count += 1;
             for l in &left_rows {
                 let pass =
-                    cond.iter().all(|&(li, ri)| l.get(li) == r.get(ri) && !l.get(li).is_null());
+                    cond.iter().all(|&(lc, rc)| l[lc] == *b.value(row, rc) && !l[lc].is_null());
                 if pass {
-                    em.push(l.concat(&r))?;
+                    em.push_row(l.iter().cloned().chain(b.gather_row(row)))?;
                 }
             }
         }
@@ -419,42 +765,52 @@ fn aggregate_batched(
     aggs: &[(AggFunc, Option<usize>)],
     catalog: &Catalog,
     ctx: &mut ExecCtx<'_>,
-    out: &mut dyn FnMut(Batch) -> ExecResult<()>,
+    out: &mut dyn FnMut(ColumnBatch) -> ExecResult<()>,
 ) -> ExecResult<()> {
     let mut groups: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
     let mut input_rows: u64 = 0;
-    let mut feed = |t: &Tuple| {
-        input_rows += 1;
-        let key: Vec<Value> = group.iter().map(|&i| t.get(i).clone()).collect();
-        let accs = groups
-            .entry(key)
-            .or_insert_with(|| aggs.iter().map(|&(f, _)| Acc::new(f)).collect());
-        for (acc, &(_, pos)) in accs.iter_mut().zip(aggs) {
-            acc.feed(pos.map(|i| t.get(i)));
+    // Accumulators read straight from column vectors: group keys gather
+    // only the grouping columns, aggregates only their input column.
+    let mut feed = |groups: &mut HashMap<Vec<Value>, Vec<Acc>>, b: &ColumnBatch| {
+        for row in 0..b.len() {
+            input_rows += 1;
+            let key: Vec<Value> = group.iter().map(|&c| b.value(row, c).clone()).collect();
+            let accs = groups
+                .entry(key)
+                .or_insert_with(|| aggs.iter().map(|&(f, _)| Acc::new(f)).collect());
+            for (acc, &(_, pos)) in accs.iter_mut().zip(aggs) {
+                acc.feed(pos.map(|c| b.value(row, c)));
+            }
         }
     };
-    // Scan→aggregate fusion: accumulators only *read* column values, so
-    // a sequential-scan input feeds them borrowed segment-cache tuples
-    // directly — no tuples are cloned through an intermediate batch.
+    // Scan→aggregate fusion: a sequential-scan input feeds the
+    // accumulators each page's selected rows directly — nothing is
+    // gathered except the grouping and aggregate columns.
     if let PlanNode::SeqScan { table, filters } = &input.node {
         let t = catalog.table(table).ok_or_else(|| ExecError::UnknownTable(table.into()))?;
         let heap = t.heap;
+        let schema = t.schema.clone();
         for page_no in 0..heap.pages(ctx.pool) {
             ctx.cancel.check()?;
-            let tuples = heap.read_page_decoded(ctx.pool, page_no)?;
-            ctx.pool.charge_cpu(tuples.len() as u64);
-            for tuple in tuples.iter() {
-                if apply_filters(tuple, filters) {
-                    feed(tuple);
-                }
+            let seg = heap.read_page_columnar(ctx.pool, page_no)?;
+            ctx.pool.charge_cpu(seg.rows() as u64);
+            ctx.batch_stats.rows_scanned += seg.rows() as u64;
+            let sel = eval_filters(&seg, filters, &schema);
+            let live = sel.as_ref().map_or(seg.rows(), |s| s.len());
+            ctx.batch_stats.rows_selected += live as u64;
+            if live == 0 {
+                continue;
             }
+            let batch = match sel {
+                Some(sel) => ColumnBatch::from_segment(&seg).with_sel(sel),
+                None => ColumnBatch::from_segment(&seg),
+            };
+            feed(&mut groups, &batch);
         }
         ctx.batch_stats.fused_scans += 1;
     } else {
-        run_batched(input, catalog, ctx, &mut |b: Batch| {
-            for t in b {
-                feed(&t);
-            }
+        run_batched(input, catalog, ctx, &mut |b: ColumnBatch| {
+            feed(&mut groups, &b);
             Ok(())
         })?;
     }
@@ -466,10 +822,9 @@ fn aggregate_batched(
     }
     let mut rows: Vec<(Vec<Value>, Vec<Acc>)> = groups.into_iter().collect();
     rows.sort_by(|a, b| a.0.cmp(&b.0));
-    let mut em = Emitter::new(ctx.batch_size, out);
-    for (mut key, accs) in rows {
-        key.extend(accs.into_iter().map(Acc::finish));
-        em.push(Tuple::new(key))?;
+    let mut em = Emitter::new(group.len() + aggs.len(), ctx.batch_size, out);
+    for (key, accs) in rows {
+        em.push_row(key.into_iter().chain(accs.into_iter().map(Acc::finish)))?;
     }
     let batches = em.finish()?;
     ctx.batch_stats.batches += batches;
@@ -481,8 +836,7 @@ mod tests {
     use super::*;
     use crate::context::CancelToken;
     use crate::run;
-    use specdb_catalog::{ColumnDef, DataType, Schema, TableStats};
-    use specdb_query::CompareOp;
+    use specdb_catalog::{ColumnDef, Schema, TableStats};
     use specdb_storage::heap::BulkLoader;
     use specdb_storage::{BufferPool, HeapFile};
 
@@ -623,16 +977,94 @@ mod tests {
         let mut ctx = ExecCtx::new(&mut pool);
         ctx.batch_size = 256;
         let mut sizes = Vec::new();
-        run_batched(&plan, &cat, &mut ctx, &mut |b: Batch| {
+        run_batched(&plan, &cat, &mut ctx, &mut |b: ColumnBatch| {
             sizes.push(b.len());
             Ok(())
         })
         .unwrap();
         assert_eq!(sizes.iter().sum::<usize>(), 3000);
         assert!(sizes.iter().all(|&s| s > 0 && s <= 256));
-        assert!(sizes[..sizes.len() - 1].iter().all(|&s| s == 256), "only the tail may be short");
         assert_eq!(ctx.batch_stats.batches, sizes.len() as u64);
         assert_eq!(ctx.batch_stats.fused_scans, 1);
+        assert_eq!(ctx.batch_stats.rows_scanned, 3000);
+        assert_eq!(ctx.batch_stats.rows_selected, 3000);
+        assert_eq!(
+            ctx.batch_stats.cols_scanned,
+            3 * pool_pages(&pool, &cat),
+            "three columns per scanned page"
+        );
+    }
+
+    fn pool_pages(pool: &BufferPool, cat: &Catalog) -> u64 {
+        cat.table("emp").unwrap().heap.pages(pool) as u64
+    }
+
+    #[test]
+    fn selection_vectors_do_not_copy_columns() {
+        let (mut pool, cat) = fixture();
+        let plan = scan(
+            "emp",
+            &["emp.id", "emp.dept", "emp.age"],
+            vec![BoundPred { idx: 1, op: CompareOp::Eq, value: Value::Int(7) }],
+        );
+        let heap = cat.table("emp").unwrap().heap;
+        pool.mark_hot(heap.file);
+        // Warm the segment cache, then check batches share its columns.
+        let mut ctx = ExecCtx::new(&mut pool);
+        run_collect_batched(&plan, &cat, &mut ctx).unwrap();
+        let mut shared = 0usize;
+        let mut ctx = ExecCtx::new(&mut pool);
+        run_batched(&plan, &cat, &mut ctx, &mut |b: ColumnBatch| {
+            // 300 of 3000 rows match; every batch must carry a selection
+            // vector over the full page columns rather than copied rows.
+            assert!(b.len() < b.rows, "filter must select, not copy");
+            shared += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert!(shared > 0);
+        let density = ctx.batch_stats.rows_selected as f64 / ctx.batch_stats.rows_scanned as f64;
+        assert!((density - 0.1).abs() < 0.01, "dept = 7 selects ~10%, got {density}");
+    }
+
+    #[test]
+    fn index_nl_join_uses_batch_prober_and_matches_row_path() {
+        let build = || {
+            let (mut pool, mut cat) = fixture();
+            cat.build_index(&mut pool, "emp", "dept").unwrap();
+            (pool, cat)
+        };
+        let plan = Plan {
+            cols: vec![
+                "dept.id".into(),
+                "dept.name".into(),
+                "emp.id".into(),
+                "emp.dept".into(),
+                "emp.age".into(),
+            ],
+            node: PlanNode::IndexNLJoin {
+                outer: Box::new(scan("dept", &["dept.id", "dept.name"], vec![])),
+                inner_table: "emp".into(),
+                inner_column: "dept".into(),
+                okey: 0,
+                inner_filters: vec![],
+                residual: vec![],
+            },
+        };
+        let (mut pool_a, cat_a) = build();
+        let (mut pool_b, cat_b) = build();
+        pool_a.clear();
+        pool_b.clear();
+        let snap_a = pool_a.snapshot();
+        let snap_b = pool_b.snapshot();
+        let mut ctx = ExecCtx::new(&mut pool_a);
+        let rows_row = run::run_collect(&plan, &cat_a, &mut ctx).unwrap();
+        let mut ctx = ExecCtx::new(&mut pool_b);
+        let rows_batch = run_collect_batched(&plan, &cat_b, &mut ctx).unwrap();
+        let stats = ctx.batch_stats;
+        assert_eq!(rows_row, rows_batch);
+        assert_eq!(pool_a.demand_since(snap_a), pool_b.demand_since(snap_b));
+        assert_eq!(stats.index_probe_batches, 1, "10 outer rows = one batch");
     }
 
     #[test]

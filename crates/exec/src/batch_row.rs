@@ -1,0 +1,663 @@
+//! Row-major batch execution (the pre-columnar pipeline).
+//!
+//! This is the first-generation batch pipeline: operators exchange
+//! [`Batch`] = `Vec<Tuple>` chunks of up to [`DEFAULT_BATCH_SIZE`]
+//! tuples, with scan→filter→{project, probe, aggregate} fusion. The
+//! default executor is now the columnar pipeline in [`crate::batch`]
+//! (column vectors + selection vectors); this module is retained as
+//! [`crate::engine::ExecMode::BatchRow`] so the `executor` bench can
+//! report the row-major → columnar progression (`row` / `batch-row` /
+//! `batch-columnar`), and as a second differential witness against the
+//! row oracle.
+//!
+//! **Equivalence contract** (same as the columnar path): for any plan,
+//! this path produces the same tuples in the same order as
+//! [`crate::run::run`], and charges the same virtual-time resource
+//! demand. Scans gather row-major tuples from the columnar segment cache
+//! ([`specdb_storage::BufferPool::read_page_decoded`]), which performs
+//! ordinary `read_page` bookkeeping first.
+
+use crate::context::ExecCtx;
+use crate::error::{ExecError, ExecResult};
+use crate::plan::{BoundPred, Plan, PlanNode};
+use crate::run::{as_ref_bound, Acc};
+use specdb_catalog::Catalog;
+use specdb_query::AggFunc;
+use specdb_storage::{AccessKind, PageId, Tuple, Value};
+use std::collections::HashMap;
+use std::ops::Bound;
+
+/// A chunk of tuples exchanged between batch operators.
+pub type Batch = Vec<Tuple>;
+
+/// Default number of tuples per [`Batch`].
+pub const DEFAULT_BATCH_SIZE: usize = 1024;
+
+/// Accumulates tuples and flushes a [`Batch`] to `out` whenever
+/// `cap` tuples are buffered (and once more at the end for the tail).
+struct Emitter<'o> {
+    buf: Batch,
+    cap: usize,
+    batches: u64,
+    out: &'o mut dyn FnMut(Batch) -> ExecResult<()>,
+}
+
+impl<'o> Emitter<'o> {
+    fn new(cap: usize, out: &'o mut dyn FnMut(Batch) -> ExecResult<()>) -> Self {
+        Emitter { buf: Vec::new(), cap: cap.max(1), batches: 0, out }
+    }
+
+    fn push(&mut self, t: Tuple) -> ExecResult<()> {
+        self.buf.push(t);
+        if self.buf.len() >= self.cap {
+            self.flush()
+        } else {
+            Ok(())
+        }
+    }
+
+    fn flush(&mut self) -> ExecResult<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        self.batches += 1;
+        let full = std::mem::take(&mut self.buf);
+        (self.out)(full)
+    }
+
+    /// Flush the tail and return how many batches were emitted.
+    fn finish(mut self) -> ExecResult<u64> {
+        self.flush()?;
+        Ok(self.batches)
+    }
+}
+
+/// Execute a plan, invoking `out` for every batch of result tuples.
+///
+/// Batches are non-empty and hold at most [`ExecCtx::batch_size`]
+/// tuples; concatenated they are exactly the row path's output.
+pub fn run_batched(
+    plan: &Plan,
+    catalog: &Catalog,
+    ctx: &mut ExecCtx<'_>,
+    out: &mut dyn FnMut(Batch) -> ExecResult<()>,
+) -> ExecResult<()> {
+    match &plan.node {
+        PlanNode::SeqScan { table, filters } => {
+            fused_seq_scan(table, filters, None, catalog, ctx, out)
+        }
+        // Scan→filter→project fusion: a projection directly above a
+        // sequential scan folds into the scan's batch-producing loop.
+        PlanNode::Project { input, keep } => match &input.node {
+            PlanNode::SeqScan { table, filters } => {
+                fused_seq_scan(table, filters, Some(keep), catalog, ctx, out)
+            }
+            _ => run_batched(input, catalog, ctx, &mut |b: Batch| {
+                out(b.into_iter().map(|t| t.project(keep)).collect())
+            }),
+        },
+        PlanNode::IndexScan { table, column, lo, hi, filters } => {
+            index_scan_batched(table, column, lo, hi, filters, catalog, ctx, out)
+        }
+        PlanNode::HashJoin { left, right, lkey, rkey, residual } => {
+            hash_join_batched(left, right, *lkey, *rkey, residual, catalog, ctx, out)
+        }
+        PlanNode::IndexNLJoin {
+            outer,
+            inner_table,
+            inner_column,
+            okey,
+            inner_filters,
+            residual,
+        } => index_nl_join_batched(
+            outer,
+            inner_table,
+            inner_column,
+            *okey,
+            inner_filters,
+            residual,
+            catalog,
+            ctx,
+            out,
+        ),
+        PlanNode::NestedLoop { left, right, cond } => {
+            nested_loop_batched(left, right, cond, catalog, ctx, out)
+        }
+        PlanNode::Aggregate { input, group, aggs } => {
+            aggregate_batched(input, group, aggs, catalog, ctx, out)
+        }
+    }
+}
+
+/// Execute a plan on the batch path and collect all results.
+pub fn run_collect_batched(
+    plan: &Plan,
+    catalog: &Catalog,
+    ctx: &mut ExecCtx<'_>,
+) -> ExecResult<Vec<Tuple>> {
+    let mut rows = Vec::new();
+    run_batched(plan, catalog, ctx, &mut |mut b: Batch| {
+        rows.append(&mut b);
+        Ok(())
+    })?;
+    Ok(rows)
+}
+
+fn apply_filters(t: &Tuple, filters: &[BoundPred]) -> bool {
+    filters.iter().all(|f| f.matches(t))
+}
+
+/// The fused scan→filter(→project) loop: one pass over the heap pages
+/// produces filtered (and optionally projected) batches directly.
+///
+/// Accounting matches the row path exactly: one sequential page access
+/// and `charge_cpu(page tuples)` per page, whether or not the decoded
+/// segment cache serves the tuples.
+fn fused_seq_scan(
+    table: &str,
+    filters: &[BoundPred],
+    keep: Option<&[usize]>,
+    catalog: &Catalog,
+    ctx: &mut ExecCtx<'_>,
+    out: &mut dyn FnMut(Batch) -> ExecResult<()>,
+) -> ExecResult<()> {
+    let t = catalog.table(table).ok_or_else(|| ExecError::UnknownTable(table.into()))?;
+    let heap = t.heap;
+    let mut em = Emitter::new(ctx.batch_size, out);
+    for page_no in 0..heap.pages(ctx.pool) {
+        ctx.cancel.check()?;
+        let tuples = heap.read_page_decoded(ctx.pool, page_no)?;
+        ctx.pool.charge_cpu(tuples.len() as u64);
+        for tuple in tuples.iter() {
+            if apply_filters(tuple, filters) {
+                match keep {
+                    Some(keep) => em.push(tuple.project(keep))?,
+                    None => em.push(tuple.clone())?,
+                }
+            }
+        }
+    }
+    let batches = em.finish()?;
+    ctx.batch_stats.batches += batches;
+    ctx.batch_stats.fused_scans += 1;
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn index_scan_batched(
+    table: &str,
+    column: &str,
+    lo: &Bound<Value>,
+    hi: &Bound<Value>,
+    filters: &[BoundPred],
+    catalog: &Catalog,
+    ctx: &mut ExecCtx<'_>,
+    out: &mut dyn FnMut(Batch) -> ExecResult<()>,
+) -> ExecResult<()> {
+    let _t = catalog.table(table).ok_or_else(|| ExecError::UnknownTable(table.into()))?;
+    let index = catalog.index(table, column).ok_or_else(|| ExecError::UnknownColumn {
+        rel: table.into(),
+        column: format!("{column} (no index)"),
+    })?;
+    ctx.cancel.check()?;
+    let rids = index.lookup(ctx.pool, as_ref_bound(lo), as_ref_bound(hi))?;
+    ctx.pool.charge_cpu(rids.len() as u64);
+    // Same page grouping as the row path: sorted rids, one random page
+    // access serving all slots of a page.
+    let mut by_page: Vec<(PageId, Vec<u16>)> = Vec::new();
+    let mut sorted = rids;
+    sorted.sort();
+    for rid in sorted {
+        match by_page.last_mut() {
+            Some((pid, slots)) if *pid == rid.page => slots.push(rid.slot),
+            _ => by_page.push((rid.page, vec![rid.slot])),
+        }
+    }
+    let mut em = Emitter::new(ctx.batch_size, out);
+    for (pid, slots) in by_page {
+        ctx.cancel.check()?;
+        let page = ctx.pool.read_page(pid, AccessKind::Random)?;
+        ctx.pool.charge_cpu(slots.len() as u64);
+        for slot in slots {
+            if let Some(bytes) = page.get(slot as usize)? {
+                let tuple = Tuple::decode(bytes)?;
+                if apply_filters(&tuple, filters) {
+                    em.push(tuple)?;
+                }
+            }
+        }
+    }
+    let batches = em.finish()?;
+    ctx.batch_stats.batches += batches;
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn hash_join_batched(
+    left: &Plan,
+    right: &Plan,
+    lkey: usize,
+    rkey: usize,
+    residual: &[(usize, usize)],
+    catalog: &Catalog,
+    ctx: &mut ExecCtx<'_>,
+    out: &mut dyn FnMut(Batch) -> ExecResult<()>,
+) -> ExecResult<()> {
+    // Build phase: consume the left input batch-wise into a hash table.
+    let mut table: HashMap<Value, Vec<Tuple>> = HashMap::new();
+    let mut build_bytes: u64 = 0;
+    run_batched(left, catalog, ctx, &mut |b: Batch| {
+        for t in b {
+            let key = t.get(lkey).clone();
+            if !key.is_null() {
+                build_bytes += t.encoded_len() as u64;
+                table.entry(key).or_default().push(t);
+            }
+        }
+        Ok(())
+    })?;
+    ctx.pool.charge_cpu(table.values().map(|v| v.len() as u64).sum());
+    ctx.pool.charge_mem(build_bytes);
+    // Same hybrid-hash spill model as the row path (see crate::run).
+    let pool_bytes = ctx.pool.capacity() as u64 * specdb_storage::PAGE_SIZE as u64;
+    let spill_fraction = if ctx.pool.spill_model() && build_bytes > pool_bytes {
+        1.0 - pool_bytes as f64 / build_bytes as f64
+    } else {
+        0.0
+    };
+    let mut probe_bytes: u64 = 0;
+    // Probe phase: probe rows arrive in scan order, so match output
+    // order is identical to the row path (bucket insertion order). A
+    // sequential-scan probe side fuses into the probe loop: rows are
+    // probed as borrowed segment-cache tuples and only join *matches*
+    // are materialized, instead of cloning every probe-side row first.
+    let lwidth = left.cols.len();
+    let mut em = Emitter::new(ctx.batch_size, out);
+    let mut probe = |r: &Tuple, em: &mut Emitter<'_>| -> ExecResult<()> {
+        probe_bytes += r.encoded_len() as u64;
+        let key = r.get(rkey);
+        if key.is_null() {
+            return Ok(());
+        }
+        if let Some(matches) = table.get(key) {
+            for l in matches {
+                let pass = residual.iter().all(|&(li, ri)| {
+                    debug_assert!(li < lwidth);
+                    l.get(li) == r.get(ri) && !l.get(li).is_null()
+                });
+                if pass {
+                    em.push(l.concat(r))?;
+                }
+            }
+        }
+        Ok(())
+    };
+    if let PlanNode::SeqScan { table: rtable, filters: rfilters } = &right.node {
+        let rt = catalog.table(rtable).ok_or_else(|| ExecError::UnknownTable(rtable.into()))?;
+        let heap = rt.heap;
+        for page_no in 0..heap.pages(ctx.pool) {
+            ctx.cancel.check()?;
+            let tuples = heap.read_page_decoded(ctx.pool, page_no)?;
+            ctx.pool.charge_cpu(tuples.len() as u64);
+            for r in tuples.iter() {
+                if apply_filters(r, rfilters) {
+                    probe(r, &mut em)?;
+                }
+            }
+        }
+        ctx.batch_stats.fused_scans += 1;
+    } else {
+        run_batched(right, catalog, ctx, &mut |b: Batch| {
+            for r in b {
+                probe(&r, &mut em)?;
+            }
+            Ok(())
+        })?;
+    }
+    let batches = em.finish()?;
+    ctx.batch_stats.batches += batches;
+    if spill_fraction > 0.0 {
+        let page = specdb_storage::PAGE_SIZE as f64;
+        let pages = (spill_fraction * (build_bytes + probe_bytes) as f64 / page).ceil() as u64;
+        ctx.pool.charge_io(pages, pages);
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn index_nl_join_batched(
+    outer: &Plan,
+    inner_table: &str,
+    inner_column: &str,
+    okey: usize,
+    inner_filters: &[BoundPred],
+    residual: &[(usize, usize)],
+    catalog: &Catalog,
+    ctx: &mut ExecCtx<'_>,
+    out: &mut dyn FnMut(Batch) -> ExecResult<()>,
+) -> ExecResult<()> {
+    let inner = catalog
+        .table(inner_table)
+        .ok_or_else(|| ExecError::UnknownTable(inner_table.into()))?;
+    let heap = inner.heap;
+    // As on the row path, the outer side is materialized first: index
+    // probes need the pool mutably.
+    let outer_rows = run_collect_batched(outer, catalog, ctx)?;
+    let index =
+        catalog
+            .index(inner_table, inner_column)
+            .ok_or_else(|| ExecError::UnknownColumn {
+                rel: inner_table.into(),
+                column: format!("{inner_column} (no index)"),
+            })?;
+    let mut em = Emitter::new(ctx.batch_size, out);
+    for o in &outer_rows {
+        ctx.cancel.check()?;
+        let key = o.get(okey);
+        if key.is_null() {
+            continue;
+        }
+        let rids = index.lookup_eq(ctx.pool, key)?;
+        ctx.pool.charge_cpu(1 + rids.len() as u64);
+        for rid in rids {
+            let inner_tuple = heap.get(ctx.pool, rid)?;
+            if !apply_filters(&inner_tuple, inner_filters) {
+                continue;
+            }
+            let pass = residual
+                .iter()
+                .all(|&(oi, ii)| o.get(oi) == inner_tuple.get(ii) && !o.get(oi).is_null());
+            if pass {
+                em.push(o.concat(&inner_tuple))?;
+            }
+        }
+    }
+    let batches = em.finish()?;
+    ctx.batch_stats.batches += batches;
+    Ok(())
+}
+
+fn nested_loop_batched(
+    left: &Plan,
+    right: &Plan,
+    cond: &[(usize, usize)],
+    catalog: &Catalog,
+    ctx: &mut ExecCtx<'_>,
+    out: &mut dyn FnMut(Batch) -> ExecResult<()>,
+) -> ExecResult<()> {
+    let left_rows = run_collect_batched(left, catalog, ctx)?;
+    let mut right_count: u64 = 0;
+    let mut em = Emitter::new(ctx.batch_size, out);
+    run_batched(right, catalog, ctx, &mut |b: Batch| {
+        for r in b {
+            right_count += 1;
+            for l in &left_rows {
+                let pass =
+                    cond.iter().all(|&(li, ri)| l.get(li) == r.get(ri) && !l.get(li).is_null());
+                if pass {
+                    em.push(l.concat(&r))?;
+                }
+            }
+        }
+        Ok(())
+    })?;
+    let batches = em.finish()?;
+    ctx.batch_stats.batches += batches;
+    // Same post-hoc CPU charge as the row path.
+    ctx.pool.charge_cpu(right_count.saturating_mul(left_rows.len() as u64));
+    Ok(())
+}
+
+fn aggregate_batched(
+    input: &Plan,
+    group: &[usize],
+    aggs: &[(AggFunc, Option<usize>)],
+    catalog: &Catalog,
+    ctx: &mut ExecCtx<'_>,
+    out: &mut dyn FnMut(Batch) -> ExecResult<()>,
+) -> ExecResult<()> {
+    let mut groups: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
+    let mut input_rows: u64 = 0;
+    let mut feed = |t: &Tuple| {
+        input_rows += 1;
+        let key: Vec<Value> = group.iter().map(|&i| t.get(i).clone()).collect();
+        let accs = groups
+            .entry(key)
+            .or_insert_with(|| aggs.iter().map(|&(f, _)| Acc::new(f)).collect());
+        for (acc, &(_, pos)) in accs.iter_mut().zip(aggs) {
+            acc.feed(pos.map(|i| t.get(i)));
+        }
+    };
+    // Scan→aggregate fusion: accumulators only *read* column values, so
+    // a sequential-scan input feeds them borrowed segment-cache tuples
+    // directly — no tuples are cloned through an intermediate batch.
+    if let PlanNode::SeqScan { table, filters } = &input.node {
+        let t = catalog.table(table).ok_or_else(|| ExecError::UnknownTable(table.into()))?;
+        let heap = t.heap;
+        for page_no in 0..heap.pages(ctx.pool) {
+            ctx.cancel.check()?;
+            let tuples = heap.read_page_decoded(ctx.pool, page_no)?;
+            ctx.pool.charge_cpu(tuples.len() as u64);
+            for tuple in tuples.iter() {
+                if apply_filters(tuple, filters) {
+                    feed(tuple);
+                }
+            }
+        }
+        ctx.batch_stats.fused_scans += 1;
+    } else {
+        run_batched(input, catalog, ctx, &mut |b: Batch| {
+            for t in b {
+                feed(&t);
+            }
+            Ok(())
+        })?;
+    }
+    ctx.pool.charge_cpu(input_rows);
+    // Same SQL convention as the row path: global aggregate over an
+    // empty input yields one row.
+    if groups.is_empty() && group.is_empty() {
+        groups.insert(Vec::new(), aggs.iter().map(|&(f, _)| Acc::new(f)).collect());
+    }
+    let mut rows: Vec<(Vec<Value>, Vec<Acc>)> = groups.into_iter().collect();
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut em = Emitter::new(ctx.batch_size, out);
+    for (mut key, accs) in rows {
+        key.extend(accs.into_iter().map(Acc::finish));
+        em.push(Tuple::new(key))?;
+    }
+    let batches = em.finish()?;
+    ctx.batch_stats.batches += batches;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::CancelToken;
+    use crate::run;
+    use specdb_catalog::{ColumnDef, DataType, Schema, TableStats};
+    use specdb_query::CompareOp;
+    use specdb_storage::heap::BulkLoader;
+    use specdb_storage::{BufferPool, HeapFile};
+
+    fn fixture() -> (BufferPool, Catalog) {
+        let mut pool = BufferPool::new(512);
+        let mut cat = Catalog::new();
+        let emp_heap = HeapFile::create(&mut pool);
+        let mut loader = BulkLoader::new(emp_heap, &pool);
+        for i in 0..3000i64 {
+            loader
+                .push(
+                    &mut pool,
+                    &Tuple::new(vec![Value::Int(i), Value::Int(i % 10), Value::Int(20 + i % 50)]),
+                )
+                .unwrap();
+        }
+        loader.finish(&mut pool).unwrap();
+        let emp_stats = TableStats::analyze(&mut pool, emp_heap, 3).unwrap();
+        cat.register(
+            "emp",
+            Schema::new(vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("dept", DataType::Int),
+                ColumnDef::new("age", DataType::Int),
+            ]),
+            emp_heap,
+            emp_stats,
+            false,
+        );
+        let dept_heap = HeapFile::create(&mut pool);
+        let mut loader = BulkLoader::new(dept_heap, &pool);
+        for i in 0..10i64 {
+            loader
+                .push(&mut pool, &Tuple::new(vec![Value::Int(i), Value::Str(format!("d{i}"))]))
+                .unwrap();
+        }
+        loader.finish(&mut pool).unwrap();
+        let dept_stats = TableStats::analyze(&mut pool, dept_heap, 2).unwrap();
+        cat.register(
+            "dept",
+            Schema::new(vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("name", DataType::Str),
+            ]),
+            dept_heap,
+            dept_stats,
+            false,
+        );
+        (pool, cat)
+    }
+
+    fn scan(table: &str, cols: &[&str], filters: Vec<BoundPred>) -> Plan {
+        Plan {
+            node: PlanNode::SeqScan { table: table.into(), filters },
+            cols: cols.iter().map(|c| c.to_string()).collect(),
+        }
+    }
+
+    /// Run a plan on both paths from identical cold pools and assert
+    /// identical tuples, order, and resource demand.
+    fn assert_paths_agree(plan: &Plan) {
+        let (mut pool_a, cat_a) = fixture();
+        let (mut pool_b, cat_b) = fixture();
+        pool_a.clear();
+        pool_b.clear();
+        let snap_a = pool_a.snapshot();
+        let snap_b = pool_b.snapshot();
+        let mut ctx = ExecCtx::new(&mut pool_a);
+        let rows_row = run::run_collect(plan, &cat_a, &mut ctx).unwrap();
+        let mut ctx = ExecCtx::new(&mut pool_b);
+        let rows_batch = run_collect_batched(plan, &cat_b, &mut ctx).unwrap();
+        assert_eq!(rows_row, rows_batch, "tuples and order must be identical");
+        let d_row = pool_a.demand_since(snap_a);
+        let d_batch = pool_b.demand_since(snap_b);
+        assert_eq!(d_row, d_batch, "resource demand must be identical");
+    }
+
+    #[test]
+    fn fused_scan_matches_row_path() {
+        let plan = scan(
+            "emp",
+            &["emp.id", "emp.dept", "emp.age"],
+            vec![BoundPred { idx: 2, op: CompareOp::Lt, value: Value::Int(30) }],
+        );
+        assert_paths_agree(&plan);
+    }
+
+    #[test]
+    fn fused_scan_project_matches_row_path() {
+        let inner = scan(
+            "emp",
+            &["emp.id", "emp.dept", "emp.age"],
+            vec![BoundPred { idx: 1, op: CompareOp::Eq, value: Value::Int(3) }],
+        );
+        let plan = Plan {
+            cols: vec!["emp.age".into(), "emp.id".into()],
+            node: PlanNode::Project { input: Box::new(inner), keep: vec![2, 0] },
+        };
+        assert_paths_agree(&plan);
+    }
+
+    #[test]
+    fn hash_join_and_aggregate_match_row_path() {
+        let left = scan("dept", &["dept.id", "dept.name"], vec![]);
+        let right = scan("emp", &["emp.id", "emp.dept", "emp.age"], vec![]);
+        let join = Plan {
+            cols: vec![
+                "dept.id".into(),
+                "dept.name".into(),
+                "emp.id".into(),
+                "emp.dept".into(),
+                "emp.age".into(),
+            ],
+            node: PlanNode::HashJoin {
+                left: Box::new(left),
+                right: Box::new(right),
+                lkey: 0,
+                rkey: 1,
+                residual: vec![],
+            },
+        };
+        assert_paths_agree(&join);
+        let agg = Plan {
+            cols: vec!["dept.name".into(), "count".into(), "avg_age".into()],
+            node: PlanNode::Aggregate {
+                input: Box::new(join),
+                group: vec![1],
+                aggs: vec![(AggFunc::Count, None), (AggFunc::Avg, Some(4))],
+            },
+        };
+        assert_paths_agree(&agg);
+    }
+
+    #[test]
+    fn batches_respect_size_and_cover_all_rows() {
+        let (mut pool, cat) = fixture();
+        let plan = scan("emp", &["emp.id", "emp.dept", "emp.age"], vec![]);
+        let mut ctx = ExecCtx::new(&mut pool);
+        ctx.batch_size = 256;
+        let mut sizes = Vec::new();
+        run_batched(&plan, &cat, &mut ctx, &mut |b: Batch| {
+            sizes.push(b.len());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(sizes.iter().sum::<usize>(), 3000);
+        assert!(sizes.iter().all(|&s| s > 0 && s <= 256));
+        assert!(sizes[..sizes.len() - 1].iter().all(|&s| s == 256), "only the tail may be short");
+        assert_eq!(ctx.batch_stats.batches, sizes.len() as u64);
+        assert_eq!(ctx.batch_stats.fused_scans, 1);
+    }
+
+    #[test]
+    fn repeat_scan_hits_segment_cache_without_changing_accounting() {
+        let (mut pool, cat) = fixture();
+        let heap = cat.table("dept").unwrap().heap;
+        pool.mark_hot(heap.file);
+        let plan = scan("dept", &["dept.id", "dept.name"], vec![]);
+        let mut ctx = ExecCtx::new(&mut pool);
+        let first = run_collect_batched(&plan, &cat, &mut ctx).unwrap();
+        let resident = pool.seg_resident();
+        assert!(resident > 0, "hot file should populate the segment cache");
+        let snap = pool.snapshot();
+        let mut ctx = ExecCtx::new(&mut pool);
+        let second = run_collect_batched(&plan, &cat, &mut ctx).unwrap();
+        assert_eq!(first, second);
+        let d = pool.demand_since(snap);
+        // Accounting still sees the page accesses (as hits, pool is warm).
+        assert_eq!(d.hits, heap.pages(&pool) as u64);
+        assert_eq!(d.cpu_tuples, 10);
+    }
+
+    #[test]
+    fn cancellation_aborts_batched_scan() {
+        let (mut pool, cat) = fixture();
+        let plan = scan("emp", &["emp.id", "emp.dept", "emp.age"], vec![]);
+        let token = CancelToken::new();
+        token.cancel();
+        let mut ctx = ExecCtx::with_cancel(&mut pool, token);
+        let err = run_collect_batched(&plan, &cat, &mut ctx).unwrap_err();
+        assert!(err.is_cancelled());
+    }
+}

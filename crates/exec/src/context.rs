@@ -45,7 +45,9 @@ impl CancelToken {
 /// Counters accumulated by the batch executor during one execution.
 ///
 /// Zero when the row-at-a-time path ran. The engine publishes these as
-/// the `exec.batches` and `exec.fused_scans` metrics after each query.
+/// the `exec.*` batch metrics after each query (`exec.batches`,
+/// `exec.fused_scans`, `exec.cols_scanned`, `exec.sel_vec_density`,
+/// `exec.index_probe_batches`, `exec.index_probe_saved_descents`).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct BatchStats {
     /// Batches emitted by batch-producing operators.
@@ -53,6 +55,20 @@ pub struct BatchStats {
     /// Scan loops that fused filtering (and projection) into batch
     /// production instead of running them as separate operators.
     pub fused_scans: u64,
+    /// Column vectors carried by scan-produced batches — with projection
+    /// pushed into the scan this counts only the columns a query touches,
+    /// not the table width (columnar path only).
+    pub cols_scanned: u64,
+    /// Rows decoded by sequential scans before filtering.
+    pub rows_scanned: u64,
+    /// Rows surviving scan filters into selection vectors.
+    pub rows_selected: u64,
+    /// Outer batches probed through a batched index pass in
+    /// index-nested-loop joins (columnar path only).
+    pub index_probe_batches: u64,
+    /// Index descents served from a batch prober's per-batch memo instead
+    /// of decoding leaf pages again.
+    pub index_probe_saved: u64,
 }
 
 /// Mutable state threaded through plan execution.
@@ -61,9 +77,12 @@ pub struct ExecCtx<'a> {
     pub pool: &'a mut BufferPool,
     /// Cancellation flag.
     pub cancel: CancelToken,
-    /// Tuples per [`crate::batch::Batch`] on the batch path.
+    /// Maximum logical rows per batch on the batch paths (columnar
+    /// [`crate::batch::ColumnBatch`]es and legacy row-major
+    /// [`crate::batch_row::Batch`]es).
     pub batch_size: usize,
-    /// Batch-pipeline counters (written by [`crate::batch::run_batched`]).
+    /// Batch-pipeline counters (written by [`crate::batch::run_batched`]
+    /// and [`crate::batch_row::run_batched`]).
     pub batch_stats: BatchStats,
 }
 

@@ -8,6 +8,7 @@
 //! the paper's timing experiments.
 
 use crate::batch;
+use crate::batch_row;
 use crate::context::{BatchStats, CancelToken, ExecCtx};
 use crate::error::{ExecError, ExecResult};
 use crate::estimate::Estimator;
@@ -58,11 +59,41 @@ pub struct DatabaseConfig {
     /// by DDL epoch (see [`crate::plan_cache`]). On by default; the
     /// decision-loop benchmark disables it for its comparison arm.
     pub plan_cache: bool,
-    /// Execute plans on the batch-vectorized path (see [`crate::batch`]).
-    /// On by default; results and virtual-time accounting are identical
-    /// to the row path, only wall-clock differs. The executor benchmark
-    /// disables it for its comparison arm.
-    pub batch_exec: bool,
+    /// Which executor pipeline plans run on (see [`ExecMode`]). Columnar
+    /// by default; results and virtual-time accounting are identical
+    /// across all modes, only wall-clock differs. The executor benchmark
+    /// switches modes for its comparison arms.
+    pub exec_mode: ExecMode,
+}
+
+/// Which executor pipeline the engine runs plans on.
+///
+/// All three modes are bit-identical in results, order, and
+/// virtual-time resource accounting (enforced by `tests/batch_exec.rs`
+/// and the in-crate differential tests); they differ only in wall-clock
+/// speed. The `executor` bench reports the progression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Row-at-a-time oracle ([`crate::run`]).
+    Row,
+    /// Legacy row-major batch pipeline ([`crate::batch_row`]):
+    /// `Vec<Tuple>` chunks with fused scan loops.
+    BatchRow,
+    /// Columnar batch pipeline ([`crate::batch`]): `Arc`-shared column
+    /// vectors with selection vectors (the default).
+    #[default]
+    Columnar,
+}
+
+impl ExecMode {
+    /// Stable lowercase label (bench arms, logs).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ExecMode::Row => "row",
+            ExecMode::BatchRow => "batch-row",
+            ExecMode::Columnar => "batch-columnar",
+        }
+    }
 }
 
 impl DatabaseConfig {
@@ -76,7 +107,7 @@ impl DatabaseConfig {
             join_order: JoinOrder::Greedy,
             spill_model: true,
             plan_cache: true,
-            batch_exec: true,
+            exec_mode: ExecMode::Columnar,
         }
     }
 
@@ -121,9 +152,16 @@ impl DatabaseConfig {
         self
     }
 
-    /// Toggle batch-vectorized execution (see [`crate::batch`]).
+    /// Toggle batch execution: `true` is the columnar pipeline, `false`
+    /// the row oracle. Shorthand for [`DatabaseConfig::exec_mode`].
     pub fn batch_exec(mut self, on: bool) -> Self {
-        self.batch_exec = on;
+        self.exec_mode = if on { ExecMode::Columnar } else { ExecMode::Row };
+        self
+    }
+
+    /// Select the executor pipeline (see [`ExecMode`]).
+    pub fn exec_mode(mut self, mode: ExecMode) -> Self {
+        self.exec_mode = mode;
         self
     }
 }
@@ -219,7 +257,7 @@ pub struct Database {
     match_mode: MatchMode,
     join_order: JoinOrder,
     staged: std::collections::HashMap<String, u32>,
-    batch_exec: bool,
+    exec_mode: ExecMode,
     /// Plan/estimate memo. `RefCell` because estimate paths take `&self`;
     /// `Database` only ever crosses threads by move or behind a mutex
     /// (it is `Send`, not `Sync`), so the interior mutability is safe.
@@ -240,20 +278,31 @@ impl Database {
             match_mode: config.match_mode,
             join_order: config.join_order,
             staged: std::collections::HashMap::new(),
-            batch_exec: config.batch_exec,
+            exec_mode: config.exec_mode,
             plan_cache: RefCell::new(PlanCache::new(config.plan_cache)),
         }
     }
 
-    /// Toggle batch-vectorized execution at runtime. Safe at any point:
-    /// both paths produce bit-identical results and accounting.
+    /// Toggle batch execution at runtime: `true` is the columnar
+    /// pipeline, `false` the row oracle. Safe at any point: all
+    /// pipelines produce bit-identical results and accounting.
     pub fn set_batch_exec(&mut self, on: bool) {
-        self.batch_exec = on;
+        self.exec_mode = if on { ExecMode::Columnar } else { ExecMode::Row };
     }
 
-    /// True when plans execute on the batch-vectorized path.
+    /// True when plans execute on a batch pipeline (row-major or columnar).
     pub fn batch_exec_enabled(&self) -> bool {
-        self.batch_exec
+        self.exec_mode != ExecMode::Row
+    }
+
+    /// Select the executor pipeline at runtime (see [`ExecMode`]).
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.exec_mode = mode;
+    }
+
+    /// The executor pipeline plans currently run on.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
     }
 
     /// Pin `table`'s heap in the decoded segment cache (the
@@ -568,22 +617,34 @@ impl Database {
         let batch_stats;
         {
             let mut ctx = ExecCtx::with_cancel(&mut self.pool, cancel);
-            if self.batch_exec {
-                batch::run_batched(&plan, &self.catalog, &mut ctx, &mut |b| {
-                    row_count += b.len() as u64;
-                    if collect {
-                        rows.extend(b);
-                    }
-                    Ok(())
-                })?;
-            } else {
-                run::run(&plan, &self.catalog, &mut ctx, &mut |t| {
-                    row_count += 1;
-                    if collect {
-                        rows.push(t);
-                    }
-                    Ok(())
-                })?;
+            match self.exec_mode {
+                ExecMode::Columnar => {
+                    batch::run_batched(&plan, &self.catalog, &mut ctx, &mut |b| {
+                        row_count += b.len() as u64;
+                        if collect {
+                            b.to_tuples(&mut rows);
+                        }
+                        Ok(())
+                    })?;
+                }
+                ExecMode::BatchRow => {
+                    batch_row::run_batched(&plan, &self.catalog, &mut ctx, &mut |b| {
+                        row_count += b.len() as u64;
+                        if collect {
+                            rows.extend(b);
+                        }
+                        Ok(())
+                    })?;
+                }
+                ExecMode::Row => {
+                    run::run(&plan, &self.catalog, &mut ctx, &mut |t| {
+                        row_count += 1;
+                        if collect {
+                            rows.push(t);
+                        }
+                        Ok(())
+                    })?;
+                }
             }
             batch_stats = ctx.batch_stats;
         }
@@ -617,6 +678,18 @@ impl Database {
         if batch_stats != BatchStats::default() {
             metrics.counter("exec.batches").add(batch_stats.batches);
             metrics.counter("exec.fused_scans").add(batch_stats.fused_scans);
+            metrics.counter("exec.cols_scanned").add(batch_stats.cols_scanned);
+            if batch_stats.rows_scanned > 0 {
+                metrics
+                    .gauge("exec.sel_vec_density")
+                    .set(batch_stats.rows_selected as f64 / batch_stats.rows_scanned as f64);
+            }
+            if batch_stats.index_probe_batches > 0 {
+                metrics.counter("exec.index_probe_batches").add(batch_stats.index_probe_batches);
+                metrics
+                    .counter("exec.index_probe_saved_descents")
+                    .add(batch_stats.index_probe_saved);
+            }
         }
         if !used_views.is_empty() {
             metrics.counter("exec.queries.view_rewritten").incr();
@@ -749,18 +822,27 @@ impl Database {
         let mut staged: Vec<Tuple> = Vec::new();
         {
             let mut ctx = ExecCtx::with_cancel(&mut self.pool, cancel.clone());
-            if self.batch_exec {
-                batch::run_batched(&plan, &self.catalog, &mut ctx, &mut |b| {
-                    for t in b {
+            match self.exec_mode {
+                ExecMode::Columnar => {
+                    batch::run_batched(&plan, &self.catalog, &mut ctx, &mut |b| {
+                        b.project(&keep).to_tuples(&mut staged);
+                        Ok(())
+                    })?;
+                }
+                ExecMode::BatchRow => {
+                    batch_row::run_batched(&plan, &self.catalog, &mut ctx, &mut |b| {
+                        for t in b {
+                            staged.push(t.project(&keep));
+                        }
+                        Ok(())
+                    })?;
+                }
+                ExecMode::Row => {
+                    run::run(&plan, &self.catalog, &mut ctx, &mut |t| {
                         staged.push(t.project(&keep));
-                    }
-                    Ok(())
-                })?;
-            } else {
-                run::run(&plan, &self.catalog, &mut ctx, &mut |t| {
-                    staged.push(t.project(&keep));
-                    Ok(())
-                })?;
+                        Ok(())
+                    })?;
+                }
             }
         }
         let heap = HeapFile::create(&mut self.pool);

@@ -9,9 +9,13 @@
 //!   manipulations are cancellable mid-flight, paper Section 3.1),
 //! * [`plan`] — physical plan trees with bound predicates,
 //! * [`run`] — the push-based row-at-a-time executor for plans,
-//! * [`batch`] — the batch-vectorized executor (the default path):
-//!   operators exchange [`batch::Batch`] buffers, scans fuse
-//!   filter/project and read through the decoded segment cache,
+//! * [`batch`] — the columnar batch executor (the default path):
+//!   operators exchange [`batch::ColumnBatch`]es of `Arc`-shared column
+//!   vectors with selection vectors; scans forward cached column
+//!   segments zero-copy and fuse filter/project,
+//! * [`batch_row`] — the legacy row-major batch pipeline
+//!   (`Vec<Tuple>` chunks), kept as a bench arm and second
+//!   differential witness,
 //! * [`estimate`] — cardinality/cost estimation from catalog statistics
 //!   and histograms,
 //! * [`optimizer`] — access-path selection and greedy join ordering,
@@ -22,6 +26,7 @@
 //!   operation's virtual elapsed time.
 
 pub mod batch;
+pub mod batch_row;
 pub mod context;
 pub mod engine;
 pub mod error;
@@ -32,9 +37,12 @@ pub mod plan_cache;
 pub mod rewrite;
 pub mod run;
 
-pub use batch::{run_batched, run_collect_batched, Batch, DEFAULT_BATCH_SIZE};
+pub use batch::{run_batched, run_collect_batched, ColumnBatch, DEFAULT_BATCH_SIZE};
+pub use batch_row::Batch;
 pub use context::{BatchStats, CancelToken, ExecCtx};
-pub use engine::{Database, DatabaseConfig, MaterializeOutcome, OpOutcome, QueryOutput, ViewMode};
+pub use engine::{
+    Database, DatabaseConfig, ExecMode, MaterializeOutcome, OpOutcome, QueryOutput, ViewMode,
+};
 pub use error::{ExecError, ExecResult};
 pub use estimate::{CostEstimate, Estimator};
 pub use optimizer::JoinOrder;

@@ -348,7 +348,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy producing `Vec`s of an element strategy; see [`vec`].
+    /// Strategy producing `Vec`s of an element strategy; see [`fn@vec`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

@@ -11,6 +11,7 @@
 //! even though the reproduction, like the paper's prototype, focuses on
 //! materialization-based manipulations.
 
+use crate::column::ColumnSegment;
 use crate::disk::ResourceDemand;
 use crate::error::{StorageError, StorageResult};
 use crate::page::{FileId, Page, PageId, PAGE_SIZE};
@@ -32,6 +33,7 @@ struct PoolMetrics {
     cpu_tuples: Counter,
     seg_hit: Counter,
     seg_miss: Counter,
+    seg_evict: Counter,
     mem_bytes: Counter,
 }
 
@@ -47,6 +49,7 @@ impl PoolMetrics {
             cpu_tuples: m.counter("cpu.tuples"),
             seg_hit: m.counter("segcache.hit"),
             seg_miss: m.counter("segcache.miss"),
+            seg_evict: m.counter("segcache.evictions"),
             mem_bytes: m.counter("mem.build.bytes"),
         }
     }
@@ -110,12 +113,13 @@ pub struct BufferPool {
     spill_model: bool,
     observer: Observer,
     metrics: PoolMetrics,
-    /// Decoded-tuple segment cache: pages of small or hot files kept as
-    /// decoded `Tuple` vectors so batch scans skip per-tuple decoding.
-    /// Purely a wall-clock fast path — every access still goes through
+    /// Decoded segment cache: pages of small or hot files kept in
+    /// columnar form ([`ColumnSegment`]) so batch scans skip per-tuple
+    /// decoding and share column vectors zero-copy. Purely a wall-clock
+    /// fast path — every access still goes through
     /// [`BufferPool::read_page`] accounting, so virtual-time I/O charges
     /// are identical whether or not a segment is cached.
-    seg_cache: HashMap<PageId, Arc<Vec<Tuple>>>,
+    seg_cache: HashMap<PageId, Arc<ColumnSegment>>,
     /// Files pinned into the segment cache regardless of size or budget
     /// (materialized speculation results, explicitly cached tables).
     seg_hot: HashSet<FileId>,
@@ -189,7 +193,9 @@ impl BufferPool {
         for page_no in 0..pages {
             let pid = PageId::new(file, page_no);
             self.disk.remove(&pid);
-            self.seg_cache.remove(&pid);
+            if self.seg_cache.remove(&pid).is_some() {
+                self.metrics.seg_evict.incr();
+            }
             if let Some(idx) = self.page_table.remove(&pid) {
                 // Replace the frame with a tombstone by swap-removing from
                 // the frame vector and fixing up the moved frame's index.
@@ -237,7 +243,10 @@ impl BufferPool {
         let page = Arc::new(page);
         self.stats.writes += 1;
         self.metrics.write.incr();
-        self.seg_cache.remove(&pid); // decoded image is stale now
+        if self.seg_cache.remove(&pid).is_some() {
+            // Decoded image is stale now.
+            self.metrics.seg_evict.incr();
+        }
         self.disk.insert(pid, Arc::clone(&page));
         let len = self.file_pages.entry(pid.file).or_insert(0);
         if pid.page_no >= *len {
@@ -296,36 +305,46 @@ impl BufferPool {
     /// the segment cache stops growing (hot files are exempt).
     const SEG_SMALL_PAGES: u32 = 256;
 
-    /// Read a page through the pool and return its decoded tuples,
-    /// serving repeat reads of small or hot files from the decoded
-    /// segment cache. The underlying [`BufferPool::read_page`] is always
-    /// performed first, so hit/miss accounting, frame installs, and
-    /// evictions are bit-identical to the undecoded path — the cache only
-    /// skips the per-tuple decode work on repeat access (the dominant
-    /// wall-clock cost of memory-resident scans).
-    pub fn read_page_decoded(
+    /// Read a page through the pool and return it as a columnar
+    /// [`ColumnSegment`], serving repeat reads of small or hot files from
+    /// the decoded segment cache. The underlying
+    /// [`BufferPool::read_page`] is always performed first, so hit/miss
+    /// accounting, frame installs, and evictions are bit-identical to the
+    /// undecoded path — the cache only skips the per-tuple decode work on
+    /// repeat access (the dominant wall-clock cost of memory-resident
+    /// scans).
+    pub fn read_page_columnar(
         &mut self,
         pid: PageId,
         kind: AccessKind,
-    ) -> StorageResult<Arc<Vec<Tuple>>> {
+    ) -> StorageResult<Arc<ColumnSegment>> {
         let page = self.read_page(pid, kind)?;
         if let Some(seg) = self.seg_cache.get(&pid) {
             self.metrics.seg_hit.incr();
             return Ok(Arc::clone(seg));
         }
         self.metrics.seg_miss.incr();
-        let tuples: Vec<Tuple> = page
-            .iter()
-            .map(|(_, bytes)| Tuple::decode(bytes))
-            .collect::<StorageResult<_>>()?;
-        let tuples = Arc::new(tuples);
+        let seg = Arc::new(ColumnSegment::decode_page(&page)?);
         let cacheable = self.seg_hot.contains(&pid.file)
             || (self.file_len(pid.file) <= Self::SEG_SMALL_PAGES
                 && self.seg_cache.len() < self.seg_budget);
         if cacheable {
-            self.seg_cache.insert(pid, Arc::clone(&tuples));
+            self.seg_cache.insert(pid, Arc::clone(&seg));
         }
-        Ok(tuples)
+        Ok(seg)
+    }
+
+    /// Row-major compatibility wrapper over
+    /// [`BufferPool::read_page_columnar`]: gathers the columnar segment
+    /// back into tuples. Kept for the legacy row-major batch arm of the
+    /// `executor` bench; accounting is identical to the columnar read.
+    pub fn read_page_decoded(
+        &mut self,
+        pid: PageId,
+        kind: AccessKind,
+    ) -> StorageResult<Arc<Vec<Tuple>>> {
+        let seg = self.read_page_columnar(pid, kind)?;
+        Ok(Arc::new(seg.to_tuples()))
     }
 
     /// Pin `file` into the decoded segment cache: its pages are cached on
@@ -339,7 +358,9 @@ impl BufferPool {
     /// Remove `file` from the hot set and drop its decoded pages.
     pub fn unmark_hot(&mut self, file: FileId) {
         self.seg_hot.remove(&file);
+        let before = self.seg_cache.len();
         self.seg_cache.retain(|pid, _| pid.file != file);
+        self.metrics.seg_evict.add((before - self.seg_cache.len()) as u64);
     }
 
     /// True if `file` is pinned into the decoded segment cache.
@@ -358,7 +379,9 @@ impl BufferPool {
         self.seg_budget = pages;
         if self.seg_cache.len() > pages {
             let hot = &self.seg_hot;
+            let before = self.seg_cache.len();
             self.seg_cache.retain(|pid, _| hot.contains(&pid.file));
+            self.metrics.seg_evict.add((before - self.seg_cache.len()) as u64);
         }
     }
 
@@ -641,18 +664,25 @@ mod tests {
         page.insert(&Tuple::new(vec![crate::tuple::Value::Int(7)]).encode()).unwrap();
         pool.put_page(PageId::new(f, 0), page).unwrap();
         pool.clear();
-        // First decoded read: one sequential miss, exactly like read_page.
+        // First columnar read: one sequential miss, exactly like read_page.
         let before = pool.snapshot();
-        let tuples = pool.read_page_decoded(PageId::new(f, 0), AccessKind::Sequential).unwrap();
-        assert_eq!(tuples.len(), 1);
+        let seg = pool.read_page_columnar(PageId::new(f, 0), AccessKind::Sequential).unwrap();
+        assert_eq!(seg.rows(), 1);
         let d = pool.demand_since(before);
         assert_eq!((d.seq_reads, d.hits), (1, 0));
         // Repeat read: a buffer hit, served from the segment cache.
         let before = pool.snapshot();
-        let again = pool.read_page_decoded(PageId::new(f, 0), AccessKind::Sequential).unwrap();
+        let again = pool.read_page_columnar(PageId::new(f, 0), AccessKind::Sequential).unwrap();
         let d = pool.demand_since(before);
         assert_eq!((d.seq_reads, d.hits), (0, 1));
-        assert!(Arc::ptr_eq(&tuples, &again), "repeat read must reuse the decoded segment");
+        assert!(Arc::ptr_eq(&seg, &again), "repeat read must reuse the decoded segment");
+        // The row-major adapter reads through the same cache and charges
+        // the same way.
+        let before = pool.snapshot();
+        let tuples = pool.read_page_decoded(PageId::new(f, 0), AccessKind::Sequential).unwrap();
+        assert_eq!(tuples.len(), 1);
+        let d = pool.demand_since(before);
+        assert_eq!((d.seq_reads, d.hits), (0, 1));
     }
 
     #[test]
@@ -693,6 +723,51 @@ mod tests {
         assert_eq!(pool.seg_resident(), 1, "hot files cache regardless of budget");
         pool.unmark_hot(f);
         assert_eq!(pool.seg_resident(), 0);
+    }
+
+    #[test]
+    fn segcache_evictions_are_counted_on_every_removal_path() {
+        use crate::tuple::Value;
+        let observer = Observer::enabled();
+        let mut pool = BufferPool::new(16);
+        pool.set_observer(observer.clone());
+        let evictions = || observer.metrics().snapshot().counter("segcache.evictions");
+
+        let f = pool.create_file();
+        for i in 0..3u32 {
+            let mut page = Page::new();
+            page.insert(&Tuple::new(vec![Value::Int(i as i64)]).encode()).unwrap();
+            pool.put_page(PageId::new(f, i), page).unwrap();
+            pool.read_page_columnar(PageId::new(f, i), AccessKind::Sequential).unwrap();
+        }
+        assert_eq!(pool.seg_resident(), 3);
+        assert_eq!(evictions(), 0, "populating the cache evicts nothing");
+
+        // Shrinking the budget drops all non-hot segments (the
+        // set_seg_budget retain path).
+        pool.set_seg_budget(0);
+        assert_eq!(pool.seg_resident(), 0);
+        assert_eq!(evictions(), 3);
+
+        // Stale-invalidation on overwrite.
+        pool.mark_hot(f);
+        pool.read_page_columnar(PageId::new(f, 0), AccessKind::Sequential).unwrap();
+        let mut page = Page::new();
+        page.insert(&Tuple::new(vec![Value::Int(9)]).encode()).unwrap();
+        pool.put_page(PageId::new(f, 0), page).unwrap();
+        assert_eq!(evictions(), 4);
+
+        // Unmarking a hot file drops its cached pages.
+        pool.read_page_columnar(PageId::new(f, 1), AccessKind::Sequential).unwrap();
+        pool.unmark_hot(f);
+        assert_eq!(evictions(), 5);
+
+        // Freeing a file drops whatever it still has cached.
+        pool.mark_hot(f);
+        pool.read_page_columnar(PageId::new(f, 2), AccessKind::Sequential).unwrap();
+        pool.free_file(f);
+        assert_eq!(pool.seg_resident(), 0);
+        assert_eq!(evictions(), 6);
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Columnar page segments.
+//!
+//! A [`ColumnSegment`] is one heap page transposed into per-column value
+//! vectors: column `j` of the segment holds the `j`-th value of every
+//! live tuple on the page, in slot order. The batch executor scans these
+//! instead of row-major `Vec<Tuple>` — a filter touches only the
+//! predicate's column, a projection is `Arc` pointer selection, and a
+//! hash join gathers keys from the key column alone.
+//!
+//! Columns are `Vec<Value>`-backed rather than type-specialized arrays
+//! because the type system is deliberately loose: a `Float` column may
+//! store `Int` values (see `DataType::admits`) and NULLs appear inline
+//! as [`Value::Null`], and executor results must stay bit-identical to
+//! the row-at-a-time oracle. Type-specialized *kernels* (not layouts)
+//! live in the executor, chosen from catalog column metadata.
+
+use crate::error::StorageResult;
+use crate::page::Page;
+use crate::tuple::{Tuple, Value};
+use std::sync::Arc;
+
+/// One decoded column of a page segment, shared by reference between the
+/// segment cache and the batches built over it.
+pub type ColumnVec = Arc<Vec<Value>>;
+
+/// A heap page decoded into columnar form: `width` column vectors of
+/// `rows` values each, in slot order.
+#[derive(Debug, Clone)]
+pub struct ColumnSegment {
+    cols: Vec<ColumnVec>,
+    rows: usize,
+}
+
+impl ColumnSegment {
+    /// Transpose a page's live tuples into column vectors. All tuples on
+    /// a page share the arity of the first (heap files are per-table);
+    /// decoding fails on a page that violates this.
+    pub fn decode_page(page: &Page) -> StorageResult<ColumnSegment> {
+        let mut cols: Vec<Vec<Value>> = Vec::new();
+        let mut rows = 0usize;
+        for (_, bytes) in page.iter() {
+            if rows == 0 {
+                let arity = Tuple::decode_each(bytes, |_, _| {})?;
+                cols = (0..arity).map(|_| Vec::new()).collect();
+                // Re-decode the first tuple into the freshly sized columns.
+            }
+            let arity = Tuple::decode_each(bytes, |col, v| {
+                if let Some(c) = cols.get_mut(col) {
+                    c.push(v);
+                }
+            })?;
+            if arity != cols.len() {
+                return Err(crate::error::StorageError::Corrupt(format!(
+                    "page mixes tuple arities ({} vs {})",
+                    arity,
+                    cols.len()
+                )));
+            }
+            rows += 1;
+        }
+        Ok(ColumnSegment { cols: cols.into_iter().map(Arc::new).collect(), rows })
+    }
+
+    /// Number of rows (live tuples of the source page).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The column vectors, in schema order.
+    pub fn cols(&self) -> &[ColumnVec] {
+        &self.cols
+    }
+
+    /// One column vector by index.
+    pub fn col(&self, idx: usize) -> &ColumnVec {
+        &self.cols[idx]
+    }
+
+    /// Value at `(row, col)`.
+    pub fn value(&self, row: usize, col: usize) -> &Value {
+        &self.cols[col][row]
+    }
+
+    /// Gather one row back into a [`Tuple`] (materialization boundary).
+    pub fn tuple(&self, row: usize) -> Tuple {
+        Tuple::new(self.cols.iter().map(|c| c[row].clone()).collect())
+    }
+
+    /// Gather every row back into row-major tuples — the compatibility
+    /// adapter the legacy row-major batch path scans through.
+    pub fn to_tuples(&self) -> Vec<Tuple> {
+        (0..self.rows).map(|r| self.tuple(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page_of(tuples: &[Tuple]) -> Page {
+        let mut p = Page::new();
+        for t in tuples {
+            p.insert(&t.encode()).unwrap().expect("fits");
+        }
+        p
+    }
+
+    #[test]
+    fn decode_transposes_rows_into_columns() {
+        let tuples: Vec<Tuple> = (0..5)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::Int(i),
+                    if i % 2 == 0 { Value::Null } else { Value::Float(i as f64 / 2.0) },
+                    Value::Str(format!("r{i}")),
+                ])
+            })
+            .collect();
+        let seg = ColumnSegment::decode_page(&page_of(&tuples)).unwrap();
+        assert_eq!((seg.rows(), seg.width()), (5, 3));
+        assert_eq!(seg.col(0).as_slice(), &(0..5).map(Value::Int).collect::<Vec<_>>()[..]);
+        assert_eq!(seg.value(2, 1), &Value::Null);
+        assert_eq!(seg.tuple(3), tuples[3]);
+        assert_eq!(seg.to_tuples(), tuples);
+    }
+
+    #[test]
+    fn empty_page_decodes_empty() {
+        let seg = ColumnSegment::decode_page(&Page::new()).unwrap();
+        assert_eq!((seg.rows(), seg.width()), (0, 0));
+        assert!(seg.to_tuples().is_empty());
+    }
+
+    #[test]
+    fn mixed_arity_page_is_corrupt() {
+        let mut p = Page::new();
+        p.insert(&Tuple::new(vec![Value::Int(1)]).encode()).unwrap();
+        p.insert(&Tuple::new(vec![Value::Int(1), Value::Int(2)]).encode()).unwrap();
+        assert!(ColumnSegment::decode_page(&p).is_err());
+    }
+}

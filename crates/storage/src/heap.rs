@@ -45,11 +45,21 @@ impl HeapFile {
         page.iter().map(|(_, bytes)| Tuple::decode(bytes)).collect()
     }
 
-    /// Read all live tuples of one page through the decoded segment cache
-    /// (sequential access) — the batch executor's scan primitive. I/O
-    /// accounting is identical to [`HeapFile::read_page`]; repeat reads of
-    /// small or hot files skip per-tuple decoding entirely (see
-    /// [`BufferPool::read_page_decoded`]).
+    /// Read one page as a columnar segment through the decoded segment
+    /// cache (sequential access) — the batch executor's scan primitive.
+    /// I/O accounting is identical to [`HeapFile::read_page`]; repeat
+    /// reads of small or hot files skip per-tuple decoding entirely (see
+    /// [`BufferPool::read_page_columnar`]).
+    pub fn read_page_columnar(
+        &self,
+        pool: &mut BufferPool,
+        page_no: u32,
+    ) -> StorageResult<std::sync::Arc<crate::column::ColumnSegment>> {
+        pool.read_page_columnar(PageId::new(self.file, page_no), AccessKind::Sequential)
+    }
+
+    /// Row-major wrapper over [`HeapFile::read_page_columnar`], kept for
+    /// the legacy row-major batch arm of the `executor` bench.
     pub fn read_page_decoded(
         &self,
         pool: &mut BufferPool,

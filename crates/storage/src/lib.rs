@@ -21,6 +21,7 @@
 
 pub mod buffer;
 pub mod clock;
+pub mod column;
 pub mod disk;
 pub mod error;
 pub mod heap;
@@ -29,6 +30,7 @@ pub mod tuple;
 
 pub use buffer::{AccessKind, BufferPool, IoSnapshot, IoStats};
 pub use clock::VirtualTime;
+pub use column::{ColumnSegment, ColumnVec};
 pub use disk::{DiskModel, ResourceDemand};
 pub use error::{StorageError, StorageResult};
 pub use heap::{HeapFile, TupleId};

@@ -177,6 +177,11 @@ impl Tuple {
         &self.values[idx]
     }
 
+    /// Consume the tuple, yielding its values in column order.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
     /// Number of columns.
     pub fn arity(&self) -> usize {
         self.values.len()
@@ -227,14 +232,23 @@ impl Tuple {
 
     /// Decode from page bytes.
     pub fn decode(buf: &[u8]) -> StorageResult<Tuple> {
+        let mut values = Vec::new();
+        Tuple::decode_each(buf, |_, v| values.push(v))?;
+        Ok(Tuple { values })
+    }
+
+    /// Streaming decode: parse an encoded tuple and hand each value to
+    /// `f` together with its column index, without materializing a
+    /// `Tuple`. Returns the arity. This is how pages are transposed
+    /// directly into column vectors (see `specdb_storage::column`).
+    pub fn decode_each(buf: &[u8], mut f: impl FnMut(usize, Value)) -> StorageResult<usize> {
         let corrupt = |msg: &str| StorageError::Corrupt(msg.to_string());
         if buf.len() < 2 {
             return Err(corrupt("tuple shorter than header"));
         }
         let arity = u16::from_le_bytes([buf[0], buf[1]]) as usize;
-        let mut values = Vec::with_capacity(arity);
         let mut pos = 2;
-        for _ in 0..arity {
+        for col in 0..arity {
             let tag = *buf.get(pos).ok_or_else(|| corrupt("truncated value tag"))?;
             pos += 1;
             let value = match tag {
@@ -276,9 +290,9 @@ impl Tuple {
                 }
                 t => return Err(corrupt(&format!("unknown value tag {t}"))),
             };
-            values.push(value);
+            f(col, value);
         }
-        Ok(Tuple { values })
+        Ok(arity)
     }
 }
 

@@ -15,7 +15,7 @@
 //! * [`event`] — timed edits, traces, and replay helpers,
 //! * [`gen`] — the calibrated stochastic user model,
 //! * [`stats`] — the Section 5 summary statistics,
-//! * [`format`] — JSON (de)serialization of trace files.
+//! * [`mod@format`] — JSON (de)serialization of trace files.
 
 pub mod event;
 pub mod format;
