@@ -6,10 +6,13 @@
 //! zero-copy, filters build selection vectors, projection is column
 //! pointer selection, and index-nested-loop joins probe batch-at-a-time.
 //! This bench runs a memory-resident TPC-H workload (scans, joins,
-//! aggregates) through all three [`ExecMode`]s — the batch arms with
-//! every table's segments pinned — verifying along the way that rows and
-//! virtual-time accounting are bit-identical across modes (the batch
-//! paths are wall-clock optimizations only).
+//! aggregates) through all three [`ExecMode`]s plus a fourth arm running
+//! the columnar pipeline with four morsel workers
+//! (`Database::set_threads(4)`, PR 5) — the batch arms with every
+//! table's segments pinned — verifying along the way that rows and
+//! virtual-time accounting are bit-identical across modes and thread
+//! counts (the batch and parallel paths are wall-clock optimizations
+//! only).
 //!
 //! Results land in `BENCH_executor.json` at the repository root so CI
 //! can archive them; the criterion-style stderr lines participate in
@@ -113,6 +116,13 @@ fn main() {
             db
         })
         .collect();
+    // Fourth arm: the columnar pipeline with four morsel workers
+    // (bit-identical to serial columnar by contract; wall-clock only).
+    {
+        let mut db = arms.last().expect("columnar arm").clone();
+        db.set_threads(4);
+        arms.push(db);
+    }
     let qs = workload(&base);
 
     // Warm every arm (buffer pool + segment cache) and hold them to the
@@ -124,17 +134,25 @@ fn main() {
     let seg_pages = arms.last().expect("arms").pool().seg_resident();
 
     // Criterion lines (participate in --save-baseline / --baseline).
+    let labels: Vec<String> = MODES
+        .iter()
+        .map(|m| m.as_str().replace('-', "_"))
+        .chain(["batch_columnar_par4".into()])
+        .collect();
     let mut c = Criterion::default().sample_size(if smoke { 2 } else { 10 });
-    for (db, &mode) in arms.iter_mut().zip(&MODES) {
-        let label = format!("executor/workload_{}", mode.as_str().replace('-', "_"));
-        c.bench_function(&label, |b| b.iter(|| run_workload(db, &qs)));
+    for (db, label) in arms.iter_mut().zip(&labels) {
+        c.bench_function(&format!("executor/workload_{label}"), |b| {
+            b.iter(|| run_workload(db, &qs))
+        });
     }
 
     // Headline numbers: mean per-query wall-clock per arm.
     let us: Vec<f64> = arms.iter_mut().map(|db| time_arm(db, &qs, passes)).collect();
-    let (row_us, batch_row_us, columnar_us) = (us[0], us[1], us[2]);
+    let (row_us, batch_row_us, columnar_us, par4_us) = (us[0], us[1], us[2], us[3]);
     let speedup = row_us / columnar_us.max(1e-9);
     let speedup_vs_batch_row = batch_row_us / columnar_us.max(1e-9);
+    let par4_speedup = columnar_us / par4_us.max(1e-9);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
 
     // Per-query breakdown (stderr only; helps attribute regressions).
     for (qi, (q, sql)) in qs.iter().zip(WORKLOAD).enumerate() {
@@ -143,11 +161,12 @@ fn main() {
             .map(|db| time_arm(db, std::slice::from_ref(q), passes))
             .collect();
         eprintln!(
-            "executor:   q{qi}: row {:7.1} | batch-row {:7.1} | columnar {:7.1} us \
-             ({:.2}x vs row)  {}",
+            "executor:   q{qi}: row {:7.1} | batch-row {:7.1} | columnar {:7.1} | \
+             par4 {:7.1} us ({:.2}x vs row)  {}",
             per[0],
             per[1],
             per[2],
+            per[3],
             per[0] / per[2].max(1e-9),
             sql
         );
@@ -155,19 +174,22 @@ fn main() {
 
     println!();
     println!(
-        "executor ({} queries x {passes} passes, {seg_pages} segment-cached pages): \
-         row {row_us:.1} | batch-row {batch_row_us:.1} | columnar {columnar_us:.1} us/query \
-         ({speedup:.2}x vs row, {speedup_vs_batch_row:.2}x vs batch-row)",
+        "executor ({} queries x {passes} passes, {seg_pages} segment-cached pages, \
+         {cores} cores): row {row_us:.1} | batch-row {batch_row_us:.1} | \
+         columnar {columnar_us:.1} | par4 {par4_us:.1} us/query \
+         ({speedup:.2}x vs row, {speedup_vs_batch_row:.2}x vs batch-row, \
+         par4 {par4_speedup:.2}x vs columnar)",
         qs.len()
     );
 
     let json = format!(
         "{{\n  \"bench\": \"executor\",\n  \"smoke\": {smoke},\n  \
          \"dataset\": \"{}\",\n  \"dataset_mb\": {},\n  \"queries\": {},\n  \"passes\": {passes},\n  \
-         \"seg_cached_pages\": {seg_pages},\n  \
+         \"seg_cached_pages\": {seg_pages},\n  \"host_cores\": {cores},\n  \
          \"us_per_query\": {{ \"row\": {row_us:.3}, \"batch_row\": {batch_row_us:.3}, \
-         \"batch_columnar\": {columnar_us:.3} }},\n  \
+         \"batch_columnar\": {columnar_us:.3}, \"batch_columnar_par4\": {par4_us:.3} }},\n  \
          \"speedup\": {speedup:.3},\n  \"speedup_vs_batch_row\": {speedup_vs_batch_row:.3},\n  \
+         \"par4_speedup_vs_columnar\": {par4_speedup:.3},\n  \
          \"identical\": {identical}\n}}\n",
         spec_ds.label,
         spec_ds.actual_mb(),
@@ -188,5 +210,18 @@ fn main() {
             "executor: FAIL — columnar path regressed vs batch-row ({speedup_vs_batch_row:.2}x)"
         );
         std::process::exit(1);
+    }
+    // Morsel-parallel gate: only meaningful with real cores to run on —
+    // on a single-core host four workers time-slice one CPU and the arm
+    // measures pure scheduling overhead (10% noise allowance here too).
+    if smoke && cores >= 2 && par4_speedup < 0.9 {
+        eprintln!(
+            "executor: FAIL — parallel-4 slower than serial columnar \
+             ({par4_speedup:.2}x on {cores} cores)"
+        );
+        std::process::exit(1);
+    }
+    if cores < 2 {
+        eprintln!("executor: note — single-core host, parallel-4 gate skipped");
     }
 }

@@ -2,8 +2,148 @@
 //! Offline stand-in for `crossbeam`.
 //!
 //! Provides `crossbeam::channel::{unbounded, Sender, Receiver}` over
-//! `std::sync::mpsc` — sufficient for the workspace's single-consumer
-//! worker-event channels.
+//! `std::sync::mpsc`, `crossbeam::thread::scope` over
+//! `std::thread::scope`, and `crossbeam::utils::CachePadded` — the
+//! primitives the morsel worker pool and sharded metric counters need.
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+pub mod thread {
+    /// A handle to a thread spawned inside a [`scope`].
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish, returning its result.
+        ///
+        /// Unlike `std`, crossbeam's `join` returns `Err` with the panic
+        /// payload instead of propagating the panic.
+        pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+            self.0.join()
+        }
+    }
+
+    /// A scope in which borrowing threads can be spawned.
+    pub struct Scope<'scope, 'env: 'scope>(&'scope std::thread::Scope<'scope, 'env>);
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread that may borrow from outside the scope.
+        ///
+        /// Crossbeam passes the scope itself to the closure; the
+        /// stand-in keeps that shape so call sites stay portable.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.0;
+            ScopedJoinHandle(inner.spawn(move || f(&Scope(inner))))
+        }
+    }
+
+    /// Run `f` with a scope; all threads spawned in it are joined before
+    /// `scope` returns. Returns `Err` if any unjoined thread panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope(s)))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        #[test]
+        fn scoped_threads_borrow_stack_data() {
+            let total = AtomicU64::new(0);
+            let parts = [1u64, 2, 3, 4];
+            super::scope(|s| {
+                for p in &parts {
+                    s.spawn(|_| total.fetch_add(*p, Ordering::Relaxed));
+                }
+            })
+            .unwrap();
+            assert_eq!(total.load(Ordering::Relaxed), 10);
+        }
+
+        #[test]
+        fn join_returns_thread_result() {
+            let answer = super::scope(|s| {
+                let h = s.spawn(|_| 21 * 2);
+                h.join().unwrap()
+            })
+            .unwrap();
+            assert_eq!(answer, 42);
+        }
+
+        #[test]
+        fn panics_surface_as_err() {
+            let r = super::scope(|s| {
+                s.spawn::<_, ()>(|_| panic!("boom"));
+            });
+            assert!(r.is_err());
+        }
+    }
+}
+
+/// Small utilities, mirroring `crossbeam::utils`.
+pub mod utils {
+    /// Pads and aligns a value to 64 bytes so neighbouring shards do
+    /// not share a cache line (the whole point of per-worker counter
+    /// shards is to avoid ping-ponging one line between cores).
+    #[derive(Debug, Default)]
+    #[repr(align(64))]
+    pub struct CachePadded<T>(T);
+
+    impl<T> CachePadded<T> {
+        /// Wrap `t` in cache-line padding.
+        pub const fn new(t: T) -> Self {
+            CachePadded(t)
+        }
+
+        /// Unwrap, returning the inner value.
+        pub fn into_inner(self) -> T {
+            self.0
+        }
+    }
+
+    impl<T> std::ops::Deref for CachePadded<T> {
+        type Target = T;
+
+        fn deref(&self) -> &T {
+            &self.0
+        }
+    }
+
+    impl<T> std::ops::DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.0
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::CachePadded;
+
+        #[test]
+        fn aligned_to_cache_line() {
+            assert_eq!(std::mem::align_of::<CachePadded<u64>>(), 64);
+            let cells: [CachePadded<u64>; 2] = [CachePadded::new(0), CachePadded::new(0)];
+            let a = &cells[0] as *const _ as usize;
+            let b = &cells[1] as *const _ as usize;
+            assert!(b - a >= 64, "shards must land on distinct lines");
+        }
+
+        #[test]
+        fn deref_reaches_inner_value() {
+            let mut c = CachePadded::new(5u32);
+            *c += 1;
+            assert_eq!(*c, 6);
+            assert_eq!(c.into_inner(), 6);
+        }
+    }
+}
 
 /// Multi-producer channels, mirroring `crossbeam::channel`.
 pub mod channel {

@@ -84,6 +84,12 @@ pub struct ExecCtx<'a> {
     /// Batch-pipeline counters (written by [`crate::batch::run_batched`]
     /// and [`crate::batch_row::run_batched`]).
     pub batch_stats: BatchStats,
+    /// Worker threads for morsel-driven scans on the columnar path
+    /// (see [`crate::parallel`]). `1` (the default) runs every operator
+    /// serially; higher counts split sequential scans into page morsels
+    /// dispatched to the shared worker pool. Results and virtual-time
+    /// accounting are identical at any value.
+    pub threads: usize,
 }
 
 impl<'a> ExecCtx<'a> {
@@ -99,6 +105,7 @@ impl<'a> ExecCtx<'a> {
             cancel,
             batch_size: crate::batch::DEFAULT_BATCH_SIZE,
             batch_stats: BatchStats::default(),
+            threads: 1,
         }
     }
 }

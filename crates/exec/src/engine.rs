@@ -19,13 +19,13 @@ use crate::rewrite::{
     rewrite_candidates_with, rewrite_greedy_with, MatchMode, ViewDef, ViewRegistry,
 };
 use crate::run;
+use parking_lot::Mutex;
 use specdb_catalog::{Catalog, ColumnDef, Schema, TableStats};
 use specdb_obs::Observer;
 use specdb_query::{canonical_key, ColumnResolver, Query, QueryGraph};
 use specdb_storage::{
     BufferPool, DiskModel, HeapFile, ResourceDemand, Tuple, VirtualTime, PAGE_SIZE,
 };
-use std::cell::RefCell;
 
 /// How materialized views participate in final-query planning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -64,6 +64,12 @@ pub struct DatabaseConfig {
     /// across all modes, only wall-clock differs. The executor benchmark
     /// switches modes for its comparison arms.
     pub exec_mode: ExecMode,
+    /// Worker threads for morsel-driven scans on the columnar pipeline
+    /// (see [`crate::parallel`]). Defaults to the `SPECDB_THREADS`
+    /// environment variable, or `1` (fully serial) when unset. Results
+    /// and virtual-time accounting are bit-identical at any value; only
+    /// wall-clock changes.
+    pub threads: usize,
 }
 
 /// Which executor pipeline the engine runs plans on.
@@ -108,6 +114,7 @@ impl DatabaseConfig {
             spill_model: true,
             plan_cache: true,
             exec_mode: ExecMode::Columnar,
+            threads: threads_from_env(),
         }
     }
 
@@ -164,6 +171,28 @@ impl DatabaseConfig {
         self.exec_mode = mode;
         self
     }
+
+    /// Set the morsel worker thread count (clamped to at least 1).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+}
+
+/// Parse a `SPECDB_THREADS`-style value: a positive integer, anything
+/// else (including `0`) is rejected.
+fn parse_threads(s: &str) -> Option<usize> {
+    s.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
+/// The default morsel worker thread count: `SPECDB_THREADS` when set to
+/// a positive integer, else `1` (fully serial).
+pub fn threads_from_env() -> usize {
+    std::env::var("SPECDB_THREADS")
+        .ok()
+        .as_deref()
+        .and_then(parse_threads)
+        .unwrap_or(1)
 }
 
 impl Default for DatabaseConfig {
@@ -247,7 +276,6 @@ pub struct MatEstimate {
 /// Cloning duplicates catalog/view metadata and shares page images via
 /// `Arc`; the experiment harness uses this to replay every trace against
 /// an identical starting state.
-#[derive(Clone)]
 pub struct Database {
     pool: BufferPool,
     catalog: Catalog,
@@ -258,10 +286,30 @@ pub struct Database {
     join_order: JoinOrder,
     staged: std::collections::HashMap<String, u32>,
     exec_mode: ExecMode,
-    /// Plan/estimate memo. `RefCell` because estimate paths take `&self`;
-    /// `Database` only ever crosses threads by move or behind a mutex
-    /// (it is `Send`, not `Sync`), so the interior mutability is safe.
-    plan_cache: RefCell<PlanCache>,
+    threads: usize,
+    /// Plan/estimate memo. A mutex (never contended: each memo access is
+    /// a short critical section on the engine's own thread) because
+    /// estimate paths take `&self` and `Database` is shared across
+    /// threads (`Send + Sync`).
+    plan_cache: Mutex<PlanCache>,
+}
+
+impl Clone for Database {
+    fn clone(&self) -> Self {
+        Database {
+            pool: self.pool.clone(),
+            catalog: self.catalog.clone(),
+            views: self.views.clone(),
+            disk: self.disk.clone(),
+            view_mode: self.view_mode,
+            match_mode: self.match_mode,
+            join_order: self.join_order,
+            staged: self.staged.clone(),
+            exec_mode: self.exec_mode,
+            threads: self.threads,
+            plan_cache: Mutex::new(self.plan_cache.lock().clone()),
+        }
+    }
 }
 
 impl Database {
@@ -279,8 +327,21 @@ impl Database {
             join_order: config.join_order,
             staged: std::collections::HashMap::new(),
             exec_mode: config.exec_mode,
-            plan_cache: RefCell::new(PlanCache::new(config.plan_cache)),
+            threads: config.threads.max(1),
+            plan_cache: Mutex::new(PlanCache::new(config.plan_cache)),
         }
+    }
+
+    /// Set the morsel worker thread count at runtime (clamped to at
+    /// least 1). Safe at any point: results and accounting are
+    /// bit-identical at any value (see [`crate::parallel`]).
+    pub fn set_threads(&mut self, n: usize) {
+        self.threads = n.max(1);
+    }
+
+    /// The morsel worker thread count queries run with.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Toggle batch execution at runtime: `true` is the columnar
@@ -337,7 +398,7 @@ impl Database {
     /// changes). The incremental manipulation space keys its delta state
     /// off this counter.
     pub fn ddl_epoch(&self) -> u64 {
-        self.plan_cache.borrow().epoch()
+        self.plan_cache.lock().epoch()
     }
 
     /// Toggle plan/estimate memoization at runtime (disabling clears it).
@@ -347,12 +408,12 @@ impl Database {
 
     /// True when plan/estimate memoization is active.
     pub fn plan_cache_enabled(&self) -> bool {
-        self.plan_cache.borrow().enabled()
+        self.plan_cache.lock().enabled()
     }
 
     /// Hit/miss/invalidation counters for the plan cache.
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
-        self.plan_cache.borrow().stats()
+        self.plan_cache.lock().stats()
     }
 
     /// Advance the DDL epoch, dropping every cached plan and estimate.
@@ -617,6 +678,7 @@ impl Database {
         let batch_stats;
         {
             let mut ctx = ExecCtx::with_cancel(&mut self.pool, cancel);
+            ctx.threads = self.threads;
             match self.exec_mode {
                 ExecMode::Columnar => {
                     batch::run_batched(&plan, &self.catalog, &mut ctx, &mut |b| {
@@ -822,6 +884,7 @@ impl Database {
         let mut staged: Vec<Tuple> = Vec::new();
         {
             let mut ctx = ExecCtx::with_cancel(&mut self.pool, cancel.clone());
+            ctx.threads = self.threads;
             match self.exec_mode {
                 ExecMode::Columnar => {
                     batch::run_batched(&plan, &self.catalog, &mut ctx, &mut |b| {
@@ -919,12 +982,12 @@ impl Database {
     /// manipulations).
     pub fn estimate_query_time(&self, query: &Query) -> ExecResult<VirtualTime> {
         let key = format!("est:{}", query_key(query));
-        if let Some(t) = self.plan_cache.borrow_mut().get_time(&key) {
+        if let Some(t) = self.plan_cache.lock().get_time(&key) {
             return Ok(t);
         }
         let (chosen, _) = self.choose_rewrite(query)?;
         let t = optimizer::estimate_query_time(&self.catalog, &self.pool, &self.disk, &chosen)?;
-        self.plan_cache.borrow_mut().put_time(key, t);
+        self.plan_cache.lock().put_time(key, t);
         Ok(t)
     }
 
@@ -933,18 +996,18 @@ impl Database {
     /// used to calibrate the speculator's predicted per-query benefit.
     pub fn estimate_query_time_base(&self, query: &Query) -> ExecResult<VirtualTime> {
         let key = format!("base:{}", query_key(query));
-        if let Some(t) = self.plan_cache.borrow_mut().get_time(&key) {
+        if let Some(t) = self.plan_cache.lock().get_time(&key) {
             return Ok(t);
         }
         let t = optimizer::estimate_query_time(&self.catalog, &self.pool, &self.disk, query)?;
-        self.plan_cache.borrow_mut().put_time(key, t);
+        self.plan_cache.lock().put_time(key, t);
         Ok(t)
     }
 
     /// Optimizer estimates for materializing `graph` now.
     pub fn estimate_materialization(&self, graph: &QueryGraph) -> ExecResult<MatEstimate> {
         let key = format!("mat:{}", canonical_key(graph));
-        if let Some(hit) = self.plan_cache.borrow_mut().get_mat(&key) {
+        if let Some(hit) = self.plan_cache.lock().get_mat(&key) {
             return Ok(hit);
         }
         let query = Query::star(graph.clone());
@@ -976,7 +1039,7 @@ impl Database {
             rows: est.rows,
             pages,
         };
-        self.plan_cache.borrow_mut().put_mat(key, out);
+        self.plan_cache.lock().put_mat(key, out);
         Ok(out)
     }
 
@@ -1049,6 +1112,47 @@ mod tests {
         let mut g = QueryGraph::new();
         g.add_selection(Selection::new("employee", Predicate::new("age", CompareOp::Lt, limit)));
         Query::star(g).project("employee", "name")
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers_only() {
+        assert_eq!(parse_threads("4"), Some(4));
+        assert_eq!(parse_threads(" 2 "), Some(2));
+        assert_eq!(parse_threads("0"), None, "zero workers is not a thing");
+        assert_eq!(parse_threads("-1"), None);
+        assert_eq!(parse_threads("many"), None);
+        assert_eq!(parse_threads(""), None);
+    }
+
+    #[test]
+    fn database_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Database>();
+    }
+
+    #[test]
+    fn parallel_execution_matches_serial_at_engine_level() {
+        let mut serial = emp_db();
+        let mut parallel = emp_db();
+        parallel.set_threads(4);
+        assert_eq!(parallel.threads(), 4);
+        for q in [age_query(30), age_query(45)] {
+            serial.clear_buffer();
+            parallel.clear_buffer();
+            let a = serial.execute(&q).unwrap();
+            let b = parallel.execute(&q).unwrap();
+            assert_eq!(a.rows, b.rows, "identical rows in identical order");
+            assert_eq!(a.demand, b.demand, "identical resource demand");
+            assert_eq!(a.elapsed, b.elapsed, "identical virtual time");
+        }
+    }
+
+    #[test]
+    fn set_threads_clamps_to_one() {
+        let mut db = Database::new(DatabaseConfig::with_buffer_pages(16).threads(0));
+        assert_eq!(db.threads(), 1);
+        db.set_threads(0);
+        assert_eq!(db.threads(), 1);
     }
 
     #[test]

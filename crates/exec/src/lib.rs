@@ -32,6 +32,7 @@ pub mod engine;
 pub mod error;
 pub mod estimate;
 pub mod optimizer;
+pub mod parallel;
 pub mod plan;
 pub mod plan_cache;
 pub mod rewrite;
@@ -41,7 +42,8 @@ pub use batch::{run_batched, run_collect_batched, ColumnBatch, DEFAULT_BATCH_SIZ
 pub use batch_row::Batch;
 pub use context::{BatchStats, CancelToken, ExecCtx};
 pub use engine::{
-    Database, DatabaseConfig, ExecMode, MaterializeOutcome, OpOutcome, QueryOutput, ViewMode,
+    threads_from_env, Database, DatabaseConfig, ExecMode, MaterializeOutcome, OpOutcome,
+    QueryOutput, ViewMode,
 };
 pub use error::{ExecError, ExecResult};
 pub use estimate::{CostEstimate, Estimator};

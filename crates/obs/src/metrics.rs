@@ -7,25 +7,63 @@
 //! methods compile down to a branch on `None` — hot paths keep their
 //! handles unconditionally and pay nothing when observability is off.
 
+use crossbeam::utils::CachePadded;
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Number of power-of-two magnitude buckets a histogram tracks.
 const HIST_BUCKETS: usize = 64;
 
+/// Number of per-thread shards a counter cell is split across. Must be
+/// a power of two so the shard pick is a mask, not a division.
+const COUNTER_SHARDS: usize = 8;
+
+/// Stable per-thread shard index: threads are numbered in creation
+/// order and mapped onto `COUNTER_SHARDS` lines, so a worker hammers
+/// its own cache line instead of contending on one shared cell.
+#[inline]
+fn shard_index() -> usize {
+    static NEXT_THREAD: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: usize =
+            NEXT_THREAD.fetch_add(1, Ordering::Relaxed) & (COUNTER_SHARDS - 1);
+    }
+    SHARD.with(|s| *s)
+}
+
+/// The sharded storage behind a [`Counter`]: one padded atomic per
+/// shard, updated relaxed, summed on read. The sum of `u64` shards is
+/// exact, so reads see precisely the total of all completed adds —
+/// sharding changes contention, never the value.
+#[derive(Debug, Default)]
+pub(crate) struct CounterCell {
+    shards: [CachePadded<AtomicU64>; COUNTER_SHARDS],
+}
+
+impl CounterCell {
+    #[inline]
+    fn add(&self, n: u64) {
+        self.shards[shard_index()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn get(&self) -> u64 {
+        self.shards.iter().map(|s| s.load(Ordering::Relaxed)).sum()
+    }
+}
+
 /// A monotonically increasing counter handle.
 #[derive(Clone, Debug, Default)]
-pub struct Counter(Option<Arc<AtomicU64>>);
+pub struct Counter(Option<Arc<CounterCell>>);
 
 impl Counter {
     /// Add `n` to the counter.
     #[inline]
     pub fn add(&self, n: u64) {
         if let Some(cell) = &self.0 {
-            cell.fetch_add(n, Ordering::Relaxed);
+            cell.add(n);
         }
     }
 
@@ -37,7 +75,7 @@ impl Counter {
 
     /// Current value (0 for disabled handles).
     pub fn get(&self) -> u64 {
-        self.0.as_ref().map_or(0, |cell| cell.load(Ordering::Relaxed))
+        self.0.as_ref().map_or(0, |cell| cell.get())
     }
 }
 
@@ -159,7 +197,7 @@ impl HistogramSummary {
 
 #[derive(Default)]
 struct RegistryInner {
-    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    counters: RwLock<BTreeMap<String, Arc<CounterCell>>>,
     gauges: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
     histograms: RwLock<BTreeMap<String, Arc<Mutex<HistogramCell>>>>,
 }
@@ -202,7 +240,7 @@ impl MetricsRegistry {
         Counter(
             self.inner
                 .as_ref()
-                .map(|inner| Self::resolve(&inner.counters, name, AtomicU64::default)),
+                .map(|inner| Self::resolve(&inner.counters, name, CounterCell::default)),
         )
     }
 
@@ -229,7 +267,7 @@ impl MetricsRegistry {
         let mut snap = MetricsSnapshot::default();
         let Some(inner) = &self.inner else { return snap };
         for (name, cell) in inner.counters.read().iter() {
-            snap.counters.insert(name.clone(), cell.load(Ordering::Relaxed));
+            snap.counters.insert(name.clone(), cell.get());
         }
         for (name, cell) in inner.gauges.read().iter() {
             snap.gauges.insert(name.clone(), f64::from_bits(cell.load(Ordering::Relaxed)));
@@ -344,6 +382,23 @@ mod tests {
             t.join().unwrap();
         }
         assert_eq!(registry.snapshot().counter("shared"), 80_000);
+    }
+
+    #[test]
+    fn sharded_counter_spreads_and_sums_exactly() {
+        let cell = CounterCell::default();
+        std::thread::scope(|s| {
+            for _ in 0..16 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        cell.add(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(cell.get(), 16_000, "shard sum must be exact");
+        let used = cell.shards.iter().filter(|s| s.load(Ordering::Relaxed) > 0).count();
+        assert!(used >= 2, "16 fresh threads should hit several shards, got {used}");
     }
 
     #[test]

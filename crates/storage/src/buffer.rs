@@ -15,9 +15,10 @@ use crate::column::ColumnSegment;
 use crate::disk::ResourceDemand;
 use crate::error::{StorageError, StorageResult};
 use crate::page::{FileId, Page, PageId, PAGE_SIZE};
+use crate::segcache::SegCache;
 use crate::tuple::Tuple;
 use specdb_obs::{Counter, Event, EventKind, Observer};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Pre-resolved metric handles so the per-access hot path never touches
@@ -100,7 +101,6 @@ struct Frame {
 ///
 /// Cloning is cheap-ish (page images are `Arc`-shared): the experiment
 /// harness clones a loaded database once per trace replay.
-#[derive(Clone)]
 pub struct BufferPool {
     capacity: usize,
     frames: Vec<Frame>,
@@ -118,13 +118,33 @@ pub struct BufferPool {
     /// decoding and share column vectors zero-copy. Purely a wall-clock
     /// fast path — every access still goes through
     /// [`BufferPool::read_page`] accounting, so virtual-time I/O charges
-    /// are identical whether or not a segment is cached.
-    seg_cache: HashMap<PageId, Arc<ColumnSegment>>,
-    /// Files pinned into the segment cache regardless of size or budget
-    /// (materialized speculation results, explicitly cached tables).
-    seg_hot: HashSet<FileId>,
-    /// Max pages auto-cached for files not marked hot.
-    seg_budget: usize,
+    /// are identical whether or not a segment is cached. `Arc`-shared so
+    /// morsel-scan workers can consult and populate it concurrently
+    /// without the pool's exclusive borrow (see [`SegCache`]).
+    seg_cache: Arc<SegCache>,
+}
+
+impl Clone for BufferPool {
+    fn clone(&self) -> Self {
+        BufferPool {
+            capacity: self.capacity,
+            frames: self.frames.clone(),
+            page_table: self.page_table.clone(),
+            hand: self.hand,
+            disk: self.disk.clone(),
+            file_pages: self.file_pages.clone(),
+            next_file: self.next_file,
+            stats: self.stats,
+            spill_model: self.spill_model,
+            observer: self.observer.clone(),
+            metrics: self.metrics.clone(),
+            // Deep copy, never a shared handle: a clone can allocate the
+            // same fresh `FileId` as the original for a different
+            // relation, so sharing decoded segments across clones would
+            // serve wrong data.
+            seg_cache: Arc::new(self.seg_cache.deep_clone()),
+        }
+    }
 }
 
 impl BufferPool {
@@ -143,9 +163,7 @@ impl BufferPool {
             spill_model: true,
             observer: Observer::disabled(),
             metrics: PoolMetrics::default(),
-            seg_cache: HashMap::new(),
-            seg_hot: HashSet::new(),
-            seg_budget: capacity,
+            seg_cache: Arc::new(SegCache::new(capacity)),
         }
     }
 
@@ -154,6 +172,11 @@ impl BufferPool {
     /// default observer is disabled and costs nothing.
     pub fn set_observer(&mut self, observer: Observer) {
         self.metrics = PoolMetrics::resolve(&observer);
+        self.seg_cache.set_metrics(
+            self.metrics.seg_hit.clone(),
+            self.metrics.seg_miss.clone(),
+            self.metrics.seg_evict.clone(),
+        );
         self.observer = observer;
     }
 
@@ -189,13 +212,10 @@ impl BufferPool {
     /// Used when materialized relations are garbage-collected.
     pub fn free_file(&mut self, file: FileId) {
         let pages = self.file_len(file);
-        self.seg_hot.remove(&file);
+        self.seg_cache.drop_file(file);
         for page_no in 0..pages {
             let pid = PageId::new(file, page_no);
             self.disk.remove(&pid);
-            if self.seg_cache.remove(&pid).is_some() {
-                self.metrics.seg_evict.incr();
-            }
             if let Some(idx) = self.page_table.remove(&pid) {
                 // Replace the frame with a tombstone by swap-removing from
                 // the frame vector and fixing up the moved frame's index.
@@ -243,10 +263,8 @@ impl BufferPool {
         let page = Arc::new(page);
         self.stats.writes += 1;
         self.metrics.write.incr();
-        if self.seg_cache.remove(&pid).is_some() {
-            // Decoded image is stale now.
-            self.metrics.seg_evict.incr();
-        }
+        // Decoded image is stale now.
+        self.seg_cache.invalidate(pid);
         self.disk.insert(pid, Arc::clone(&page));
         let len = self.file_pages.entry(pid.file).or_insert(0);
         if pid.page_no >= *len {
@@ -319,19 +337,22 @@ impl BufferPool {
         kind: AccessKind,
     ) -> StorageResult<Arc<ColumnSegment>> {
         let page = self.read_page(pid, kind)?;
-        if let Some(seg) = self.seg_cache.get(&pid) {
-            self.metrics.seg_hit.incr();
-            return Ok(Arc::clone(seg));
-        }
-        self.metrics.seg_miss.incr();
-        let seg = Arc::new(ColumnSegment::decode_page(&page)?);
-        let cacheable = self.seg_hot.contains(&pid.file)
-            || (self.file_len(pid.file) <= Self::SEG_SMALL_PAGES
-                && self.seg_cache.len() < self.seg_budget);
-        if cacheable {
-            self.seg_cache.insert(pid, Arc::clone(&seg));
-        }
-        Ok(seg)
+        let small = self.file_len(pid.file) <= Self::SEG_SMALL_PAGES;
+        self.seg_cache.get_or_decode(pid, &page, small)
+    }
+
+    /// Whether `file` is small enough for the segment cache to auto-
+    /// cache its pages (hot files are cached regardless). Scan
+    /// coordinators pass this to workers calling
+    /// [`SegCache::get_or_decode`] directly.
+    pub fn seg_cacheable_size(&self, file: FileId) -> bool {
+        self.file_len(file) <= Self::SEG_SMALL_PAGES
+    }
+
+    /// A shareable handle to the decoded segment cache, for morsel-scan
+    /// workers that decode pages off-thread.
+    pub fn seg_cache(&self) -> Arc<SegCache> {
+        Arc::clone(&self.seg_cache)
     }
 
     /// Row-major compatibility wrapper over
@@ -352,37 +373,28 @@ impl BufferPool {
     /// stay cached until the file is written or freed. Used for
     /// materialized speculation results and explicitly cached tables.
     pub fn mark_hot(&mut self, file: FileId) {
-        self.seg_hot.insert(file);
+        self.seg_cache.mark_hot(file);
     }
 
     /// Remove `file` from the hot set and drop its decoded pages.
     pub fn unmark_hot(&mut self, file: FileId) {
-        self.seg_hot.remove(&file);
-        let before = self.seg_cache.len();
-        self.seg_cache.retain(|pid, _| pid.file != file);
-        self.metrics.seg_evict.add((before - self.seg_cache.len()) as u64);
+        self.seg_cache.unmark_hot(file);
     }
 
     /// True if `file` is pinned into the decoded segment cache.
     pub fn is_hot(&self, file: FileId) -> bool {
-        self.seg_hot.contains(&file)
+        self.seg_cache.is_hot(file)
     }
 
     /// Number of decoded pages currently held by the segment cache.
     pub fn seg_resident(&self) -> usize {
-        self.seg_cache.len()
+        self.seg_cache.resident()
     }
 
     /// Replace the auto-caching budget (pages of non-hot files the
     /// segment cache may hold; default = pool capacity).
     pub fn set_seg_budget(&mut self, pages: usize) {
-        self.seg_budget = pages;
-        if self.seg_cache.len() > pages {
-            let hot = &self.seg_hot;
-            let before = self.seg_cache.len();
-            self.seg_cache.retain(|pid, _| hot.contains(&pid.file));
-            self.metrics.seg_evict.add((before - self.seg_cache.len()) as u64);
-        }
+        self.seg_cache.set_budget(pages);
     }
 
     /// Charge synthetic I/O that bypasses the page cache — used for
@@ -505,6 +517,29 @@ mod tests {
         let mut p = Page::new();
         p.insert(&[byte; 16]).unwrap();
         p
+    }
+
+    #[test]
+    fn pool_and_segcache_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BufferPool>();
+        assert_send_sync::<SegCache>();
+    }
+
+    #[test]
+    fn clone_does_not_share_segment_cache() {
+        let mut pool = BufferPool::new(4);
+        let f = pool.create_file();
+        let mut page = Page::new();
+        page.insert(&Tuple::new(vec![crate::tuple::Value::Int(7)]).encode()).unwrap();
+        pool.put_page(PageId::new(f, 0), page).unwrap();
+        pool.read_page_columnar(PageId::new(f, 0), AccessKind::Sequential).unwrap();
+        let mut copy = pool.clone();
+        assert_eq!(copy.seg_resident(), 1);
+        copy.unmark_hot(f); // no-op on hot set, but exercises the copy
+        copy.set_seg_budget(0);
+        assert_eq!(copy.seg_resident(), 0);
+        assert_eq!(pool.seg_resident(), 1, "clone eviction must not leak into the original");
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod disk;
 pub mod error;
 pub mod heap;
 pub mod page;
+pub mod segcache;
 pub mod tuple;
 
 pub use buffer::{AccessKind, BufferPool, IoSnapshot, IoStats};
@@ -35,4 +36,5 @@ pub use disk::{DiskModel, ResourceDemand};
 pub use error::{StorageError, StorageResult};
 pub use heap::{HeapFile, TupleId};
 pub use page::{FileId, Page, PageId, PAGE_SIZE};
+pub use segcache::SegCache;
 pub use tuple::{Tuple, Value};

@@ -1,0 +1,247 @@
+//! Shared decoded-segment cache.
+//!
+//! PR 4 kept decoded [`ColumnSegment`]s in a plain `HashMap` inside the
+//! buffer pool, reachable only through `&mut BufferPool`. Morsel-driven
+//! execution needs worker threads to consult and populate the cache
+//! *without* the pool's exclusive borrow, so the cache now lives behind
+//! an [`Arc`] with a vendored `parking_lot` mutex: the pool holds one
+//! handle, every scan worker holds another.
+//!
+//! The cache is a wall-clock fast path only. Virtual-time I/O accounting
+//! happens in [`crate::buffer::BufferPool::read_page`] *before* any
+//! segment lookup, so whether a decode is served from the cache or
+//! recomputed never changes a replay's [`crate::disk::ResourceDemand`].
+//! Under concurrent decodes the `segcache.hit`/`segcache.miss` counters
+//! may attribute a racing decode to two misses where a serial run would
+//! see a miss then a hit — the cached *contents* are identical either
+//! way because [`ColumnSegment::decode_page`] is deterministic.
+
+use crate::column::ColumnSegment;
+use crate::error::StorageResult;
+use crate::page::{FileId, Page, PageId};
+use parking_lot::Mutex;
+use specdb_obs::Counter;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Metric handles bumped by the cache (no-ops until an observer is
+/// installed via [`SegCache::set_metrics`]).
+#[derive(Clone, Default)]
+struct SegMetrics {
+    hit: Counter,
+    miss: Counter,
+    evict: Counter,
+}
+
+#[derive(Default)]
+struct SegCacheInner {
+    map: HashMap<PageId, Arc<ColumnSegment>>,
+    /// Files pinned into the cache regardless of size or budget
+    /// (materialized speculation results, explicitly cached tables).
+    hot: HashSet<FileId>,
+    /// Max pages auto-cached for files not marked hot.
+    budget: usize,
+    metrics: SegMetrics,
+}
+
+/// A thread-safe cache of decoded column segments, shared between the
+/// buffer pool and morsel-scan workers via `Arc<SegCache>`.
+pub struct SegCache {
+    inner: Mutex<SegCacheInner>,
+}
+
+impl SegCache {
+    /// Create a cache that may auto-cache up to `budget` pages of
+    /// non-hot files.
+    pub fn new(budget: usize) -> Self {
+        SegCache { inner: Mutex::new(SegCacheInner { budget, ..SegCacheInner::default() }) }
+    }
+
+    /// Install metric handles (called when the pool's observer changes).
+    pub(crate) fn set_metrics(&self, hit: Counter, miss: Counter, evict: Counter) {
+        self.inner.lock().metrics = SegMetrics { hit, miss, evict };
+    }
+
+    /// Look up the decoded form of `pid`, decoding (and caching, when
+    /// eligible) on miss. `small_file` is the caller's judgement that
+    /// the owning file is small enough to auto-cache — the pool knows
+    /// file lengths; the cache does not.
+    ///
+    /// The decode itself runs outside the lock so concurrent workers
+    /// never serialize on CPU work; a racing double-decode inserts one
+    /// winner and both callers get a correct segment.
+    pub fn get_or_decode(
+        &self,
+        pid: PageId,
+        page: &Page,
+        small_file: bool,
+    ) -> StorageResult<Arc<ColumnSegment>> {
+        let cache_hot;
+        {
+            let inner = self.inner.lock();
+            if let Some(seg) = inner.map.get(&pid) {
+                inner.metrics.hit.incr();
+                return Ok(Arc::clone(seg));
+            }
+            inner.metrics.miss.incr();
+            cache_hot = inner.hot.contains(&pid.file);
+        }
+        let seg = Arc::new(ColumnSegment::decode_page(page)?);
+        let mut inner = self.inner.lock();
+        if cache_hot
+            || inner.hot.contains(&pid.file)
+            || (small_file && inner.map.len() < inner.budget)
+        {
+            return Ok(Arc::clone(inner.map.entry(pid).or_insert_with(|| Arc::clone(&seg))));
+        }
+        Ok(seg)
+    }
+
+    /// Drop the cached decode of `pid` (its page image was overwritten).
+    pub(crate) fn invalidate(&self, pid: PageId) {
+        let mut inner = self.inner.lock();
+        if inner.map.remove(&pid).is_some() {
+            inner.metrics.evict.incr();
+        }
+    }
+
+    /// Pin `file`: cache its pages on first decode regardless of size
+    /// or budget.
+    pub(crate) fn mark_hot(&self, file: FileId) {
+        self.inner.lock().hot.insert(file);
+    }
+
+    /// Unpin `file` and drop its cached pages.
+    pub(crate) fn unmark_hot(&self, file: FileId) {
+        let mut inner = self.inner.lock();
+        inner.hot.remove(&file);
+        let before = inner.map.len();
+        inner.map.retain(|pid, _| pid.file != file);
+        let evicted = (before - inner.map.len()) as u64;
+        inner.metrics.evict.add(evicted);
+    }
+
+    /// True if `file` is pinned into the cache.
+    pub(crate) fn is_hot(&self, file: FileId) -> bool {
+        self.inner.lock().hot.contains(&file)
+    }
+
+    /// Forget `file` entirely (it was freed): unpin it and drop its
+    /// pages, counting each as an eviction.
+    pub(crate) fn drop_file(&self, file: FileId) {
+        let mut inner = self.inner.lock();
+        inner.hot.remove(&file);
+        let before = inner.map.len();
+        inner.map.retain(|pid, _| pid.file != file);
+        let evicted = (before - inner.map.len()) as u64;
+        inner.metrics.evict.add(evicted);
+    }
+
+    /// Number of decoded pages currently resident.
+    pub fn resident(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Replace the auto-caching budget; shrinking below the resident
+    /// count drops every non-hot segment.
+    pub(crate) fn set_budget(&self, pages: usize) {
+        let mut inner = self.inner.lock();
+        inner.budget = pages;
+        if inner.map.len() > pages {
+            let hot = inner.hot.clone();
+            let before = inner.map.len();
+            inner.map.retain(|pid, _| hot.contains(&pid.file));
+            let evicted = (before - inner.map.len()) as u64;
+            inner.metrics.evict.add(evicted);
+        }
+    }
+
+    /// An independent copy with the same contents, hot set, budget and
+    /// metric handles. Cloning a [`crate::buffer::BufferPool`] must
+    /// *not* share cache state: two clones can allocate the same fresh
+    /// `FileId` for different relations, and a shared cache would serve
+    /// one clone's decodes to the other.
+    pub(crate) fn deep_clone(&self) -> SegCache {
+        let inner = self.inner.lock();
+        SegCache {
+            inner: Mutex::new(SegCacheInner {
+                map: inner.map.clone(),
+                hot: inner.hot.clone(),
+                budget: inner.budget,
+                metrics: inner.metrics.clone(),
+            }),
+        }
+    }
+}
+
+impl std::fmt::Debug for SegCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("SegCache")
+            .field("resident", &inner.map.len())
+            .field("hot_files", &inner.hot.len())
+            .field("budget", &inner.budget)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::{Tuple, Value};
+
+    fn one_row_page(v: i64) -> Page {
+        let mut p = Page::new();
+        p.insert(&Tuple::new(vec![Value::Int(v)]).encode()).unwrap();
+        p
+    }
+
+    #[test]
+    fn concurrent_get_or_decode_is_safe_and_correct() {
+        let cache = Arc::new(SegCache::new(64));
+        let f = FileId(0);
+        let pages: Vec<Page> = (0..8).map(one_row_page).collect();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let cache = Arc::clone(&cache);
+                let pages = &pages;
+                s.spawn(move || {
+                    for (i, page) in pages.iter().enumerate() {
+                        let pid = PageId::new(f, i as u32);
+                        let seg = cache.get_or_decode(pid, page, true).unwrap();
+                        assert_eq!(seg.rows(), 1);
+                        assert_eq!(seg.col(0)[0], Value::Int(i as i64));
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.resident(), 8);
+    }
+
+    #[test]
+    fn deep_clone_diverges_from_original() {
+        let cache = SegCache::new(64);
+        let f = FileId(3);
+        let pid = PageId::new(f, 0);
+        cache.get_or_decode(pid, &one_row_page(1), true).unwrap();
+        let copy = cache.deep_clone();
+        assert_eq!(copy.resident(), 1);
+        copy.invalidate(pid);
+        assert_eq!(copy.resident(), 0);
+        assert_eq!(cache.resident(), 1, "clone removal must not touch the original");
+    }
+
+    #[test]
+    fn budget_and_hot_rules_match_pool_semantics() {
+        let cache = SegCache::new(0);
+        let f = FileId(1);
+        let page = one_row_page(7);
+        cache.get_or_decode(PageId::new(f, 0), &page, true).unwrap();
+        assert_eq!(cache.resident(), 0, "budget 0 blocks auto-caching");
+        cache.mark_hot(f);
+        cache.get_or_decode(PageId::new(f, 0), &page, true).unwrap();
+        assert_eq!(cache.resident(), 1, "hot files bypass the budget");
+        cache.unmark_hot(f);
+        assert_eq!(cache.resident(), 0);
+    }
+}

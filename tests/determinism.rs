@@ -64,6 +64,34 @@ fn replay_identical_with_caching_on_and_off() {
     assert_eq!(cached, uncached, "caching changed observable replay behaviour");
 }
 
+/// The morsel-parallel executor's bit-identity contract, end to end: a
+/// full speculative session — queries, speculative materializations,
+/// cancellations, hit/miss accounting — replayed at 1, 2, and 4 worker
+/// threads must produce the identical [`ReplayOutcome`]: same rows,
+/// virtual timings, speculation decisions, and manipulation lifecycle
+/// counts.
+///
+/// [`ReplayOutcome`]: specdb::sim::replay::ReplayOutcome
+#[test]
+fn replay_identical_at_any_thread_count() {
+    let base = build_base_db(&DatasetSpec::tiny()).unwrap();
+    let trace = UserModel::default().generate("u", 1234);
+    let run = |threads: usize| {
+        let mut db = base.clone();
+        db.set_threads(threads);
+        replay_trace(&mut db, &trace, &ReplayConfig::speculative()).unwrap()
+    };
+    let serial = run(1);
+    assert!(serial.issued > 0, "trace must exercise speculation");
+    for threads in [2usize, 4] {
+        let parallel = run(threads);
+        assert_eq!(
+            serial, parallel,
+            "{threads} worker threads changed observable replay behaviour"
+        );
+    }
+}
+
 #[test]
 fn multi_user_replay_is_deterministic() {
     use specdb::sim::replay_multi;
