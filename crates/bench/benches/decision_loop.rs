@@ -77,14 +77,21 @@ fn arm(base: &Database, cached: bool) -> (Database, Speculator) {
     (db, spec)
 }
 
-/// Mean per-edit decide() time over `passes` sweeps, in microseconds.
-fn time_decides(base: &Database, points: &[QueryGraph], cached: bool, passes: usize) -> f64 {
+/// Per-edit decide() wall times over `passes` sweeps, in microseconds —
+/// one sample per (pass, edit), so the artifact can report exact
+/// p50/p95/p99 alongside the mean.
+fn time_decides(base: &Database, points: &[QueryGraph], cached: bool, passes: usize) -> Vec<f64> {
     let (db, spec) = arm(base, cached);
-    let start = Instant::now();
+    let profile = UniformProfile { p: 0.9, think_mean_secs: 120.0 };
+    let mut samples = Vec::with_capacity(passes * points.len());
     for _ in 0..passes {
-        black_box(sweep(&spec, points, &db));
+        for g in points {
+            let start = Instant::now();
+            black_box(spec.decide(g, &db, &profile, VirtualTime::ZERO));
+            samples.push(start.elapsed().as_secs_f64() * 1e6);
+        }
     }
-    start.elapsed().as_secs_f64() * 1e6 / (passes * points.len()) as f64
+    samples
 }
 
 /// Wall-clock seconds for a full speculative replay of the trace.
@@ -151,9 +158,11 @@ fn main() {
         });
     }
 
-    // Headline numbers: mean per-edit decide latency per arm.
-    let cached_us = time_decides(&base, &points, true, passes);
-    let uncached_us = time_decides(&base, &points, false, passes);
+    // Headline numbers: per-edit decide latency samples per arm.
+    let cached_samples = time_decides(&base, &points, true, passes);
+    let uncached_samples = time_decides(&base, &points, false, passes);
+    let cached_us = specdb_bench::mean(&cached_samples);
+    let uncached_us = specdb_bench::mean(&uncached_samples);
     let decide_speedup = uncached_us / cached_us.max(1e-9);
 
     // End-to-end replay throughput, plus bit-identity of the outcome.
@@ -166,8 +175,15 @@ fn main() {
 
     println!();
     println!(
-        "per-edit decide: cached {cached_us:.1} us, uncached {uncached_us:.1} us \
+        "per-edit decide: cached {cached_us:.1} us (p50 {:.1} p95 {:.1} p99 {:.1}), \
+         uncached {uncached_us:.1} us (p50 {:.1} p95 {:.1} p99 {:.1}) \
          ({decide_speedup:.2}x), {} edits x {passes} passes",
+        specdb_bench::quantile(&cached_samples, 0.50),
+        specdb_bench::quantile(&cached_samples, 0.95),
+        specdb_bench::quantile(&cached_samples, 0.99),
+        specdb_bench::quantile(&uncached_samples, 0.50),
+        specdb_bench::quantile(&uncached_samples, 0.95),
+        specdb_bench::quantile(&uncached_samples, 0.99),
         points.len()
     );
     println!(
@@ -179,6 +195,7 @@ fn main() {
         "{{\n  \"bench\": \"decision_loop\",\n  \"smoke\": {smoke},\n  \
          \"dataset\": \"{}\",\n  \"dataset_mb\": {},\n  \"edits\": {},\n  \"passes\": {passes},\n  \
          \"decide_us_per_edit\": {{ \"cached\": {cached_us:.3}, \"uncached\": {uncached_us:.3} }},\n  \
+         \"decide_us_quantiles\": {{ \"cached\": {}, \"uncached\": {} }},\n  \
          \"decide_speedup\": {decide_speedup:.3},\n  \"decisions_identical\": {decisions_identical},\n  \
          \"replay\": {{ \"queries\": {queries}, \"cached_secs\": {cached_secs:.4}, \
          \"uncached_secs\": {uncached_secs:.4}, \"speedup\": {replay_speedup:.3}, \
@@ -186,6 +203,8 @@ fn main() {
         spec_ds.label,
         spec_ds.actual_mb(),
         points.len(),
+        specdb_bench::quantiles_json(&cached_samples),
+        specdb_bench::quantiles_json(&uncached_samples),
     );
     let path =
         std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_decision_loop.json");

@@ -73,6 +73,20 @@ fn time_arm(db: &mut Database, qs: &[Query], passes: usize) -> f64 {
     start.elapsed().as_secs_f64() * 1e6 / (passes * qs.len()) as f64
 }
 
+/// Per-query wall times over `passes` passes, in microseconds — one
+/// sample per (pass, query), for exact p50/p95/p99 in the artifact.
+fn sample_arm(db: &mut Database, qs: &[Query], passes: usize) -> Vec<f64> {
+    let mut samples = Vec::with_capacity(passes * qs.len());
+    for _ in 0..passes {
+        for q in qs {
+            let start = Instant::now();
+            black_box(run_workload(db, std::slice::from_ref(q)));
+            samples.push(start.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+    samples
+}
+
 fn write_json(path: &std::path::Path, body: &str) {
     if let Err(e) = std::fs::write(path, body) {
         eprintln!("executor: cannot write {}: {e}", path.display());
@@ -146,8 +160,11 @@ fn main() {
         });
     }
 
-    // Headline numbers: mean per-query wall-clock per arm.
+    // Headline numbers: mean per-query wall-clock per arm, plus raw
+    // per-query samples for exact latency quantiles.
     let us: Vec<f64> = arms.iter_mut().map(|db| time_arm(db, &qs, passes)).collect();
+    let arm_samples: Vec<Vec<f64>> =
+        arms.iter_mut().map(|db| sample_arm(db, &qs, passes)).collect();
     let (row_us, batch_row_us, columnar_us, par4_us) = (us[0], us[1], us[2], us[3]);
     let speedup = row_us / columnar_us.max(1e-9);
     let speedup_vs_batch_row = batch_row_us / columnar_us.max(1e-9);
@@ -188,12 +205,18 @@ fn main() {
          \"seg_cached_pages\": {seg_pages},\n  \"host_cores\": {cores},\n  \
          \"us_per_query\": {{ \"row\": {row_us:.3}, \"batch_row\": {batch_row_us:.3}, \
          \"batch_columnar\": {columnar_us:.3}, \"batch_columnar_par4\": {par4_us:.3} }},\n  \
+         \"us_per_query_quantiles\": {{ \"row\": {}, \"batch_row\": {}, \
+         \"batch_columnar\": {}, \"batch_columnar_par4\": {} }},\n  \
          \"speedup\": {speedup:.3},\n  \"speedup_vs_batch_row\": {speedup_vs_batch_row:.3},\n  \
          \"par4_speedup_vs_columnar\": {par4_speedup:.3},\n  \
          \"identical\": {identical}\n}}\n",
         spec_ds.label,
         spec_ds.actual_mb(),
         qs.len(),
+        specdb_bench::quantiles_json(&arm_samples[0]),
+        specdb_bench::quantiles_json(&arm_samples[1]),
+        specdb_bench::quantiles_json(&arm_samples[2]),
+        specdb_bench::quantiles_json(&arm_samples[3]),
     );
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_executor.json");
     write_json(&path, &json);

@@ -194,6 +194,41 @@ pub fn secs(t: VirtualTime) -> String {
     format!("{:.1}s", t.as_secs_f64())
 }
 
+/// Exact sample quantile by nearest rank over a sorted copy; `q` in
+/// `[0, 1]`. Returns 0 for an empty slice. Unlike the metrics
+/// registry's HDR histograms (bounded-error buckets for unbounded
+/// streams), benches keep every sample, so quantiles here are exact.
+pub fn quantile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = (q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Mean of a sample set (0 for empty).
+pub fn mean(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        0.0
+    } else {
+        samples.iter().sum::<f64>() / samples.len() as f64
+    }
+}
+
+/// Render a sample set's p50/p95/p99 as a JSON object fragment, e.g.
+/// `{ "p50": 12.0, "p95": 40.5, "p99": 61.0 }` — the shape the
+/// `BENCH_*.json` artifacts embed next to their means.
+pub fn quantiles_json(samples: &[f64]) -> String {
+    format!(
+        "{{ \"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3} }}",
+        quantile(samples, 0.50),
+        quantile(samples, 0.95),
+        quantile(samples, 0.99)
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,6 +245,20 @@ mod tests {
     fn paper_bucket_ranges() {
         assert_eq!(paper_buckets("100MB"), (3.0, 13.0, 1.0));
         assert_eq!(paper_buckets("1GB"), (30.0, 140.0, 10.0));
+    }
+
+    #[test]
+    fn exact_quantiles_over_samples() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(quantile(&samples, 0.0), 1.0);
+        assert_eq!(quantile(&samples, 1.0), 100.0);
+        assert!((quantile(&samples, 0.50) - 50.0).abs() <= 1.0);
+        assert!((quantile(&samples, 0.95) - 95.0).abs() <= 1.0);
+        assert!((quantile(&samples, 0.99) - 99.0).abs() <= 1.0);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        let json = quantiles_json(&samples);
+        assert!(json.contains("\"p95\""), "{json}");
     }
 
     #[test]

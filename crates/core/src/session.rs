@@ -39,6 +39,38 @@ pub fn apply_manipulation(
     m: &Manipulation,
     cancel: CancelToken,
 ) -> ExecResult<Applied> {
+    let tracer = db.observer().tracer().clone();
+    let virt_now = db.observer().now_micros();
+    let span = tracer.begin(specdb_obs::SpanKind::Speculation, "speculate", virt_now);
+    let result = apply_manipulation_inner(db, m, cancel);
+    match &result {
+        Ok(applied) => {
+            let build_secs = applied.elapsed.as_secs_f64();
+            let table = applied.table.clone();
+            span.finish_with(virt_now + applied.elapsed.as_micros(), |a| {
+                a.push(("manipulation", m.to_string().into()));
+                a.push(("build_secs", build_secs.into()));
+                if let Some(t) = table {
+                    a.push(("table", t.into()));
+                }
+            });
+        }
+        Err(e) => {
+            let cancelled = e.is_cancelled();
+            span.finish_with(virt_now, |a| {
+                a.push(("manipulation", m.to_string().into()));
+                a.push(("cancelled", cancelled.into()));
+            });
+        }
+    }
+    result
+}
+
+fn apply_manipulation_inner(
+    db: &mut Database,
+    m: &Manipulation,
+    cancel: CancelToken,
+) -> ExecResult<Applied> {
     match m {
         Manipulation::Null => Ok(Applied { elapsed: VirtualTime::ZERO, table: None }),
         Manipulation::DataStage { table, pages } => {

@@ -109,6 +109,9 @@ impl Speculator {
         profile: &dyn Profile,
         elapsed: VirtualTime,
     ) -> Decision {
+        let tracer = db.observer().tracer().clone();
+        let virt_now = db.observer().now_micros();
+        let span = tracer.begin(specdb_obs::SpanKind::Decide, "decide", virt_now);
         let mut best = Decision {
             manipulation: Manipulation::Null,
             score: 0.0,
@@ -119,10 +122,12 @@ impl Speculator {
             Some(inc) => inc.lock().candidates(partial, db),
             None => self.space.enumerate(partial, db),
         };
+        let mut scored_n = 0u64;
         for m in candidates {
             if m.is_null() {
                 continue;
             }
+            scored_n += 1;
             let scored = self.cost_model.score(&m, partial, db, profile, elapsed);
             if scored.score < best.score {
                 best = Decision {
@@ -134,13 +139,21 @@ impl Speculator {
             }
         }
         if best.score > -self.min_benefit {
-            return Decision {
+            best = Decision {
                 manipulation: Manipulation::Null,
                 score: 0.0,
                 build: VirtualTime::ZERO,
                 delta_secs: 0.0,
             };
         }
+        span.finish_with(virt_now, |a| {
+            a.push(("candidates", scored_n.into()));
+            a.push(("idle", best.is_idle().into()));
+            a.push(("score", best.score.into()));
+            if !best.is_idle() {
+                a.push(("chosen", best.manipulation.to_string().into()));
+            }
+        });
         best
     }
 

@@ -39,6 +39,7 @@ use crate::parallel::{check_abort, morsel_size, stream_ordered, MorselTask};
 use crate::plan::{BoundPred, Plan, PlanNode};
 use crate::run::{as_ref_bound, Acc};
 use specdb_catalog::{Catalog, DataType, Schema};
+use specdb_obs::SpanKind;
 use specdb_query::{AggFunc, CompareOp};
 use specdb_storage::{
     AccessKind, ColumnSegment, ColumnVec, HeapFile, Page, PageId, SegCache, Tuple, Value,
@@ -247,7 +248,52 @@ impl<'o> Emitter<'o> {
 /// Batches are non-empty and hold at most [`ExecCtx::batch_size`]
 /// logical rows; gathered row-major and concatenated they are exactly
 /// the row path's output.
+///
+/// When the observer's tracer is enabled, every operator subtree gets a
+/// [`SpanKind::Operator`] span counting the rows and batches it emitted;
+/// disabled tracing adds a single branch per subtree.
 pub fn run_batched(
+    plan: &Plan,
+    catalog: &Catalog,
+    ctx: &mut ExecCtx<'_>,
+    out: &mut dyn FnMut(ColumnBatch) -> ExecResult<()>,
+) -> ExecResult<()> {
+    let tracer = ctx.pool.observer().tracer().clone();
+    if !tracer.is_enabled() {
+        return run_node(plan, catalog, ctx, out);
+    }
+    let virt = ctx.pool.observer().now_micros();
+    let span = tracer.begin(SpanKind::Operator, op_label(&plan.node), virt);
+    let mut rows = 0u64;
+    let mut batches = 0u64;
+    let result = run_node(plan, catalog, ctx, &mut |b| {
+        rows += b.len() as u64;
+        batches += 1;
+        out(b)
+    });
+    // Operators have no virtual extent of their own (the disk model
+    // prices the whole query); their wall extent is the payload here.
+    span.finish_with(virt, |a| {
+        a.push(("rows", rows.into()));
+        a.push(("batches", batches.into()));
+    });
+    result
+}
+
+/// Stable operator label for spans and profiles.
+fn op_label(node: &PlanNode) -> &'static str {
+    match node {
+        PlanNode::SeqScan { .. } => "seq_scan",
+        PlanNode::Project { .. } => "project",
+        PlanNode::IndexScan { .. } => "index_scan",
+        PlanNode::HashJoin { .. } => "hash_join",
+        PlanNode::IndexNLJoin { .. } => "index_nl_join",
+        PlanNode::NestedLoop { .. } => "nested_loop",
+        PlanNode::Aggregate { .. } => "aggregate",
+    }
+}
+
+fn run_node(
     plan: &Plan,
     catalog: &Catalog,
     ctx: &mut ExecCtx<'_>,
@@ -565,14 +611,30 @@ fn parallel_fused_scan<R: Send + 'static>(
     });
     let threads = ctx.threads;
     let chunk = morsel_size(work.len(), threads);
+    // Morsel spans are wall-clock lanes parented on the coordinator's
+    // current (operator) span; workers never touch the span stack.
+    let tracer = ctx.pool.observer().tracer().clone();
+    let span_parent = tracer.current();
+    let virt_now = ctx.pool.observer().now_micros();
     let tasks: Vec<MorselTask<MorselOut<R>>> = work
         .chunks(chunk)
         .map(|pages| {
             let pages = pages.to_vec();
             let shared = Arc::clone(&shared);
             let map = Arc::clone(&map);
-            let task: MorselTask<MorselOut<R>> =
-                Box::new(move |abort| scan_morsel(&shared, &pages, abort, map.as_ref()));
+            let tracer = tracer.clone();
+            let task: MorselTask<MorselOut<R>> = Box::new(move |abort| {
+                let span = tracer.begin_at(span_parent, SpanKind::Morsel, "scan_morsel", virt_now);
+                let out = scan_morsel(&shared, &pages, abort, map.as_ref());
+                if let Ok(m) = &out {
+                    let (n_pages, rows) = (pages.len(), m.stats.rows_scanned);
+                    span.finish_with(virt_now, |a| {
+                        a.push(("pages", n_pages.into()));
+                        a.push(("rows", rows.into()));
+                    });
+                }
+                out
+            });
             task
         })
         .collect();
@@ -839,10 +901,16 @@ fn build_join_table_parallel(
     let bytes: u64 = digests.iter().flatten().map(|(_, _, _, len)| *len as u64).sum();
     let parts_n = ctx.threads.max(1);
     let digests = Arc::new(digests);
+    let tracer = ctx.pool.observer().tracer().clone();
+    let span_parent = tracer.current();
+    let virt_now = ctx.pool.observer().now_micros();
     let tasks: Vec<MorselTask<JoinPart>> = (0..parts_n)
         .map(|p| {
             let digests = Arc::clone(&digests);
+            let tracer = tracer.clone();
             let task: MorselTask<JoinPart> = Box::new(move |_abort| {
+                let span =
+                    tracer.begin_at(span_parent, SpanKind::Morsel, "join_partition", virt_now);
                 let mut part = JoinPart::default();
                 for d in digests.iter() {
                     for (h, key, row, _) in d {
@@ -855,6 +923,8 @@ fn build_join_table_parallel(
                         }
                     }
                 }
+                let rows = part.rows.len();
+                span.finish_with(virt_now, |a| a.push(("rows", rows.into())));
                 Ok(part)
             });
             task

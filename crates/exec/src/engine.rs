@@ -656,10 +656,15 @@ impl Database {
         cancel: CancelToken,
         collect: bool,
     ) -> ExecResult<QueryOutput> {
+        let tracer = self.pool.observer().tracer().clone();
+        let virt_start = self.pool.observer().now_micros();
+        let span = tracer.begin(specdb_obs::SpanKind::Execute, "query", virt_start);
         let key = query_key(query);
+        let mut plan_cache_hit = true;
         let (plan, used_views) = match self.plan_cache.get_mut().get_plan(&key) {
             Some(hit) => hit,
             None => {
+                plan_cache_hit = false;
                 let (chosen, used_views) = self.choose_rewrite(query)?;
                 let plan = optimizer::plan_query_with(
                     &self.catalog,
@@ -713,6 +718,17 @@ impl Database {
         let demand = self.pool.demand_since(snap);
         let elapsed = self.disk.time(&demand);
         self.emit_query_events(&plan, row_count, elapsed, &used_views, batch_stats);
+        // The query's virtual extent is [now, now + its modelled cost]:
+        // the replay loop advances the clock *after* execution.
+        span.finish_with(virt_start + elapsed.as_micros(), |a| {
+            a.push(("rows", row_count.into()));
+            a.push(("plan_cache_hit", plan_cache_hit.into()));
+            a.push(("batches", batch_stats.batches.into()));
+            a.push(("cost_secs", elapsed.as_secs_f64().into()));
+            if !used_views.is_empty() {
+                a.push(("used_views", used_views.join(",").into()));
+            }
+        });
         Ok(QueryOutput {
             rows,
             row_count,
@@ -1006,10 +1022,19 @@ impl Database {
 
     /// Optimizer estimates for materializing `graph` now.
     pub fn estimate_materialization(&self, graph: &QueryGraph) -> ExecResult<MatEstimate> {
+        let tracer = self.pool.observer().tracer().clone();
+        let virt_now = self.pool.observer().now_micros();
         let key = format!("mat:{}", canonical_key(graph));
         if let Some(hit) = self.plan_cache.lock().get_mat(&key) {
+            if tracer.is_enabled() {
+                let span = tracer.begin(specdb_obs::SpanKind::Estimate, "estimate_mat", virt_now);
+                span.finish_with(virt_now, |a| a.push(("plan_cache_hit", true.into())));
+            }
             return Ok(hit);
         }
+        // Estimates are free on the virtual clock; the span still shows
+        // their wall cost (optimizer work) under the decide span.
+        let span = tracer.begin(specdb_obs::SpanKind::Estimate, "estimate_mat", virt_now);
         let query = Query::star(graph.clone());
         let (chosen, _) = self.choose_rewrite(&query)?;
         let plan = optimizer::plan_query_with(
@@ -1040,6 +1065,11 @@ impl Database {
             pages,
         };
         self.plan_cache.lock().put_mat(key, out);
+        span.finish_with(virt_now, |a| {
+            a.push(("plan_cache_hit", false.into()));
+            a.push(("est_rows", out.rows.into()));
+            a.push(("build_secs", out.build.as_secs_f64().into()));
+        });
         Ok(out)
     }
 

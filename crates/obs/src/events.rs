@@ -7,9 +7,12 @@
 //! `Observer::wants`) before building a payload so a disinterested sink
 //! costs one virtual call, not an allocation.
 
+use crate::metrics::{Counter, MetricsRegistry};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Sender, SyncSender, TrySendError};
 
 /// The reason a running manipulation was abandoned.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -23,6 +26,8 @@ pub enum CancelReason {
 /// Discriminant of [`Event`], used for sink-side filtering.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum EventKind {
+    /// The user applied one edit to the partial query.
+    Edit,
     /// A page was evicted from the buffer pool.
     BufferEviction,
     /// A query finished executing.
@@ -51,6 +56,12 @@ pub enum EventKind {
 /// what [`JsonlSink`] writes per line.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum Event {
+    /// The user applied one edit to the partial query (recorded by the
+    /// replay loop; the raw material of the dashboard's edit lane).
+    Edit {
+        /// Rendered edit operation.
+        op: String,
+    },
     /// A page left the buffer pool to make room.
     BufferEviction {
         /// Backing file of the evicted page.
@@ -131,6 +142,7 @@ impl Event {
     /// This event's [`EventKind`] discriminant.
     pub fn kind(&self) -> EventKind {
         match self {
+            Event::Edit { .. } => EventKind::Edit,
             Event::BufferEviction { .. } => EventKind::BufferEviction,
             Event::QueryFinished { .. } => EventKind::QueryFinished,
             Event::PlanChosen { .. } => EventKind::PlanChosen,
@@ -163,6 +175,13 @@ pub trait EventSink: Send + Sync {
 
     /// Record one event stamped with a virtual time in microseconds.
     fn record(&self, at_micros: u64, event: &Event);
+
+    /// Bind sink-owned instrumentation (drop counters, queue gauges)
+    /// into `metrics`. Called once when the sink is attached to an
+    /// observer (`Observer::with_sink`); the default does nothing.
+    fn attach_metrics(&self, metrics: &MetricsRegistry) {
+        let _ = metrics;
+    }
 }
 
 /// A sink that wants nothing and records nothing.
@@ -210,15 +229,74 @@ impl EventSink for MemorySink {
     }
 }
 
-/// A sink writing one JSON object per event to a line-oriented writer.
+/// Default bounded-queue depth for [`JsonlSink`].
+const JSONL_QUEUE: usize = 4096;
+
+enum SinkCmd {
+    Line(String),
+    Flush(Sender<()>),
+}
+
+/// A sink writing one JSON object per event to a line-oriented writer,
+/// decoupled from producers by a **bounded queue** and a background
+/// writer thread.
+///
+/// `record` never blocks: events are serialized on the calling thread
+/// and handed to the writer via `try_send`. When the queue is full —
+/// the writer (disk, pipe) can't keep up — the event is *dropped* and
+/// counted, so a slow sink can never stall the worker pool or the
+/// replay loop. Inspect losses with [`JsonlSink::dropped`] or the
+/// `obs.dropped_events` counter (bound on attach, see
+/// [`EventSink::attach_metrics`]).
+///
+/// [`JsonlSink::flush`] is a synchronization barrier: it returns after
+/// every event enqueued before the call has been written and the
+/// underlying writer flushed.
 pub struct JsonlSink {
-    out: Mutex<Box<dyn Write + Send>>,
+    tx: Mutex<Option<SyncSender<SinkCmd>>>,
+    writer: Mutex<Option<std::thread::JoinHandle<()>>>,
+    dropped: AtomicU64,
+    dropped_counter: Mutex<Counter>,
 }
 
 impl JsonlSink {
-    /// Wrap any writer (a `File`, `Vec<u8>`, a locked stdout, ...).
+    /// Wrap any writer (a `File`, `Vec<u8>`, a locked stdout, ...) with
+    /// the default queue depth.
     pub fn new(writer: impl Write + Send + 'static) -> Self {
-        JsonlSink { out: Mutex::new(Box::new(writer)) }
+        JsonlSink::with_queue(writer, JSONL_QUEUE)
+    }
+
+    /// Wrap `writer` with an explicit queue depth (clamped to ≥ 1).
+    /// Small depths are mostly useful for exercising backpressure in
+    /// tests; production sinks want the [`JsonlSink::new`] default.
+    pub fn with_queue(writer: impl Write + Send + 'static, capacity: usize) -> Self {
+        let (tx, rx) = sync_channel::<SinkCmd>(capacity.max(1));
+        let handle = std::thread::Builder::new()
+            .name("specdb-jsonl-sink".into())
+            .spawn(move || {
+                let mut out = writer;
+                for cmd in rx {
+                    match cmd {
+                        // An unwritable sink shouldn't take the
+                        // experiment down with it.
+                        SinkCmd::Line(line) => {
+                            let _ = writeln!(out, "{line}");
+                        }
+                        SinkCmd::Flush(ack) => {
+                            let _ = out.flush();
+                            let _ = ack.send(());
+                        }
+                    }
+                }
+                let _ = out.flush();
+            })
+            .expect("spawn jsonl sink writer thread");
+        JsonlSink {
+            tx: Mutex::new(Some(tx)),
+            writer: Mutex::new(Some(handle)),
+            dropped: AtomicU64::new(0),
+            dropped_counter: Mutex::new(Counter::default()),
+        }
     }
 
     /// Create (truncating) `path` and stream events to it.
@@ -226,15 +304,39 @@ impl JsonlSink {
         Ok(JsonlSink::new(std::io::BufWriter::new(std::fs::File::create(path)?)))
     }
 
-    /// Flush the underlying writer.
+    /// Drain the queue and flush the underlying writer. On return,
+    /// every event recorded (and not dropped) before this call is on
+    /// disk.
     pub fn flush(&self) -> std::io::Result<()> {
-        self.out.lock().flush()
+        let (ack_tx, ack_rx) = std::sync::mpsc::channel();
+        {
+            let tx = self.tx.lock();
+            let Some(tx) = tx.as_ref() else { return Ok(()) };
+            // A full queue is fine here: the writer thread is draining
+            // it, and flush *should* wait for that.
+            if tx.send(SinkCmd::Flush(ack_tx)).is_err() {
+                return Ok(());
+            }
+        }
+        ack_rx.recv().map_err(|_| {
+            std::io::Error::new(std::io::ErrorKind::BrokenPipe, "jsonl sink writer thread exited")
+        })
+    }
+
+    /// Events discarded because the queue was full when they arrived.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 }
 
 impl Drop for JsonlSink {
     fn drop(&mut self) {
-        let _ = self.out.lock().flush();
+        // Disconnect the channel so the writer drains and exits, then
+        // wait for it — its final act is flushing the writer.
+        self.tx.lock().take();
+        if let Some(handle) = self.writer.lock().take() {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -246,9 +348,18 @@ impl EventSink for JsonlSink {
     fn record(&self, at_micros: u64, event: &Event) {
         let timed = TimedEvent { t_micros: at_micros, event: event.clone() };
         let line = serde_json::to_string(&timed).expect("event serialization cannot fail");
-        let mut out = self.out.lock();
-        // An unwritable sink shouldn't take the experiment down with it.
-        let _ = writeln!(out, "{line}");
+        let tx = self.tx.lock();
+        let Some(tx) = tx.as_ref() else { return };
+        if let Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) =
+            tx.try_send(SinkCmd::Line(line))
+        {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            self.dropped_counter.lock().incr();
+        }
+    }
+
+    fn attach_metrics(&self, metrics: &MetricsRegistry) {
+        *self.dropped_counter.lock() = metrics.counter("obs.dropped_events");
     }
 }
 
@@ -326,6 +437,68 @@ mod tests {
     fn parse_rejects_garbage() {
         assert!(parse_jsonl("{\"not\": \"an event\"}").is_err());
         assert!(parse_jsonl("").unwrap().is_empty());
+    }
+
+    /// A wedged writer must cost dropped events, never a blocked
+    /// producer: `record` stays non-blocking while the writer thread is
+    /// stuck, and every event is accounted for as written or dropped.
+    #[test]
+    fn bounded_sink_drops_rather_than_blocking() {
+        use std::sync::{Condvar, Mutex as StdMutex};
+
+        #[derive(Clone)]
+        struct Gate(Arc<(StdMutex<bool>, Condvar)>);
+        impl Gate {
+            fn closed() -> Self {
+                Gate(Arc::new((StdMutex::new(false), Condvar::new())))
+            }
+            fn open(&self) {
+                *self.0 .0.lock().unwrap() = true;
+                self.0 .1.notify_all();
+            }
+        }
+        struct GatedWriter {
+            gate: Gate,
+            buf: Arc<Mutex<Vec<u8>>>,
+        }
+        impl Write for GatedWriter {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                let (lock, cvar) = &*self.gate.0;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cvar.wait(open).unwrap();
+                }
+                self.buf.lock().write(data)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let gate = Gate::closed();
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = JsonlSink::with_queue(GatedWriter { gate: gate.clone(), buf: buf.clone() }, 2);
+        let registry = MetricsRegistry::new();
+        sink.attach_metrics(&registry);
+
+        let total = 10u64;
+        for i in 0..total {
+            // With the writer wedged, at most capacity + 1 events can be
+            // in flight; the rest must drop without blocking us here.
+            sink.record(i, &Event::SpecCollected { table: "x".into() });
+        }
+        let dropped = sink.dropped();
+        assert!(dropped >= total - 3, "expected most events dropped, got {dropped}");
+
+        gate.open();
+        sink.flush().unwrap();
+        let written = String::from_utf8(buf.lock().clone()).unwrap().lines().count() as u64;
+        assert_eq!(written + sink.dropped(), total, "every event written or counted");
+        assert_eq!(
+            registry.snapshot().counter("obs.dropped_events"),
+            sink.dropped(),
+            "attached counter mirrors the drop count"
+        );
     }
 
     #[test]

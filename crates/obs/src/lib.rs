@@ -26,10 +26,12 @@
 pub mod calibration;
 pub mod events;
 pub mod metrics;
+pub mod span;
 
 pub use calibration::{CalibrationReport, CalibrationTracker};
 pub use events::{CancelReason, Event, EventKind, EventSink, JsonlSink, MemorySink, NoopSink};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot};
+pub use span::{AttrValue, OperatorProfile, SpanHandle, SpanKind, SpanRecord, Tracer};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -45,16 +47,21 @@ pub struct Observer {
     sink: Arc<dyn EventSink>,
     calibration: Arc<CalibrationTracker>,
     now_micros: Arc<AtomicU64>,
+    tracer: Tracer,
 }
 
 impl Observer {
     /// An observer that records metrics and calibration but drops events.
+    ///
+    /// Span tracing follows the environment: set `SPECDB_TRACE=1` to
+    /// record spans (see [`Tracer::from_env`]).
     pub fn enabled() -> Self {
         Observer {
             metrics: MetricsRegistry::new(),
             sink: Arc::new(NoopSink),
             calibration: Arc::new(CalibrationTracker::new()),
             now_micros: Arc::new(AtomicU64::new(0)),
+            tracer: Tracer::from_env(),
         }
     }
 
@@ -65,13 +72,29 @@ impl Observer {
             sink: Arc::new(NoopSink),
             calibration: Arc::new(CalibrationTracker::new()),
             now_micros: Arc::new(AtomicU64::new(0)),
+            tracer: Tracer::disabled(),
         }
     }
 
-    /// Replace the event sink, keeping metrics and calibration.
+    /// Replace the event sink, keeping metrics and calibration. The
+    /// sink is given a chance to bind its own gauges/counters into this
+    /// observer's registry (see [`EventSink::attach_metrics`]).
     pub fn with_sink(mut self, sink: Arc<dyn EventSink>) -> Self {
+        sink.attach_metrics(&self.metrics);
         self.sink = sink;
         self
+    }
+
+    /// Replace the span tracer, keeping everything else.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The span tracer backing this observer (cheap to clone; disabled
+    /// unless explicitly enabled or `SPECDB_TRACE` is set).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The metrics registry backing this observer.
@@ -144,6 +167,18 @@ mod tests {
         assert!(obs.metrics().snapshot().counters.is_empty());
         assert!(!obs.wants(EventKind::SpecDecision));
         obs.emit(Event::SpecCollected { table: "t".into() });
+    }
+
+    #[test]
+    fn tracer_rides_along_and_defaults_off() {
+        let obs = Observer::disabled();
+        assert!(!obs.tracer().is_enabled());
+        let traced = Observer::enabled().with_tracer(Tracer::enabled());
+        let span = traced.tracer().begin(SpanKind::Session, "s", 0);
+        span.finish(1);
+        assert_eq!(traced.tracer().spans().len(), 1);
+        // Clones share the tracer.
+        assert_eq!(traced.clone().tracer().spans().len(), 1);
     }
 
     #[test]

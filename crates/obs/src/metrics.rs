@@ -14,8 +14,16 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-/// Number of power-of-two magnitude buckets a histogram tracks.
-const HIST_BUCKETS: usize = 64;
+/// Number of power-of-two magnitude ranges a histogram tracks
+/// (2^-32 up to 2^32, ~2e-10 to ~4e9).
+const HIST_MAGNITUDES: usize = 64;
+
+/// HDR-style linear sub-buckets per power-of-two magnitude: quantiles
+/// resolve to within ~1/16 ≈ 6% relative error at any scale.
+const HIST_SUB: usize = 16;
+
+/// Total histogram buckets.
+const HIST_BUCKETS: usize = HIST_MAGNITUDES * HIST_SUB;
 
 /// Number of per-thread shards a counter cell is split across. Must be
 /// a power of two so the shard pick is a mask, not a division.
@@ -104,8 +112,9 @@ struct HistogramCell {
     sum: f64,
     min: f64,
     max: f64,
-    /// Bucket `i` counts samples whose magnitude rounds to `2^(i-32)`,
-    /// giving usable resolution from ~2e-10 up to ~4e9.
+    /// HDR-style two-level buckets: magnitude `m = i / HIST_SUB` covers
+    /// `[2^(m-32), 2^(m-31))`, split into [`HIST_SUB`] linear
+    /// sub-buckets — see [`bucket_index`] / [`bucket_value`].
     buckets: [u64; HIST_BUCKETS],
 }
 
@@ -117,8 +126,18 @@ impl Default for HistogramCell {
 
 fn bucket_index(value: f64) -> usize {
     let v = value.abs().max(f64::MIN_POSITIVE);
-    let exp = v.log2().round() as i64 + 32;
-    exp.clamp(0, HIST_BUCKETS as i64 - 1) as usize
+    let exp = (v.log2().floor() as i64).clamp(-32, 31);
+    // Mantissa within the magnitude, in [1, 2) — linear sub-bucket.
+    let frac = v / (2f64).powi(exp as i32);
+    let sub = (((frac - 1.0) * HIST_SUB as f64) as usize).min(HIST_SUB - 1);
+    ((exp + 32) as usize) * HIST_SUB + sub
+}
+
+/// Representative value (midpoint) of bucket `index`.
+fn bucket_value(index: usize) -> f64 {
+    let exp = (index / HIST_SUB) as i32 - 32;
+    let sub = (index % HIST_SUB) as f64;
+    (2f64).powi(exp) * (1.0 + (sub + 0.5) / HIST_SUB as f64)
 }
 
 impl HistogramCell {
@@ -177,8 +196,9 @@ impl HistogramSummary {
         }
     }
 
-    /// Approximate quantile `q` in `[0, 1]`, resolved to bucket
-    /// midpoints on the power-of-two scale. Returns 0.0 when empty.
+    /// Approximate quantile `q` in `[0, 1]`, resolved to HDR bucket
+    /// midpoints (~6% relative error) and clamped to the observed
+    /// `[min, max]`. Returns 0.0 when empty.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
@@ -188,10 +208,25 @@ impl HistogramSummary {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if n > 0 && seen > rank {
-                return (2f64).powi(i as i32 - 32);
+                return bucket_value(i).clamp(self.min, self.max);
             }
         }
         self.max
+    }
+
+    /// Median (see [`HistogramSummary::quantile`]).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile (see [`HistogramSummary::quantile`]).
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile (see [`HistogramSummary::quantile`]).
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
     }
 }
 
@@ -350,9 +385,12 @@ impl MetricsSnapshot {
         }
         for (name, hist) in &self.histograms {
             out.push_str(&format!(
-                "{name:<width$}  n={} mean={:.4} min={:.4} max={:.4}\n",
+                "{name:<width$}  n={} mean={:.4} p50={:.4} p95={:.4} p99={:.4} min={:.4} max={:.4}\n",
                 hist.count,
                 hist.mean(),
+                hist.p50(),
+                hist.p95(),
+                hist.p99(),
                 hist.min,
                 hist.max,
             ));
@@ -443,6 +481,36 @@ mod tests {
         assert!(p0 <= p100);
         assert!((0.5..=2.0).contains(&p0), "p0 {p0}");
         assert!((4.0..=16.0).contains(&p100), "p100 {p100}");
+    }
+
+    /// HDR sub-bucketing must resolve tail quantiles to ~6% relative
+    /// error, not the factor-of-two a plain power-of-two scale gives.
+    #[test]
+    fn hdr_quantiles_have_sub_magnitude_resolution() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("lat");
+        // 90 samples near 100, a 10% tail at 1900: the tail sits inside
+        // the 1024..2048 magnitude, where only sub-buckets keep p95/p99
+        // near 1900 rather than rounding to a power of two.
+        for _ in 0..90 {
+            h.record(100.0);
+        }
+        for _ in 0..10 {
+            h.record(1900.0);
+        }
+        let hist = &registry.snapshot().histograms["lat"];
+        let (p50, p95, p99) = (hist.p50(), hist.p95(), hist.p99());
+        assert!((94.0..=107.0).contains(&p50), "p50 {p50}");
+        assert!((1780.0..=1900.0).contains(&p95), "p95 {p95}");
+        assert!((1780.0..=1900.0).contains(&p99), "p99 {p99}");
+        assert!(p50 <= p95 && p95 <= p99);
+        // Same-magnitude values land in distinct sub-buckets.
+        assert_ne!(bucket_index(1100.0), bucket_index(1900.0));
+        // Representative values are inside their bucket's range.
+        for v in [0.003, 1.0, 7.5, 1e6] {
+            let rep = bucket_value(bucket_index(v));
+            assert!((rep / v - 1.0).abs() < 0.07, "value {v} rep {rep}");
+        }
     }
 
     #[test]

@@ -15,8 +15,11 @@
 //!   asynchronous manipulations during recorded think time,
 //! * [`multi`] — multi-user replay: several traces share the engine and
 //!   a processor-sharing disk (Figure 7),
-//! * [`report`] — the improvement metric, bucketing, and table rendering.
+//! * [`report`] — the improvement metric, bucketing, and table rendering,
+//! * [`dashboard`] — self-contained HTML speculation-timeline rendering
+//!   from a traced replay's events and spans.
 
+pub mod dashboard;
 pub mod dataset;
 pub mod multi;
 pub mod replay;

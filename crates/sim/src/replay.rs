@@ -272,6 +272,23 @@ fn cancel_pending(observer: &Observer, out: &mut ReplayOutcome, p: &Pending, rea
     }
 }
 
+/// Short label for an edit op (event payloads and trace instants).
+fn edit_label(op: &specdb_query::EditOp) -> &'static str {
+    use specdb_query::EditOp;
+    match op {
+        EditOp::AddRelation(_) => "add_relation",
+        EditOp::RemoveRelation(_) => "remove_relation",
+        EditOp::AddSelection(_) => "add_selection",
+        EditOp::RemoveSelection(_) => "remove_selection",
+        EditOp::UpdateSelection { .. } => "update_selection",
+        EditOp::AddJoin(_) => "add_join",
+        EditOp::RemoveJoin(_) => "remove_join",
+        EditOp::AddProjection(_, _) => "add_projection",
+        EditOp::RemoveProjection(_, _) => "remove_projection",
+        EditOp::Go => "go",
+    }
+}
+
 fn rollback(db: &mut Database, pending: &Pending) {
     match (&pending.manipulation, &pending.table) {
         (_, Some(t)) => db.drop_materialized(t),
@@ -292,6 +309,12 @@ pub fn replay_trace(
         db.clear_buffer();
     }
     let observer = db.observer().clone();
+    let tracer = observer.tracer().clone();
+    let session_span = tracer.begin(
+        specdb_obs::SpanKind::Session,
+        if config.speculative { "replay_speculative" } else { "replay_normal" },
+        0,
+    );
     let speculator = Speculator::new(config.speculator.clone());
     let mut profile = ProfileState::new(&config.profile);
     let mut pq = PartialQuery::new();
@@ -300,6 +323,9 @@ pub fn replay_trace(
     let mut completed_views: HashMap<String, CompletedView> = HashMap::new();
     let mut out = ReplayOutcome::default();
     let mut query_index = 0usize;
+    // Virtual instant the current question (formulation) started —
+    // feeds the `lat.time_to_go_secs` histogram.
+    let mut question_start: Option<VirtualTime> = None;
 
     // Register a finished build for used-vs-wasted accounting.
     fn complete(
@@ -312,6 +338,10 @@ pub fn replay_trace(
         out.completed += 1;
         out.manipulation_times.push(p.duration);
         observer.metrics().counter("spec.completed").incr();
+        observer
+            .metrics()
+            .histogram("lat.spec_build_secs")
+            .record(p.duration.as_secs_f64());
         if observer.wants(EventKind::SpecCompleted) {
             observer.emit_at(
                 at.as_micros(),
@@ -345,7 +375,14 @@ pub fn replay_trace(
         observer.set_now_micros(at.as_micros());
         let elapsed_formulation =
             profile.formulation_start().map(|s| at.saturating_sub(s)).unwrap_or_default();
+        // Wall-clock decision latency: observational only, never fed
+        // back into the virtual clock or the decision itself.
+        let t0 = std::time::Instant::now();
         let decision = speculator.decide(pq.graph(), db, profile.as_profile(), elapsed_formulation);
+        observer
+            .metrics()
+            .histogram("lat.decide_us")
+            .record(t0.elapsed().as_micros() as f64);
         if decision.is_idle() {
             return Ok(None);
         }
@@ -432,9 +469,22 @@ pub fn replay_trace(
                     rollback(db, &p);
                 }
             }
+            tracer.instant(specdb_obs::SpanKind::Edit, "go", now.as_micros(), |a| {
+                a.push(("query", query_index.into()));
+            });
+            if let Some(qs) = question_start.take() {
+                observer
+                    .metrics()
+                    .histogram("lat.time_to_go_secs")
+                    .record(now.saturating_sub(qs).as_secs_f64());
+            }
             let final_query = pq.query().clone();
             profile.observe_go(now, &final_query.graph);
             let result = db.execute_discard(&final_query)?;
+            observer
+                .metrics()
+                .histogram("lat.query_secs")
+                .record((result.elapsed + wait).as_secs_f64());
             // Settle bets: a completed materialization read by this plan
             // counts as used exactly once, and its predicted per-query
             // benefit is calibrated against the realized saving.
@@ -503,6 +553,12 @@ pub fn replay_trace(
         }
         profile.observe_edit(now, &te.op);
         pq.apply(&te.op);
+        question_start.get_or_insert(now);
+        let label = edit_label(&te.op);
+        tracer.instant(specdb_obs::SpanKind::Edit, label, now.as_micros(), |_| {});
+        if observer.wants(EventKind::Edit) {
+            observer.emit(Event::Edit { op: label.to_string() });
+        }
         // Cancel the in-flight manipulation if the edit invalidated it.
         if let Some(p) = pending.take() {
             if speculator.should_cancel(&p.manipulation, pq.graph()) {
@@ -527,6 +583,17 @@ pub fn replay_trace(
             }
         }
     }
+    let virt_end = trace.edits.last().map(|te| (te.at + offset).as_micros()).unwrap_or(0);
+    let (queries_n, issued, completed, cancelled, used, wasted) =
+        (out.queries.len(), out.issued, out.completed, out.cancelled, out.used, out.wasted);
+    session_span.finish_with(virt_end, |a| {
+        a.push(("queries", queries_n.into()));
+        a.push(("issued", issued.into()));
+        a.push(("completed", completed.into()));
+        a.push(("cancelled", cancelled.into()));
+        a.push(("used", used.into()));
+        a.push(("wasted", wasted.into()));
+    });
     Ok(out)
 }
 

@@ -300,6 +300,41 @@ pub fn render_speculation_summary(
     s
 }
 
+/// Render per-operator execution profiles (from the tracer's Operator
+/// spans) as a report table: calls, batches, rows, wall time, and each
+/// operator's share of the total.
+pub fn render_operator_profiles(profiles: &[specdb_obs::OperatorProfile]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    writeln!(s, "## Operator profile").unwrap();
+    if profiles.is_empty() {
+        writeln!(s, "   (no operator spans recorded — is tracing enabled?)").unwrap();
+        return s;
+    }
+    let total_us: u64 = profiles.iter().map(|p| p.wall_us).sum();
+    writeln!(
+        s,
+        "{:>16} {:>8} {:>9} {:>12} {:>10} {:>7}",
+        "operator", "calls", "batches", "rows", "wall(ms)", "share%"
+    )
+    .unwrap();
+    for p in profiles {
+        let share = if total_us == 0 { 0.0 } else { p.wall_us as f64 / total_us as f64 * 100.0 };
+        writeln!(
+            s,
+            "{:>16} {:>8} {:>9} {:>12} {:>10.2} {:>7.1}",
+            p.name,
+            p.calls,
+            p.batches,
+            p.rows,
+            p.wall_us as f64 / 1000.0,
+            share
+        )
+        .unwrap();
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -444,6 +479,30 @@ mod tests {
         let empty = SpeculationSummary::from_outcomes(&[]);
         assert_eq!(empty.hit_rate, 0.0);
         assert_eq!(empty.waste_ratio, 0.0);
+    }
+
+    #[test]
+    fn operator_profile_table_renders_shares() {
+        let profiles = vec![
+            specdb_obs::OperatorProfile {
+                name: "seq_scan",
+                calls: 2,
+                rows: 1000,
+                batches: 4,
+                wall_us: 3000,
+            },
+            specdb_obs::OperatorProfile {
+                name: "hash_join",
+                calls: 1,
+                rows: 100,
+                batches: 1,
+                wall_us: 1000,
+            },
+        ];
+        let text = render_operator_profiles(&profiles);
+        assert!(text.contains("seq_scan"));
+        assert!(text.contains("75.0"), "seq_scan holds 3/4 of the wall time:\n{text}");
+        assert!(render_operator_profiles(&[]).contains("no operator spans"));
     }
 
     #[test]

@@ -17,7 +17,7 @@ use crate::error::{StorageError, StorageResult};
 use crate::page::{FileId, Page, PageId, PAGE_SIZE};
 use crate::segcache::SegCache;
 use crate::tuple::Tuple;
-use specdb_obs::{Counter, Event, EventKind, Observer};
+use specdb_obs::{Counter, Event, EventKind, Histogram, Observer};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -35,6 +35,7 @@ struct PoolMetrics {
     seg_hit: Counter,
     seg_miss: Counter,
     seg_evict: Counter,
+    seg_decode_us: Histogram,
     mem_bytes: Counter,
 }
 
@@ -51,6 +52,7 @@ impl PoolMetrics {
             seg_hit: m.counter("segcache.hit"),
             seg_miss: m.counter("segcache.miss"),
             seg_evict: m.counter("segcache.evictions"),
+            seg_decode_us: m.histogram("segcache.decode_us"),
             mem_bytes: m.counter("mem.build.bytes"),
         }
     }
@@ -176,6 +178,7 @@ impl BufferPool {
             self.metrics.seg_hit.clone(),
             self.metrics.seg_miss.clone(),
             self.metrics.seg_evict.clone(),
+            self.metrics.seg_decode_us.clone(),
         );
         self.observer = observer;
     }

@@ -20,7 +20,7 @@ use crate::column::ColumnSegment;
 use crate::error::StorageResult;
 use crate::page::{FileId, Page, PageId};
 use parking_lot::Mutex;
-use specdb_obs::Counter;
+use specdb_obs::{Counter, Histogram};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
@@ -31,6 +31,9 @@ struct SegMetrics {
     hit: Counter,
     miss: Counter,
     evict: Counter,
+    /// Wall-clock decode cost per page, microseconds. Observational
+    /// only — never feeds virtual accounting.
+    decode_us: Histogram,
 }
 
 #[derive(Default)]
@@ -58,8 +61,14 @@ impl SegCache {
     }
 
     /// Install metric handles (called when the pool's observer changes).
-    pub(crate) fn set_metrics(&self, hit: Counter, miss: Counter, evict: Counter) {
-        self.inner.lock().metrics = SegMetrics { hit, miss, evict };
+    pub(crate) fn set_metrics(
+        &self,
+        hit: Counter,
+        miss: Counter,
+        evict: Counter,
+        decode_us: Histogram,
+    ) {
+        self.inner.lock().metrics = SegMetrics { hit, miss, evict, decode_us };
     }
 
     /// Look up the decoded form of `pid`, decoding (and caching, when
@@ -77,6 +86,7 @@ impl SegCache {
         small_file: bool,
     ) -> StorageResult<Arc<ColumnSegment>> {
         let cache_hot;
+        let decode_us;
         {
             let inner = self.inner.lock();
             if let Some(seg) = inner.map.get(&pid) {
@@ -85,8 +95,11 @@ impl SegCache {
             }
             inner.metrics.miss.incr();
             cache_hot = inner.hot.contains(&pid.file);
+            decode_us = inner.metrics.decode_us.clone();
         }
+        let t0 = std::time::Instant::now();
         let seg = Arc::new(ColumnSegment::decode_page(page)?);
+        decode_us.record(t0.elapsed().as_micros() as f64);
         let mut inner = self.inner.lock();
         if cache_hot
             || inner.hot.contains(&pid.file)

@@ -3,17 +3,27 @@
 //! Replays a single exploration trace with full observability switched
 //! on: every speculation-lifecycle event (decision, start, cancel,
 //! completion, used-at-GO, wasted) streams to a JSONL file stamped in
-//! virtual time, and the run ends with the metrics registry's counter
-//! summary plus the speculator's prediction-calibration report.
+//! virtual time; the tracer's spans are exported as Chrome/Perfetto
+//! `trace_event` JSON and rendered as a self-contained HTML timeline
+//! dashboard (lanes for edits, builds colored used/wasted/cancelled,
+//! queries, and worker occupancy); and the run ends with a per-operator
+//! profile table, the metrics registry's counter/histogram summary, and
+//! the speculator's prediction-calibration report.
 //!
 //! Run with: `cargo run --release --example speculation_timeline`
 //! (optional first argument: path for the JSONL event log, default
-//! `target/speculation_timeline.jsonl`).
+//! `target/speculation_timeline.jsonl`; the Perfetto trace and HTML
+//! dashboard are written next to it with `.trace.json` and `.html`
+//! extensions).
 
 use specdb::obs::events::parse_jsonl;
-use specdb::obs::{Event, JsonlSink, Observer};
+use specdb::obs::span::validate_chrome_trace;
+use specdb::obs::{Event, JsonlSink, Observer, Tracer};
+use specdb::sim::dashboard::render_timeline_html;
 use specdb::sim::replay::{replay_trace, ReplayConfig};
-use specdb::sim::report::{render_speculation_summary, SpeculationSummary};
+use specdb::sim::report::{
+    render_operator_profiles, render_speculation_summary, SpeculationSummary,
+};
 use specdb::sim::{build_base_db, DatasetSpec};
 use specdb::trace::{UserModel, UserModelConfig};
 use std::sync::Arc;
@@ -52,7 +62,7 @@ fn main() {
     let base = build_base_db(&spec).expect("base db");
 
     let sink = Arc::new(JsonlSink::create(&path).expect("create event log"));
-    let observer = Observer::enabled().with_sink(sink.clone());
+    let observer = Observer::enabled().with_sink(sink.clone()).with_tracer(Tracer::enabled());
     let mut db = base.clone();
     db.set_observer(observer.clone());
 
@@ -85,10 +95,39 @@ fn main() {
         }
     }
 
+    // Export the tracer's spans: Perfetto trace + HTML dashboard.
+    let tracer = observer.tracer();
+    let spans = tracer.spans();
+    let stem = path.strip_suffix(".jsonl").unwrap_or(&path);
+    let trace_path = format!("{stem}.trace.json");
+    let chrome = tracer.to_chrome_trace();
+    let n = validate_chrome_trace(&chrome).expect("trace JSON must satisfy the schema");
+    std::fs::write(&trace_path, &chrome).expect("write Perfetto trace");
+    println!("\nwrote {n} trace events to {trace_path} (open in ui.perfetto.dev)");
+
+    let html_path = format!("{stem}.html");
+    let timed: Vec<(u64, Event)> = events.iter().map(|t| (t.t_micros, t.event.clone())).collect();
+    let html = render_timeline_html(
+        &format!("speculation timeline — {} / seed {seed}", spec.label),
+        &timed,
+        &spans,
+    );
+    std::fs::write(&html_path, html).expect("write timeline dashboard");
+    println!("wrote timeline dashboard to {html_path}");
+
+    println!();
+    print!("{}", render_operator_profiles(&tracer.operator_profiles()));
+
     println!();
     let summary = SpeculationSummary::from_outcomes(std::slice::from_ref(&outcome));
     print!("{}", render_speculation_summary(&summary, Some(observer.calibration())));
 
     println!("\n## Metrics");
     print!("{}", observer.metrics().snapshot().render());
+    println!(
+        "\nspans recorded: {} (dropped {}), sink events dropped: {}",
+        spans.len(),
+        tracer.dropped(),
+        sink.dropped()
+    );
 }

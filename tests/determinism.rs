@@ -92,6 +92,39 @@ fn replay_identical_at_any_thread_count() {
     }
 }
 
+/// Tracing is strictly observational: a full speculative replay with
+/// the tracer and an event sink attached must produce the bit-identical
+/// [`ReplayOutcome`] as one with observability fully disabled, at every
+/// worker-thread count. Wall-clock span timestamps must never leak into
+/// virtual-time accounting or speculation decisions.
+///
+/// [`ReplayOutcome`]: specdb::sim::replay::ReplayOutcome
+#[test]
+fn replay_identical_with_tracing_on_and_off() {
+    use specdb::obs::{MemorySink, Observer, Tracer};
+    use std::sync::Arc;
+    let base = build_base_db(&DatasetSpec::tiny()).unwrap();
+    let trace = UserModel::default().generate("u", 1234);
+    let run = |threads: usize, traced: bool| {
+        let mut db = base.clone();
+        db.set_threads(threads);
+        if traced {
+            let sink = Arc::new(MemorySink::new());
+            db.set_observer(Observer::enabled().with_sink(sink).with_tracer(Tracer::enabled()));
+        }
+        replay_trace(&mut db, &trace, &ReplayConfig::speculative()).unwrap()
+    };
+    for threads in [1usize, 4] {
+        let plain = run(threads, false);
+        let traced = run(threads, true);
+        assert!(plain.issued > 0, "trace must exercise speculation");
+        assert_eq!(
+            plain, traced,
+            "tracing changed observable replay behaviour at {threads} threads"
+        );
+    }
+}
+
 #[test]
 fn multi_user_replay_is_deterministic() {
     use specdb::sim::replay_multi;
