@@ -8,11 +8,14 @@
 //! This bench runs a memory-resident TPC-H workload (scans, joins,
 //! aggregates) through all three [`ExecMode`]s plus a fourth arm running
 //! the columnar pipeline with four morsel workers
-//! (`Database::set_threads(4)`, PR 5) — the batch arms with every
-//! table's segments pinned — verifying along the way that rows and
-//! virtual-time accounting are bit-identical across modes and thread
-//! counts (the batch and parallel paths are wall-clock optimizations
-//! only).
+//! (`Database::set_threads(4)`, PR 5) and a fifth running it with
+//! segment encoding disabled (`Database::set_encoding(false)`, PR 7 —
+//! plain segments, no dictionaries or zone maps) — the batch arms with
+//! every table's segments pinned — verifying along the way that rows and
+//! virtual-time accounting are bit-identical across modes, thread
+//! counts, and encodings (all of them wall-clock optimizations only).
+//! The artifact also records the encoded-segment compression ratio and
+//! the number of pages zone maps let the scans skip.
 //!
 //! Results land in `BENCH_executor.json` at the repository root so CI
 //! can archive them; the criterion-style stderr lines participate in
@@ -42,6 +45,10 @@ const WORKLOAD: &[&str] = &[
     "SELECT customer.c_name, orders.o_totalprice FROM customer, orders \
      WHERE orders.o_custkey = customer.c_custkey AND c_nation = 'FRANCE' \
      AND o_orderpriority <= 2",
+    // Clustered-predicate scan: c_custkey is loaded in key order, so the
+    // zone maps of every page past the first prove `< 100` matches
+    // nothing — the page-skip fast path (PR 7) in its best case.
+    "SELECT c_name FROM customer WHERE c_custkey < 100",
 ];
 
 fn workload(db: &Database) -> Vec<Query> {
@@ -122,6 +129,7 @@ fn main() {
         .map(|&mode| {
             let mut db = base.clone();
             db.set_exec_mode(mode);
+            db.set_encoding(true);
             if mode != ExecMode::Row {
                 for t in specdb_tpch::TPCH_TABLES {
                     db.cache_table_segments(t).expect("cache segments");
@@ -137,6 +145,18 @@ fn main() {
         db.set_threads(4);
         arms.push(db);
     }
+    // Fifth arm: serial columnar with segment encoding off — plain
+    // `ColumnVec` segments, no dictionaries, no zone maps. The baseline
+    // the encoded kernels must beat on dictionary-friendly scans.
+    {
+        let mut db = base.clone();
+        db.set_exec_mode(ExecMode::Columnar);
+        db.set_encoding(false);
+        for t in specdb_tpch::TPCH_TABLES {
+            db.cache_table_segments(t).expect("cache segments");
+        }
+        arms.push(db);
+    }
     let qs = workload(&base);
 
     // Warm every arm (buffer pool + segment cache) and hold them to the
@@ -145,13 +165,27 @@ fn main() {
         arms.iter_mut().map(|db| run_workload(db, &qs)).collect();
     let identical = warm.iter().all(|w| *w == warm[0]);
     assert!(identical, "executor modes diverged: {warm:?}");
-    let seg_pages = arms.last().expect("arms").pool().seg_resident();
+    let seg_pages = arms[2].pool().seg_resident();
+
+    // Storage-format stats, on a dedicated clone of the encoded columnar
+    // arm so the metrics observer never perturbs the timed arms: resident
+    // encoded vs would-be-plain bytes, and zone-map page skips over one
+    // workload pass.
+    let (compression_ratio, pages_skipped) = {
+        let mut db = arms[2].clone();
+        db.set_observer(specdb_obs::Observer::enabled());
+        run_workload(&mut db, &qs);
+        let snap = db.observer().metrics().snapshot();
+        let encoded = db.pool().seg_resident_bytes().max(1);
+        let plain = db.pool().seg_resident_plain_bytes();
+        (plain as f64 / encoded as f64, snap.counter("exec.pages_skipped"))
+    };
 
     // Criterion lines (participate in --save-baseline / --baseline).
     let labels: Vec<String> = MODES
         .iter()
         .map(|m| m.as_str().replace('-', "_"))
-        .chain(["batch_columnar_par4".into()])
+        .chain(["batch_columnar_par4".into(), "batch_columnar_plain".into()])
         .collect();
     let mut c = Criterion::default().sample_size(if smoke { 2 } else { 10 });
     for (db, label) in arms.iter_mut().zip(&labels) {
@@ -165,13 +199,16 @@ fn main() {
     let us: Vec<f64> = arms.iter_mut().map(|db| time_arm(db, &qs, passes)).collect();
     let arm_samples: Vec<Vec<f64>> =
         arms.iter_mut().map(|db| sample_arm(db, &qs, passes)).collect();
-    let (row_us, batch_row_us, columnar_us, par4_us) = (us[0], us[1], us[2], us[3]);
+    let (row_us, batch_row_us, columnar_us, par4_us, plain_us) =
+        (us[0], us[1], us[2], us[3], us[4]);
     let speedup = row_us / columnar_us.max(1e-9);
     let speedup_vs_batch_row = batch_row_us / columnar_us.max(1e-9);
     let par4_speedup = columnar_us / par4_us.max(1e-9);
+    let encoded_speedup_vs_plain = plain_us / columnar_us.max(1e-9);
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
 
     // Per-query breakdown (stderr only; helps attribute regressions).
+    let mut per_query: Vec<Vec<f64>> = Vec::with_capacity(qs.len());
     for (qi, (q, sql)) in qs.iter().zip(WORKLOAD).enumerate() {
         let per: Vec<f64> = arms
             .iter_mut()
@@ -179,23 +216,30 @@ fn main() {
             .collect();
         eprintln!(
             "executor:   q{qi}: row {:7.1} | batch-row {:7.1} | columnar {:7.1} | \
-             par4 {:7.1} us ({:.2}x vs row)  {}",
+             par4 {:7.1} | plain {:7.1} us ({:.2}x vs row, {:.2}x vs plain)  {}",
             per[0],
             per[1],
             per[2],
             per[3],
+            per[4],
             per[0] / per[2].max(1e-9),
+            per[4] / per[2].max(1e-9),
             sql
         );
+        per_query.push(per);
     }
+    // q0 is the dictionary-friendly scan (low-cardinality string
+    // equality): the encoded kernel's headline matchup against plain.
+    let encoded_q0_speedup = per_query[0][4] / per_query[0][2].max(1e-9);
 
     println!();
     println!(
         "executor ({} queries x {passes} passes, {seg_pages} segment-cached pages, \
          {cores} cores): row {row_us:.1} | batch-row {batch_row_us:.1} | \
-         columnar {columnar_us:.1} | par4 {par4_us:.1} us/query \
+         columnar {columnar_us:.1} | par4 {par4_us:.1} | plain {plain_us:.1} us/query \
          ({speedup:.2}x vs row, {speedup_vs_batch_row:.2}x vs batch-row, \
-         par4 {par4_speedup:.2}x vs columnar)",
+         par4 {par4_speedup:.2}x vs columnar, encoded {encoded_speedup_vs_plain:.2}x vs plain, \
+         compression {compression_ratio:.2}x, {pages_skipped} pages skipped)",
         qs.len()
     );
 
@@ -204,11 +248,15 @@ fn main() {
          \"dataset\": \"{}\",\n  \"dataset_mb\": {},\n  \"queries\": {},\n  \"passes\": {passes},\n  \
          \"seg_cached_pages\": {seg_pages},\n  \"host_cores\": {cores},\n  \
          \"us_per_query\": {{ \"row\": {row_us:.3}, \"batch_row\": {batch_row_us:.3}, \
-         \"batch_columnar\": {columnar_us:.3}, \"batch_columnar_par4\": {par4_us:.3} }},\n  \
+         \"batch_columnar\": {columnar_us:.3}, \"batch_columnar_par4\": {par4_us:.3}, \
+         \"batch_columnar_plain\": {plain_us:.3} }},\n  \
          \"us_per_query_quantiles\": {{ \"row\": {}, \"batch_row\": {}, \
-         \"batch_columnar\": {}, \"batch_columnar_par4\": {} }},\n  \
+         \"batch_columnar\": {}, \"batch_columnar_par4\": {}, \"batch_columnar_plain\": {} }},\n  \
          \"speedup\": {speedup:.3},\n  \"speedup_vs_batch_row\": {speedup_vs_batch_row:.3},\n  \
          \"par4_speedup_vs_columnar\": {par4_speedup:.3},\n  \
+         \"encoded_speedup_vs_plain\": {encoded_speedup_vs_plain:.3},\n  \
+         \"encoded_q0_speedup_vs_plain\": {encoded_q0_speedup:.3},\n  \
+         \"compression_ratio\": {compression_ratio:.3},\n  \"pages_skipped\": {pages_skipped},\n  \
          \"identical\": {identical}\n}}\n",
         spec_ds.label,
         spec_ds.actual_mb(),
@@ -217,6 +265,7 @@ fn main() {
         specdb_bench::quantiles_json(&arm_samples[1]),
         specdb_bench::quantiles_json(&arm_samples[2]),
         specdb_bench::quantiles_json(&arm_samples[3]),
+        specdb_bench::quantiles_json(&arm_samples[4]),
     );
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_executor.json");
     write_json(&path, &json);
@@ -231,6 +280,17 @@ fn main() {
     if smoke && speedup_vs_batch_row < 0.9 {
         eprintln!(
             "executor: FAIL — columnar path regressed vs batch-row ({speedup_vs_batch_row:.2}x)"
+        );
+        std::process::exit(1);
+    }
+    // Encoding gate: on the dictionary-friendly scan (q0, string
+    // equality over a handful of nations) the encoded kernel must not be
+    // slower than the plain columnar baseline (10% noise allowance —
+    // per-query smoke timings are short).
+    if smoke && encoded_q0_speedup < 0.9 {
+        eprintln!(
+            "executor: FAIL — encoded scan slower than plain on dictionary-friendly q0 \
+             ({encoded_q0_speedup:.2}x)"
         );
         std::process::exit(1);
     }

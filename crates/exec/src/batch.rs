@@ -24,6 +24,16 @@
 //! [`Value`] comparison semantics per element and only skip the generic
 //! tag dispatch.
 //!
+//! Kernels additionally exploit the segment cache's *encoded* column
+//! forms ([`specdb_storage::EncodedCol`]): dictionary columns evaluate a
+//! predicate once per distinct value and filter by `u32` code,
+//! run-length columns accept or reject whole runs, and per-column zone
+//! maps ([`specdb_storage::ZoneMap`]) let a scan skip decoding pages
+//! that provably contain no qualifying row (`exec.pages_skipped`).
+//! Selection vectors make materialization late: only the columns a
+//! query keeps, on the pages that survive the zones, ever inflate to
+//! `Vec<Value>`.
+//!
 //! **Equivalence contract**: for any plan, this path produces the same
 //! tuples in the same order as [`crate::run::run`], and charges the same
 //! virtual-time resource demand (page reads, hits, CPU tuples, writes,
@@ -35,14 +45,18 @@
 
 use crate::context::{CancelToken, ExecCtx};
 use crate::error::{ExecError, ExecResult};
-use crate::parallel::{check_abort, morsel_size, stream_ordered, MorselTask};
+use crate::parallel::{
+    check_abort, effective_workers, morsel_size, stream_ordered, MorselTask, MIN_MORSEL_PAGES,
+};
 use crate::plan::{BoundPred, Plan, PlanNode};
 use crate::run::{as_ref_bound, Acc};
 use specdb_catalog::{Catalog, DataType, Schema};
 use specdb_obs::SpanKind;
 use specdb_query::{AggFunc, CompareOp};
+use specdb_storage::column::rle_run_of;
 use specdb_storage::{
-    AccessKind, ColumnSegment, ColumnVec, HeapFile, Page, PageId, SegCache, Tuple, Value,
+    AccessKind, ColumnSegment, ColumnVec, EncodedCol, HeapFile, Page, PageId, SegCache, Tuple,
+    Value, ZoneMap,
 };
 use std::cmp::Ordering;
 use std::collections::HashMap;
@@ -73,9 +87,26 @@ impl ColumnBatch {
         ColumnBatch { cols, sel: None, rows }
     }
 
-    /// Zero-copy batch over a decoded page segment's columns.
+    /// Batch over a decoded page segment's columns (all of them
+    /// materialized — see `ColumnBatch::from_segment_keep` for the
+    /// late-materializing scan path).
     pub fn from_segment(seg: &ColumnSegment) -> Self {
-        ColumnBatch::new(seg.cols().to_vec())
+        ColumnBatch::new(seg.cols())
+    }
+
+    /// Batch over only the `keep` columns of a segment (`None` keeps
+    /// all). This is where late materialization pays off: columns a
+    /// query filters on but never outputs are left encoded, and the
+    /// kept columns decode lazily, once, shared by every batch over the
+    /// page.
+    fn from_segment_keep(seg: &ColumnSegment, keep: Option<&[usize]>) -> Self {
+        let cols = match keep {
+            Some(keep) => keep.iter().map(|&c| Arc::clone(seg.col(c))).collect(),
+            None => seg.cols(),
+        };
+        // Explicit row count: a zero-column projection still carries the
+        // segment's row extent for selection vectors.
+        ColumnBatch { cols, sel: None, rows: seg.rows() }
     }
 
     /// Replace the selection vector (row indexes into the underlying
@@ -450,6 +481,14 @@ impl<'v> FilterKernel<'v> {
 /// Evaluate scan filters column-at-a-time into a selection vector.
 /// `None` means "all rows live" (no filters). A predicate on a NULL
 /// constant matches nothing ([`CompareOp::eval`] three-valued logic).
+///
+/// Kernels run on the column's *encoded* form: a dictionary column
+/// evaluates the predicate once per distinct value and then tests `u32`
+/// codes against the resulting pass set; an RLE column evaluates once
+/// per run and accepts or rejects whole runs. Both are exact because
+/// encoding groups rows by identical representation and every kernel is
+/// a pure function of the value — the selection vector is bit-identical
+/// to the plain per-row loop.
 fn eval_filters(seg: &ColumnSegment, filters: &[BoundPred], schema: &Schema) -> Option<Vec<u32>> {
     if filters.is_empty() {
         return None;
@@ -458,25 +497,77 @@ fn eval_filters(seg: &ColumnSegment, filters: &[BoundPred], schema: &Schema) -> 
     for f in filters {
         let col_ty = schema.columns().get(f.idx).map(|c| c.ty);
         let kernel = FilterKernel::choose(col_ty, &f.value);
-        let col = seg.col(f.idx).as_slice();
-        let next = match &sel {
-            None => {
-                let mut v = Vec::new();
-                for (i, val) in col.iter().enumerate() {
-                    if kernel.matches(f.op, val) {
-                        v.push(i as u32);
+        let next = match seg.encoded(f.idx) {
+            EncodedCol::Plain(col) => {
+                let col = col.as_slice();
+                match &sel {
+                    None => {
+                        let mut v = Vec::new();
+                        for (i, val) in col.iter().enumerate() {
+                            if kernel.matches(f.op, val) {
+                                v.push(i as u32);
+                            }
+                        }
+                        v
+                    }
+                    Some(prev) => {
+                        let mut v = Vec::with_capacity(prev.len());
+                        for &i in prev {
+                            if kernel.matches(f.op, &col[i as usize]) {
+                                v.push(i);
+                            }
+                        }
+                        v
                     }
                 }
-                v
             }
-            Some(prev) => {
-                let mut v = Vec::with_capacity(prev.len());
-                for &i in prev {
-                    if kernel.matches(f.op, &col[i as usize]) {
-                        v.push(i);
+            EncodedCol::Dict { codes, dict } => {
+                let pass: Vec<bool> = dict.iter().map(|v| kernel.matches(f.op, v)).collect();
+                match &sel {
+                    None => {
+                        let mut v = Vec::new();
+                        for (i, &code) in codes.iter().enumerate() {
+                            if pass[code as usize] {
+                                v.push(i as u32);
+                            }
+                        }
+                        v
+                    }
+                    Some(prev) => {
+                        let mut v = Vec::with_capacity(prev.len());
+                        for &i in prev {
+                            if pass[codes[i as usize] as usize] {
+                                v.push(i);
+                            }
+                        }
+                        v
                     }
                 }
-                v
+            }
+            EncodedCol::Rle { values, starts } => {
+                let pass: Vec<bool> = values.iter().map(|v| kernel.matches(f.op, v)).collect();
+                match &sel {
+                    None => {
+                        let rows = seg.rows() as u32;
+                        let mut v = Vec::new();
+                        for (run, &start) in starts.iter().enumerate() {
+                            if pass[run] {
+                                let end = starts.get(run + 1).copied().unwrap_or(rows);
+                                v.extend(start..end);
+                            }
+                        }
+                        v
+                    }
+                    Some(prev) => {
+                        let mut v = Vec::with_capacity(prev.len());
+                        for &i in prev {
+                            if pass[rle_run_of(starts, i)] {
+                                v.push(i);
+                            }
+                        }
+                        v
+                    }
+                }
             }
         };
         if next.is_empty() {
@@ -485,6 +576,38 @@ fn eval_filters(seg: &ColumnSegment, filters: &[BoundPred], schema: &Schema) -> 
         sel = Some(next);
     }
     sel
+}
+
+/// Can `filters` provably select zero rows on a page whose per-column
+/// summaries are `zones`? Uses only [`Value`]'s total order — the same
+/// order [`CompareOp::eval`] and every kernel comparison reduce to — so
+/// an excluded page skips decode and filtering with results identical
+/// to scanning it.
+///
+/// The rules, per predicate (`mn`/`mx` are the column's non-null
+/// min/max; comparisons against NULL never match, so null counts are
+/// irrelevant to exclusion):
+/// * NULL constant: matches nothing — every page is excludable.
+/// * all-NULL column (`mn` absent): nothing to match.
+/// * `Eq`: `c < mn` or `c > mx`; `Ne`: `mn == mx == c`;
+///   `Lt`: `mn >= c`; `Le`: `mn > c`; `Gt`: `mx <= c`; `Ge`: `mx < c`.
+pub(crate) fn zones_exclude(zones: &[ZoneMap], filters: &[BoundPred]) -> bool {
+    filters.iter().any(|f| {
+        let Some(zone) = zones.get(f.idx) else { return false };
+        if f.value.is_null() {
+            return true;
+        }
+        let (Some(mn), Some(mx)) = (&zone.min, &zone.max) else { return true };
+        let c = &f.value;
+        match f.op {
+            CompareOp::Eq => c.cmp(mn).is_lt() || c.cmp(mx).is_gt(),
+            CompareOp::Ne => mn.cmp(c).is_eq() && mx.cmp(c).is_eq(),
+            CompareOp::Lt => mn.cmp(c).is_ge(),
+            CompareOp::Le => mn.cmp(c).is_gt(),
+            CompareOp::Gt => mx.cmp(c).is_le(),
+            CompareOp::Ge => mx.cmp(c).is_lt(),
+        }
+    })
 }
 
 fn apply_filters(t: &Tuple, filters: &[BoundPred]) -> bool {
@@ -525,6 +648,7 @@ struct MorselStats {
     rows_selected: u64,
     cols_scanned: u64,
     batches: u64,
+    pages_skipped: u64,
 }
 
 /// One morsel's output: per-batch mapped results in page order plus the
@@ -553,20 +677,31 @@ fn scan_morsel<R>(
     for (pid, page) in pages {
         check_abort(abort)?;
         shared.cancel.check()?;
+        stats.rows_scanned += page.live_count() as u64;
+        // Zone-map page skipping, checked both before decode (the zone
+        // side-cache survives segment eviction, so a warm re-scan skips
+        // without decoding) and after (cold cache): `pages_skipped` is a
+        // pure function of page data and filters, never of cache state.
+        if let Some(zones) = shared.seg_cache.zone_maps(*pid) {
+            if zones_exclude(&zones, &shared.filters) {
+                stats.pages_skipped += 1;
+                continue;
+            }
+        }
         let seg = shared.seg_cache.get_or_decode(*pid, page, shared.small_file)?;
-        stats.rows_scanned += seg.rows() as u64;
+        if zones_exclude(seg.zones(), &shared.filters) {
+            stats.pages_skipped += 1;
+            continue;
+        }
         let sel = eval_filters(&seg, &shared.filters, &shared.schema);
         let live = sel.as_ref().map_or(seg.rows(), |s| s.len());
         stats.rows_selected += live as u64;
         if live == 0 {
             continue;
         }
-        let mut batch = ColumnBatch::from_segment(&seg);
+        let mut batch = ColumnBatch::from_segment_keep(&seg, shared.keep.as_deref());
         if let Some(sel) = sel {
             batch = batch.with_sel(sel);
-        }
-        if let Some(keep) = &shared.keep {
-            batch = batch.project(keep);
         }
         results.extend(map(batch, &mut stats)?);
     }
@@ -574,9 +709,14 @@ fn scan_morsel<R>(
 }
 
 /// Gate for the morsel path: enabled by the context's thread count and
-/// worth dispatching (a one-page scan is cheaper done inline).
+/// worth dispatching. Results are identical either way, so this is pure
+/// wall-clock policy: a scan shorter than one minimum-size morsel pays
+/// more in dispatch overhead (boxing, channel hops, ordered-merge
+/// buffering) than a worker saves, so it runs inline (the
+/// `batch_columnar_par4` regression was exactly this, per-page tasks
+/// over small tables).
 fn use_parallel(ctx: &ExecCtx<'_>, pages: u32) -> bool {
-    ctx.threads > 1 && pages >= 2
+    ctx.threads > 1 && pages as usize >= MIN_MORSEL_PAGES
 }
 
 /// The parallel counterpart of the fused scan loop: phase-A serial page
@@ -609,7 +749,7 @@ fn parallel_fused_scan<R: Send + 'static>(
         small_file: ctx.pool.seg_cacheable_size(heap.file),
         cancel: ctx.cancel.clone(),
     });
-    let threads = ctx.threads;
+    let threads = effective_workers(ctx.threads);
     let chunk = morsel_size(work.len(), threads);
     // Morsel spans are wall-clock lanes parented on the coordinator's
     // current (operator) span; workers never touch the span stack.
@@ -644,11 +784,43 @@ fn parallel_fused_scan<R: Send + 'static>(
         stats.rows_selected += m.stats.rows_selected;
         stats.cols_scanned += m.stats.cols_scanned;
         stats.batches += m.stats.batches;
+        stats.pages_skipped += m.stats.pages_skipped;
         for r in m.results {
             emit(r)?;
         }
         Ok(())
     })
+}
+
+/// Serial-loop twin of [`scan_morsel`]'s per-page front half: read one
+/// heap page with sequential accounting, consult zone maps (side-cache
+/// first, decoded segment second) and return `None` when no row can
+/// pass `filters`. A skipped page is charged exactly like a scanned one
+/// — the page access and `charge_cpu(live rows)` — so resource demand
+/// is identical to a full scan; only decode and filter work is elided.
+fn read_page_zoned(
+    heap: HeapFile,
+    page_no: u32,
+    filters: &[BoundPred],
+    ctx: &mut ExecCtx<'_>,
+) -> ExecResult<Option<Arc<ColumnSegment>>> {
+    let pid = PageId::new(heap.file, page_no);
+    let page = ctx.pool.read_page(pid, AccessKind::Sequential)?;
+    ctx.pool.charge_cpu(page.live_count() as u64);
+    ctx.batch_stats.rows_scanned += page.live_count() as u64;
+    let cache = ctx.pool.seg_cache();
+    if let Some(zones) = cache.zone_maps(pid) {
+        if zones_exclude(&zones, filters) {
+            ctx.batch_stats.pages_skipped += 1;
+            return Ok(None);
+        }
+    }
+    let seg = cache.get_or_decode(pid, &page, ctx.pool.seg_cacheable_size(heap.file))?;
+    if zones_exclude(seg.zones(), filters) {
+        ctx.batch_stats.pages_skipped += 1;
+        return Ok(None);
+    }
+    Ok(Some(seg))
 }
 
 // ---------------------------------------------------------------------
@@ -661,7 +833,7 @@ fn parallel_fused_scan<R: Send + 'static>(
 ///
 /// Accounting matches the row path exactly: one sequential page access
 /// and `charge_cpu(page tuples)` per page, whether or not the decoded
-/// segment cache serves the columns.
+/// segment cache serves the columns or zone maps skip the page.
 fn fused_seq_scan(
     table: &str,
     filters: &[BoundPred],
@@ -693,21 +865,16 @@ fn fused_seq_scan(
     let mut batches = 0u64;
     for page_no in 0..heap.pages(ctx.pool) {
         ctx.cancel.check()?;
-        let seg = heap.read_page_columnar(ctx.pool, page_no)?;
-        ctx.pool.charge_cpu(seg.rows() as u64);
-        ctx.batch_stats.rows_scanned += seg.rows() as u64;
+        let Some(seg) = read_page_zoned(heap, page_no, filters, ctx)? else { continue };
         let sel = eval_filters(&seg, filters, &schema);
         let live = sel.as_ref().map_or(seg.rows(), |s| s.len());
         ctx.batch_stats.rows_selected += live as u64;
         if live == 0 {
             continue;
         }
-        let mut batch = ColumnBatch::from_segment(&seg);
+        let mut batch = ColumnBatch::from_segment_keep(&seg, keep);
         if let Some(sel) = sel {
             batch = batch.with_sel(sel);
-        }
-        if let Some(keep) = keep {
-            batch = batch.project(keep);
         }
         ctx.batch_stats.cols_scanned += batch.width() as u64;
         batches += batch.emit_chunked(ctx.batch_size, out)?;
@@ -899,11 +1066,27 @@ fn build_join_table_parallel(
     })?;
     ctx.batch_stats.fused_scans += 1;
     let bytes: u64 = digests.iter().flatten().map(|(_, _, _, len)| *len as u64).sum();
-    let parts_n = ctx.threads.max(1);
-    let digests = Arc::new(digests);
+    let parts_n = effective_workers(ctx.threads);
     let tracer = ctx.pool.observer().tracer().clone();
     let span_parent = tracer.current();
     let virt_now = ctx.pool.observer().now_micros();
+    if parts_n == 1 {
+        // One partition owns every hash class, so the digests can be
+        // consumed in place — the shared-`Arc` clone per row below exists
+        // only because concurrent partition tasks read the same digests.
+        let span = tracer.begin_at(span_parent, SpanKind::Morsel, "join_partition", virt_now);
+        let mut part = JoinPart::default();
+        for d in digests {
+            for (_, key, row, _) in d {
+                part.buckets.entry(key).or_default().push(part.rows.len() as u32);
+                part.rows.push(row);
+            }
+        }
+        let rows = part.rows.len();
+        span.finish_with(virt_now, |a| a.push(("rows", rows.into())));
+        return Ok((JoinTable { parts: vec![part] }, bytes));
+    }
+    let digests = Arc::new(digests);
     let tasks: Vec<MorselTask<JoinPart>> = (0..parts_n)
         .map(|p| {
             let digests = Arc::clone(&digests);
@@ -931,7 +1114,7 @@ fn build_join_table_parallel(
         })
         .collect();
     let mut parts = Vec::with_capacity(parts_n);
-    stream_ordered(ctx.threads, tasks, &mut |p| {
+    stream_ordered(parts_n, tasks, &mut |p| {
         parts.push(p);
         Ok(())
     })?;
@@ -1019,9 +1202,7 @@ fn hash_join_batched(
         } else {
             for page_no in 0..heap.pages(ctx.pool) {
                 ctx.cancel.check()?;
-                let seg = heap.read_page_columnar(ctx.pool, page_no)?;
-                ctx.pool.charge_cpu(seg.rows() as u64);
-                ctx.batch_stats.rows_scanned += seg.rows() as u64;
+                let Some(seg) = read_page_zoned(heap, page_no, rfilters, ctx)? else { continue };
                 let sel = eval_filters(&seg, rfilters, &rschema);
                 let live = sel.as_ref().map_or(seg.rows(), |s| s.len());
                 ctx.batch_stats.rows_selected += live as u64;
@@ -1231,9 +1412,7 @@ fn aggregate_batched(
         } else {
             for page_no in 0..heap.pages(ctx.pool) {
                 ctx.cancel.check()?;
-                let seg = heap.read_page_columnar(ctx.pool, page_no)?;
-                ctx.pool.charge_cpu(seg.rows() as u64);
-                ctx.batch_stats.rows_scanned += seg.rows() as u64;
+                let Some(seg) = read_page_zoned(heap, page_no, filters, ctx)? else { continue };
                 let sel = eval_filters(&seg, filters, &schema);
                 let live = sel.as_ref().map_or(seg.rows(), |s| s.len());
                 ctx.batch_stats.rows_selected += live as u64;
@@ -1657,6 +1836,55 @@ mod tests {
         // Accounting still sees the page accesses (as hits, pool is warm).
         assert_eq!(d.hits, heap.pages(&pool) as u64);
         assert_eq!(d.cpu_tuples, 10);
+    }
+
+    #[test]
+    fn zone_maps_skip_pages_without_changing_results_or_accounting() {
+        // emp.id is loaded in sorted order, so every page's id zone is a
+        // disjoint range and `id < 100` qualifies only the first page.
+        let plan = scan(
+            "emp",
+            &["emp.id", "emp.dept", "emp.age"],
+            vec![BoundPred { idx: 0, op: CompareOp::Lt, value: Value::Int(100) }],
+        );
+        // Bit-identity with the row oracle (tuples, order, demand) and
+        // with the morsel path (including `pages_skipped` stat equality).
+        assert_paths_agree(&plan);
+        assert_parallel_agrees(&plan);
+        let (mut pool, cat) = fixture();
+        let pages = pool_pages(&pool, &cat);
+        let mut ctx = ExecCtx::new(&mut pool);
+        let rows = run_collect_batched(&plan, &cat, &mut ctx).unwrap();
+        assert_eq!(rows.len(), 100);
+        assert_eq!(
+            ctx.batch_stats.pages_skipped,
+            pages - 1,
+            "all pages but the first are provably out of range"
+        );
+        assert_eq!(ctx.batch_stats.rows_scanned, 3000, "skipped pages still count their rows");
+        // A warm re-scan skips identically (the zone side-cache makes it
+        // decode-free, but the counter must not depend on cache state).
+        let mut ctx = ExecCtx::new(&mut pool);
+        let again = run_collect_batched(&plan, &cat, &mut ctx).unwrap();
+        assert_eq!(rows, again);
+        assert_eq!(ctx.batch_stats.pages_skipped, pages - 1);
+    }
+
+    #[test]
+    fn encoded_filters_match_plain_filters() {
+        // dept (i % 10) dictionary-encodes, age (20 + i % 50) has runs
+        // too short to RLE, id is unique: the same plan exercises dict,
+        // plain, and zone logic against the row oracle in one pass.
+        for (idx, op, value) in [
+            (1, CompareOp::Eq, Value::Int(7)),
+            (1, CompareOp::Ne, Value::Int(3)),
+            (2, CompareOp::Ge, Value::Int(60)),
+            (0, CompareOp::Gt, Value::Int(2900)),
+        ] {
+            let plan =
+                scan("emp", &["emp.id", "emp.dept", "emp.age"], vec![BoundPred { idx, op, value }]);
+            assert_paths_agree(&plan);
+        }
     }
 
     #[test]

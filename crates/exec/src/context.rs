@@ -69,6 +69,12 @@ pub struct BatchStats {
     /// Index descents served from a batch prober's per-batch memo instead
     /// of decoding leaf pages again.
     pub index_probe_saved: u64,
+    /// Pages whose zone maps proved no row could pass the scan filters,
+    /// so the fused scan skipped decoding (and filtering) them entirely.
+    /// The page's I/O and per-row CPU are still charged — zone skipping
+    /// is a wall-clock optimisation that leaves demand accounting and
+    /// results bit-identical to a full scan.
+    pub pages_skipped: u64,
 }
 
 /// Mutable state threaded through plan execution.

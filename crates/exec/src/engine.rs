@@ -70,6 +70,13 @@ pub struct DatabaseConfig {
     /// and virtual-time accounting are bit-identical at any value; only
     /// wall-clock changes.
     pub threads: usize,
+    /// Encode cached column segments (dictionary/RLE with zone maps —
+    /// see [`specdb_storage::column`]). Defaults to the
+    /// `SPECDB_ENCODING` environment variable (on unless set to
+    /// `0`/`off`/`false`/`no`). Results and virtual-time accounting are
+    /// bit-identical on or off; encoding trades decode CPU for cache
+    /// capacity and code-width kernels.
+    pub encoding: bool,
 }
 
 /// Which executor pipeline the engine runs plans on.
@@ -115,6 +122,7 @@ impl DatabaseConfig {
             plan_cache: true,
             exec_mode: ExecMode::Columnar,
             threads: threads_from_env(),
+            encoding: specdb_storage::encoding_from_env(),
         }
     }
 
@@ -175,6 +183,12 @@ impl DatabaseConfig {
     /// Set the morsel worker thread count (clamped to at least 1).
     pub fn threads(mut self, n: usize) -> Self {
         self.threads = n.max(1);
+        self
+    }
+
+    /// Toggle segment encoding (see [`DatabaseConfig::encoding`]).
+    pub fn encoding(mut self, on: bool) -> Self {
+        self.encoding = on;
         self
     }
 }
@@ -317,6 +331,7 @@ impl Database {
     pub fn new(config: DatabaseConfig) -> Self {
         let mut pool = BufferPool::new(config.buffer_pages);
         pool.set_spill_model(config.spill_model);
+        pool.set_encoding(config.encoding);
         Database {
             pool,
             catalog: Catalog::new(),
@@ -342,6 +357,66 @@ impl Database {
     /// The morsel worker thread count queries run with.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Toggle segment encoding at runtime. Already-decoded segments are
+    /// dropped so the cache re-decodes in the new format; results and
+    /// accounting are bit-identical either way (only decode cost and
+    /// cache capacity change).
+    pub fn set_encoding(&mut self, on: bool) {
+        self.pool.set_encoding(on);
+    }
+
+    /// True when cached column segments store encoded (dictionary/RLE)
+    /// columns rather than plain vectors.
+    pub fn encoding(&self) -> bool {
+        self.pool.encoding()
+    }
+
+    /// Warm the segment cache for `tables`' heap pages through the
+    /// background worker pool — the speculator calls this when it picks
+    /// a manipulation, so a predicted query's segments are decoded
+    /// before GO. Purely a wall-clock optimisation: prefetch bypasses
+    /// page-read accounting ([`BufferPool::peek_page`]) and is
+    /// version-fenced against concurrent writes, so deterministic replay
+    /// is untouched whether or not (or how fast) the warm-up runs.
+    /// Returns the number of pages enqueued; `segcache.prefetch_issued`
+    /// / `segcache.prefetch_useful` count the outcome.
+    pub fn prefetch_tables(&self, tables: &[String]) -> u64 {
+        /// Upper bound on pages enqueued per decision, so a huge
+        /// predicted scan cannot swamp the workers (or the cache) before
+        /// GO.
+        const PREFETCH_CAP_PAGES: usize = 512;
+        let cache = self.pool.seg_cache();
+        let version = cache.version();
+        let mut work: Vec<(specdb_storage::PageId, std::sync::Arc<specdb_storage::Page>, bool)> =
+            Vec::new();
+        'tables: for name in tables {
+            let Some(t) = self.catalog.table(name) else { continue };
+            let heap = t.heap;
+            let small = self.pool.seg_cacheable_size(heap.file);
+            for page_no in 0..heap.pages(&self.pool) {
+                let pid = specdb_storage::PageId::new(heap.file, page_no);
+                if cache.contains(pid) {
+                    continue;
+                }
+                let Some(page) = self.pool.peek_page(pid) else { continue };
+                work.push((pid, page, small));
+                if work.len() >= PREFETCH_CAP_PAGES {
+                    break 'tables;
+                }
+            }
+        }
+        if work.is_empty() {
+            return 0;
+        }
+        let enqueued = work.len() as u64;
+        crate::parallel::WorkerPool::global().spawn(move || {
+            for (pid, page, small) in work {
+                cache.prefetch(pid, &page, small, version);
+            }
+        });
+        enqueued
     }
 
     /// Toggle batch execution at runtime: `true` is the columnar
@@ -767,6 +842,9 @@ impl Database {
                 metrics
                     .counter("exec.index_probe_saved_descents")
                     .add(batch_stats.index_probe_saved);
+            }
+            if batch_stats.pages_skipped > 0 {
+                metrics.counter("exec.pages_skipped").add(batch_stats.pages_skipped);
             }
         }
         if !used_views.is_empty() {

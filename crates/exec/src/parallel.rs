@@ -32,7 +32,7 @@ use parking_lot::Mutex;
 use specdb_storage::StorageError;
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// A unit of work a worker runs: receives the driver's abort flag
@@ -47,13 +47,18 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 /// the process lifetime, each draining its own job queue.
 pub(crate) struct WorkerPool {
     senders: Mutex<Vec<channel::Sender<Job>>>,
+    /// Round-robin cursor for fire-and-forget [`WorkerPool::spawn`] jobs.
+    next_spawn: AtomicUsize,
 }
 
 impl WorkerPool {
     /// The shared pool instance.
     pub(crate) fn global() -> &'static WorkerPool {
         static POOL: OnceLock<WorkerPool> = OnceLock::new();
-        POOL.get_or_init(|| WorkerPool { senders: Mutex::new(Vec::new()) })
+        POOL.get_or_init(|| WorkerPool {
+            senders: Mutex::new(Vec::new()),
+            next_spawn: AtomicUsize::new(0),
+        })
     }
 
     /// Grow the pool to at least `n` workers.
@@ -79,14 +84,45 @@ impl WorkerPool {
         let senders = self.senders.lock();
         assert!(senders[worker % senders.len()].send(job).is_ok(), "morsel worker alive");
     }
+
+    /// Fire-and-forget a background job on the pool (round-robin worker
+    /// choice). Used by speculative prefetch: the caller never waits for
+    /// — or observes — the job's completion, so it must only touch state
+    /// that tolerates racing with foreground queries (the segment cache).
+    pub(crate) fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        self.ensure(1);
+        let worker = self.next_spawn.fetch_add(1, Ordering::Relaxed);
+        self.submit(worker, Box::new(job));
+    }
 }
+
+/// Minimum pages per dispatched morsel: below this, per-task overhead
+/// (boxing, channel hops, ordered-merge buffering) outweighs the decode
+/// and filter work a worker does per page.
+pub(crate) const MIN_MORSEL_PAGES: usize = 8;
 
 /// Pages per morsel for a scan of `items` pages on `threads` workers:
 /// aim for a few morsels per worker (so finish-order skew cannot idle
-/// the pool) without letting tiny scans degenerate into per-page tasks.
+/// the pool), but never shrink a task below [`MIN_MORSEL_PAGES`] — tiny
+/// per-page tasks spend more on dispatch than on work (the
+/// `batch_columnar_par4` regression).
 pub(crate) fn morsel_size(items: usize, threads: usize) -> usize {
     let target = threads.max(1) * 4;
-    items.div_ceil(target).clamp(1, 32)
+    items.div_ceil(target).clamp(MIN_MORSEL_PAGES, 32)
+}
+
+/// Workers actually dispatched for a `threads`-thread scan: never more
+/// than the host can run in parallel. Oversubscribing a small host
+/// multiplies context-switch cost without buying any concurrency (the
+/// `batch_columnar_par4` regression was partly this: four workers
+/// time-slicing one core), but the count never drops below one — an
+/// explicit thread request always exercises the full morsel path
+/// (dispatch, ordered merge, morsel spans), results being bit-identical
+/// at any worker count.
+pub(crate) fn effective_workers(threads: usize) -> usize {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    let cores = *CORES.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    threads.min(cores).max(1)
 }
 
 /// Run `tasks` on the worker pool, delivering results to `emit` strictly
@@ -107,6 +143,18 @@ pub(crate) fn stream_ordered<T: Send + 'static>(
     emit: &mut dyn FnMut(T) -> ExecResult<()>,
 ) -> ExecResult<()> {
     let threads = threads.max(1);
+    if threads == 1 {
+        // One effective worker: a pool round-trip per morsel buys no
+        // concurrency, only channel hops and context switches (the
+        // single-core share of the `batch_columnar_par4` regression).
+        // Run the same tasks inline — identical chunking, spans, abort
+        // checks, and emit order, minus the handoff.
+        let abort = AtomicBool::new(false);
+        for task in tasks {
+            emit(task(&abort)?)?;
+        }
+        return Ok(());
+    }
     let pool = WorkerPool::global();
     pool.ensure(threads);
     let abort = Arc::new(AtomicBool::new(false));
@@ -324,10 +372,28 @@ mod tests {
 
     #[test]
     fn morsel_sizing_scales_with_input() {
-        assert_eq!(morsel_size(1, 4), 1);
-        assert_eq!(morsel_size(16, 4), 1);
-        assert_eq!(morsel_size(64, 4), 4);
+        assert_eq!(morsel_size(1, 4), 8, "never below the dispatch-overhead floor");
+        assert_eq!(morsel_size(16, 4), 8);
+        assert_eq!(morsel_size(64, 4), 8);
         assert_eq!(morsel_size(100_000, 4), 32, "capped so tasks stay cancellable");
-        assert_eq!(morsel_size(10, 1), 3);
+        assert_eq!(morsel_size(10, 1), 8);
+    }
+
+    #[test]
+    fn spawned_jobs_run_in_the_background() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        for _ in 0..4 {
+            let ran = Arc::clone(&ran);
+            WorkerPool::global().spawn(move || {
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        for _ in 0..500 {
+            if ran.load(Ordering::Relaxed) == 4 {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        panic!("spawned jobs never ran");
     }
 }

@@ -17,7 +17,7 @@ use crate::error::{StorageError, StorageResult};
 use crate::page::{FileId, Page, PageId, PAGE_SIZE};
 use crate::segcache::SegCache;
 use crate::tuple::Tuple;
-use specdb_obs::{Counter, Event, EventKind, Histogram, Observer};
+use specdb_obs::{Counter, Event, EventKind, Observer};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -32,10 +32,6 @@ struct PoolMetrics {
     write: Counter,
     eviction: Counter,
     cpu_tuples: Counter,
-    seg_hit: Counter,
-    seg_miss: Counter,
-    seg_evict: Counter,
-    seg_decode_us: Histogram,
     mem_bytes: Counter,
 }
 
@@ -49,11 +45,24 @@ impl PoolMetrics {
             write: m.counter("disk.write"),
             eviction: m.counter("buffer.eviction"),
             cpu_tuples: m.counter("cpu.tuples"),
-            seg_hit: m.counter("segcache.hit"),
-            seg_miss: m.counter("segcache.miss"),
-            seg_evict: m.counter("segcache.evictions"),
-            seg_decode_us: m.histogram("segcache.decode_us"),
             mem_bytes: m.counter("mem.build.bytes"),
+        }
+    }
+
+    /// Segment-cache handles, resolved alongside the pool's own.
+    fn resolve_seg(observer: &Observer) -> crate::segcache::SegMetricHandles {
+        let m = observer.metrics();
+        crate::segcache::SegMetricHandles {
+            hit: m.counter("segcache.hit"),
+            miss: m.counter("segcache.miss"),
+            evict: m.counter("segcache.evictions"),
+            prefetch_issued: m.counter("segcache.prefetch_issued"),
+            prefetch_useful: m.counter("segcache.prefetch_useful"),
+            resident_bytes: m.gauge("segcache.resident_bytes"),
+            decode_us: m.histogram("segcache.decode_us"),
+            decode_plain_us: m.histogram("lat.decode_plain_us"),
+            decode_dict_us: m.histogram("lat.decode_dict_us"),
+            decode_rle_us: m.histogram("lat.decode_rle_us"),
         }
     }
 }
@@ -165,7 +174,9 @@ impl BufferPool {
             spill_model: true,
             observer: Observer::disabled(),
             metrics: PoolMetrics::default(),
-            seg_cache: Arc::new(SegCache::new(capacity)),
+            // The decoded-segment cache budgets by resident encoded
+            // bytes; give it the pool's own nominal byte size.
+            seg_cache: Arc::new(SegCache::new(capacity * PAGE_SIZE)),
         }
     }
 
@@ -174,12 +185,7 @@ impl BufferPool {
     /// default observer is disabled and costs nothing.
     pub fn set_observer(&mut self, observer: Observer) {
         self.metrics = PoolMetrics::resolve(&observer);
-        self.seg_cache.set_metrics(
-            self.metrics.seg_hit.clone(),
-            self.metrics.seg_miss.clone(),
-            self.metrics.seg_evict.clone(),
-            self.metrics.seg_decode_us.clone(),
-        );
+        self.seg_cache.set_metrics(PoolMetrics::resolve_seg(&observer));
         self.observer = observer;
     }
 
@@ -394,10 +400,43 @@ impl BufferPool {
         self.seg_cache.resident()
     }
 
-    /// Replace the auto-caching budget (pages of non-hot files the
-    /// segment cache may hold; default = pool capacity).
+    /// Resident encoded bytes held by the segment cache.
+    pub fn seg_resident_bytes(&self) -> usize {
+        self.seg_cache.resident_bytes()
+    }
+
+    /// Bytes the resident segments would occupy fully decoded — divide
+    /// by [`BufferPool::seg_resident_bytes`] for the compression ratio.
+    pub fn seg_resident_plain_bytes(&self) -> usize {
+        self.seg_cache.resident_plain_bytes()
+    }
+
+    /// Replace the auto-caching budget, denominated in pages for caller
+    /// convenience (the cache itself budgets the equivalent bytes of
+    /// *encoded* segments, so compression stretches the same budget over
+    /// more pages; default = pool capacity).
     pub fn set_seg_budget(&mut self, pages: usize) {
-        self.seg_cache.set_budget(pages);
+        self.seg_cache.set_budget(pages * PAGE_SIZE);
+    }
+
+    /// Toggle dictionary/RLE segment encoding for future decodes
+    /// (`SPECDB_ENCODING`; results are identical either way).
+    pub fn set_encoding(&mut self, on: bool) {
+        self.seg_cache.set_encoding(on);
+    }
+
+    /// True when segment decodes apply dictionary/RLE encoding.
+    pub fn encoding(&self) -> bool {
+        self.seg_cache.encoding()
+    }
+
+    /// Look at a page's current disk image **without** any buffer-pool
+    /// accounting: no frame install, no hit/miss counters, no eviction
+    /// pressure. This is the speculative-prefetch read path — prefetch
+    /// must not perturb the deterministic virtual-time replay, so it
+    /// never goes through [`BufferPool::read_page`].
+    pub fn peek_page(&self, pid: PageId) -> Option<Arc<Page>> {
+        self.disk.get(&pid).cloned()
     }
 
     /// Charge synthetic I/O that bypasses the page cache — used for

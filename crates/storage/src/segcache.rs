@@ -7,6 +7,19 @@
 //! an [`Arc`] with a vendored `parking_lot` mutex: the pool holds one
 //! handle, every scan worker holds another.
 //!
+//! Since PR 7 the cached unit is the *encoded* segment
+//! (dictionary/RLE/plain, see [`crate::column`]) and the cache budgets
+//! by **resident encoded bytes** rather than entry count — compression
+//! directly grows effective cache capacity. The cache also retains two
+//! lightweight side structures:
+//!
+//! - **Zone maps** ([`crate::column::ZoneMap`]) survive segment
+//!   eviction: they are a few dozen bytes per page, and a retained zone
+//!   map lets a re-scan skip the page without re-decoding it.
+//! - **Prefetch marks** track pages warmed speculatively (see
+//!   [`SegCache::prefetch`]); a later regular lookup that hits a marked
+//!   page counts as `segcache.prefetch_useful`.
+//!
 //! The cache is a wall-clock fast path only. Virtual-time I/O accounting
 //! happens in [`crate::buffer::BufferPool::read_page`] *before* any
 //! segment lookup, so whether a decode is served from the cache or
@@ -15,14 +28,28 @@
 //! may attribute a racing decode to two misses where a serial run would
 //! see a miss then a hit — the cached *contents* are identical either
 //! way because [`ColumnSegment::decode_page`] is deterministic.
+//! Speculative prefetch is asynchronous and guarded by a cache version:
+//! any page write or file drop bumps the version and in-flight prefetch
+//! results against the old version are discarded, so a stale page image
+//! can never enter the cache.
 
-use crate::column::ColumnSegment;
+use crate::column::{ColumnSegment, EncodingKind, ZoneMap};
 use crate::error::StorageResult;
 use crate::page::{FileId, Page, PageId};
 use parking_lot::Mutex;
-use specdb_obs::{Counter, Histogram};
+use specdb_obs::{Counter, Gauge, Histogram};
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+/// Default encoding selection: `SPECDB_ENCODING` unset or anything but
+/// `0`/`off`/`false`/`no` means encodings are on.
+pub fn encoding_from_env() -> bool {
+    match std::env::var("SPECDB_ENCODING") {
+        Ok(v) => !matches!(v.trim().to_ascii_lowercase().as_str(), "0" | "off" | "false" | "no"),
+        Err(_) => true,
+    }
+}
 
 /// Metric handles bumped by the cache (no-ops until an observer is
 /// installed via [`SegCache::set_metrics`]).
@@ -31,44 +58,155 @@ struct SegMetrics {
     hit: Counter,
     miss: Counter,
     evict: Counter,
+    prefetch_issued: Counter,
+    prefetch_useful: Counter,
+    resident_bytes: Gauge,
     /// Wall-clock decode cost per page, microseconds. Observational
     /// only — never feeds virtual accounting.
     decode_us: Histogram,
+    /// Same samples, split by the segment's dominant encoding so
+    /// operator profiles can attribute scan time to decode flavor.
+    decode_plain_us: Histogram,
+    decode_dict_us: Histogram,
+    decode_rle_us: Histogram,
+}
+
+impl SegMetrics {
+    fn record_decode(&self, kind: EncodingKind, us: f64) {
+        self.decode_us.record(us);
+        match kind {
+            EncodingKind::Plain => self.decode_plain_us.record(us),
+            EncodingKind::Dict => self.decode_dict_us.record(us),
+            EncodingKind::Rle => self.decode_rle_us.record(us),
+        }
+    }
+}
+
+/// A retained zone-map entry. `confirmed` means a synchronous
+/// (deterministic) code path — a regular scan or decode — has touched
+/// this page; entries populated only by asynchronous prefetch stay
+/// unconfirmed until then. Consumers that must stay deterministic
+/// across prefetch timing (the cost estimator) only read confirmed
+/// entries; scans may use either, since a zone-based skip decision is a
+/// pure function of page content.
+struct ZoneEntry {
+    zones: Arc<Vec<ZoneMap>>,
+    confirmed: bool,
 }
 
 #[derive(Default)]
 struct SegCacheInner {
     map: HashMap<PageId, Arc<ColumnSegment>>,
+    /// Zone maps by page, retained after segment eviction (dropped only
+    /// when the page is overwritten or its file freed).
+    zones: HashMap<PageId, ZoneEntry>,
+    /// Pages inserted by speculative prefetch and not yet re-read.
+    prefetched: HashSet<PageId>,
     /// Files pinned into the cache regardless of size or budget
     /// (materialized speculation results, explicitly cached tables).
     hot: HashSet<FileId>,
-    /// Max pages auto-cached for files not marked hot.
-    budget: usize,
+    /// Max resident encoded bytes auto-cached for files not marked hot.
+    budget_bytes: usize,
+    /// Resident encoded bytes across all cached segments.
+    resident_bytes: usize,
+    /// What those segments would occupy fully decoded (compression-ratio
+    /// denominator).
+    resident_plain_bytes: usize,
+    /// Bumped on every invalidation/file drop; in-flight prefetches
+    /// carry the version they observed and discard on mismatch.
+    version: u64,
     metrics: SegMetrics,
+}
+
+impl SegCacheInner {
+    fn insert(&mut self, pid: PageId, seg: &Arc<ColumnSegment>) {
+        if self.map.insert(pid, Arc::clone(seg)).is_none() {
+            self.resident_bytes += seg.encoded_bytes();
+            self.resident_plain_bytes += seg.plain_bytes();
+            self.metrics.resident_bytes.set(self.resident_bytes as f64);
+        }
+    }
+
+    fn forget(&mut self, pid: PageId) -> bool {
+        match self.map.remove(&pid) {
+            Some(seg) => {
+                self.resident_bytes -= seg.encoded_bytes();
+                self.resident_plain_bytes -= seg.plain_bytes();
+                self.prefetched.remove(&pid);
+                self.metrics.resident_bytes.set(self.resident_bytes as f64);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drop every cached segment not matching `keep`, counting
+    /// evictions. Zone maps are retained: the underlying pages are
+    /// unchanged.
+    fn evict_where(&mut self, keep: impl Fn(&PageId) -> bool) {
+        let victims: Vec<PageId> = self.map.keys().filter(|pid| !keep(pid)).copied().collect();
+        for pid in victims {
+            self.forget(pid);
+            self.metrics.evict.incr();
+        }
+    }
+
+    fn put_zones(&mut self, pid: PageId, seg: &ColumnSegment, confirmed: bool) {
+        match self.zones.get_mut(&pid) {
+            Some(e) => e.confirmed |= confirmed,
+            None => {
+                self.zones.insert(pid, ZoneEntry { zones: seg.zones_arc(), confirmed });
+            }
+        }
+    }
 }
 
 /// A thread-safe cache of decoded column segments, shared between the
 /// buffer pool and morsel-scan workers via `Arc<SegCache>`.
 pub struct SegCache {
     inner: Mutex<SegCacheInner>,
+    /// Whether decodes apply dictionary/RLE encoding (`SPECDB_ENCODING`,
+    /// default on). Changing it mid-flight is safe: both forms decode to
+    /// identical values.
+    encoding: AtomicBool,
 }
 
 impl SegCache {
-    /// Create a cache that may auto-cache up to `budget` pages of
-    /// non-hot files.
-    pub fn new(budget: usize) -> Self {
-        SegCache { inner: Mutex::new(SegCacheInner { budget, ..SegCacheInner::default() }) }
+    /// Create a cache that may auto-cache up to `budget_bytes` of
+    /// encoded segments from non-hot files.
+    pub fn new(budget_bytes: usize) -> Self {
+        SegCache {
+            inner: Mutex::new(SegCacheInner { budget_bytes, ..SegCacheInner::default() }),
+            encoding: AtomicBool::new(encoding_from_env()),
+        }
     }
 
     /// Install metric handles (called when the pool's observer changes).
-    pub(crate) fn set_metrics(
-        &self,
-        hit: Counter,
-        miss: Counter,
-        evict: Counter,
-        decode_us: Histogram,
-    ) {
-        self.inner.lock().metrics = SegMetrics { hit, miss, evict, decode_us };
+    pub(crate) fn set_metrics(&self, m: SegMetricHandles) {
+        let mut inner = self.inner.lock();
+        inner.metrics = SegMetrics {
+            hit: m.hit,
+            miss: m.miss,
+            evict: m.evict,
+            prefetch_issued: m.prefetch_issued,
+            prefetch_useful: m.prefetch_useful,
+            resident_bytes: m.resident_bytes,
+            decode_us: m.decode_us,
+            decode_plain_us: m.decode_plain_us,
+            decode_dict_us: m.decode_dict_us,
+            decode_rle_us: m.decode_rle_us,
+        };
+        inner.metrics.resident_bytes.set(inner.resident_bytes as f64);
+    }
+
+    /// Toggle dictionary/RLE encoding for future decodes.
+    pub fn set_encoding(&self, on: bool) {
+        self.encoding.store(on, Ordering::Relaxed);
+    }
+
+    /// True when decodes apply dictionary/RLE encoding.
+    pub fn encoding(&self) -> bool {
+        self.encoding.load(Ordering::Relaxed)
     }
 
     /// Look up the decoded form of `pid`, decoding (and caching, when
@@ -86,34 +224,115 @@ impl SegCache {
         small_file: bool,
     ) -> StorageResult<Arc<ColumnSegment>> {
         let cache_hot;
-        let decode_us;
+        let metrics;
         {
-            let inner = self.inner.lock();
+            let mut inner = self.inner.lock();
             if let Some(seg) = inner.map.get(&pid) {
+                let seg = Arc::clone(seg);
                 inner.metrics.hit.incr();
-                return Ok(Arc::clone(seg));
+                if inner.prefetched.remove(&pid) {
+                    inner.metrics.prefetch_useful.incr();
+                }
+                // A regular read confirms the page's zones for
+                // deterministic consumers.
+                if let Some(e) = inner.zones.get_mut(&pid) {
+                    e.confirmed = true;
+                }
+                return Ok(seg);
             }
             inner.metrics.miss.incr();
             cache_hot = inner.hot.contains(&pid.file);
-            decode_us = inner.metrics.decode_us.clone();
+            metrics = inner.metrics.clone();
         }
         let t0 = std::time::Instant::now();
-        let seg = Arc::new(ColumnSegment::decode_page(page)?);
-        decode_us.record(t0.elapsed().as_micros() as f64);
+        let seg = Arc::new(ColumnSegment::decode_page_with(page, self.encoding())?);
+        metrics.record_decode(seg.dominant_encoding(), t0.elapsed().as_micros() as f64);
         let mut inner = self.inner.lock();
-        if cache_hot
-            || inner.hot.contains(&pid.file)
-            || (small_file && inner.map.len() < inner.budget)
-        {
-            return Ok(Arc::clone(inner.map.entry(pid).or_insert_with(|| Arc::clone(&seg))));
+        inner.put_zones(pid, &seg, true);
+        let fits = inner.resident_bytes + seg.encoded_bytes() <= inner.budget_bytes;
+        if cache_hot || inner.hot.contains(&pid.file) || (small_file && fits) {
+            if let Some(existing) = inner.map.get(&pid) {
+                return Ok(Arc::clone(existing));
+            }
+            inner.insert(pid, &seg);
         }
         Ok(seg)
     }
 
+    /// Speculatively warm `pid`: decode and cache it ahead of a
+    /// predicted query, without touching hit/miss accounting. `version`
+    /// must be [`SegCache::version`] observed when the page image was
+    /// captured; if the cache has been invalidated since, the result is
+    /// discarded (the image may be stale). Returns `true` if the page
+    /// was newly warmed.
+    pub fn prefetch(&self, pid: PageId, page: &Page, small_file: bool, version: u64) -> bool {
+        let cache_hot;
+        let metrics;
+        {
+            let inner = self.inner.lock();
+            if inner.version != version || inner.map.contains_key(&pid) {
+                return false;
+            }
+            cache_hot = inner.hot.contains(&pid.file);
+            metrics = inner.metrics.clone();
+        }
+        metrics.prefetch_issued.incr();
+        let t0 = std::time::Instant::now();
+        let Ok(seg) = ColumnSegment::decode_page_with(page, self.encoding()) else {
+            return false;
+        };
+        let seg = Arc::new(seg);
+        metrics.record_decode(seg.dominant_encoding(), t0.elapsed().as_micros() as f64);
+        let mut inner = self.inner.lock();
+        if inner.version != version || inner.map.contains_key(&pid) {
+            return false;
+        }
+        inner.put_zones(pid, &seg, false);
+        let fits = inner.resident_bytes + seg.encoded_bytes() <= inner.budget_bytes;
+        if cache_hot || inner.hot.contains(&pid.file) || (small_file && fits) {
+            inner.insert(pid, &seg);
+            inner.prefetched.insert(pid);
+            return true;
+        }
+        false
+    }
+
+    /// True if `pid`'s segment is currently resident.
+    pub fn contains(&self, pid: PageId) -> bool {
+        self.inner.lock().map.contains_key(&pid)
+    }
+
+    /// Current invalidation version (pair with [`SegCache::prefetch`]).
+    pub fn version(&self) -> u64 {
+        self.inner.lock().version
+    }
+
+    /// Retained zone maps for `pid`, if any — available even after the
+    /// segment itself was evicted. Calling this from a scan confirms
+    /// the entry (scans are deterministic readers).
+    pub fn zone_maps(&self, pid: PageId) -> Option<Arc<Vec<ZoneMap>>> {
+        let mut inner = self.inner.lock();
+        inner.zones.get_mut(&pid).map(|e| {
+            e.confirmed = true;
+            Arc::clone(&e.zones)
+        })
+    }
+
+    /// Zone maps for `pid` only if a deterministic (non-prefetch) path
+    /// has touched the page — safe for cost estimation, which must not
+    /// vary with asynchronous prefetch timing.
+    pub fn confirmed_zone_maps(&self, pid: PageId) -> Option<Arc<Vec<ZoneMap>>> {
+        let inner = self.inner.lock();
+        inner.zones.get(&pid).filter(|e| e.confirmed).map(|e| Arc::clone(&e.zones))
+    }
+
     /// Drop the cached decode of `pid` (its page image was overwritten).
+    /// Its zone maps go with it, and in-flight prefetches are fenced.
     pub(crate) fn invalidate(&self, pid: PageId) {
         let mut inner = self.inner.lock();
-        if inner.map.remove(&pid).is_some() {
+        inner.version += 1;
+        inner.zones.remove(&pid);
+        if inner.forget(pid) {
             inner.metrics.evict.incr();
         }
     }
@@ -124,14 +343,12 @@ impl SegCache {
         self.inner.lock().hot.insert(file);
     }
 
-    /// Unpin `file` and drop its cached pages.
+    /// Unpin `file` and drop its cached pages (zone maps are kept — the
+    /// pages themselves are unchanged).
     pub(crate) fn unmark_hot(&self, file: FileId) {
         let mut inner = self.inner.lock();
         inner.hot.remove(&file);
-        let before = inner.map.len();
-        inner.map.retain(|pid, _| pid.file != file);
-        let evicted = (before - inner.map.len()) as u64;
-        inner.metrics.evict.add(evicted);
+        inner.evict_where(|pid| pid.file != file);
     }
 
     /// True if `file` is pinned into the cache.
@@ -140,14 +357,14 @@ impl SegCache {
     }
 
     /// Forget `file` entirely (it was freed): unpin it and drop its
-    /// pages, counting each as an eviction.
+    /// pages *and* zone maps, counting each segment as an eviction.
+    /// `FileId`s are reused, so nothing may survive.
     pub(crate) fn drop_file(&self, file: FileId) {
         let mut inner = self.inner.lock();
+        inner.version += 1;
         inner.hot.remove(&file);
-        let before = inner.map.len();
-        inner.map.retain(|pid, _| pid.file != file);
-        let evicted = (before - inner.map.len()) as u64;
-        inner.metrics.evict.add(evicted);
+        inner.zones.retain(|pid, _| pid.file != file);
+        inner.evict_where(|pid| pid.file != file);
     }
 
     /// Number of decoded pages currently resident.
@@ -155,17 +372,25 @@ impl SegCache {
         self.inner.lock().map.len()
     }
 
-    /// Replace the auto-caching budget; shrinking below the resident
-    /// count drops every non-hot segment.
-    pub(crate) fn set_budget(&self, pages: usize) {
+    /// Resident encoded bytes across all cached segments.
+    pub fn resident_bytes(&self) -> usize {
+        self.inner.lock().resident_bytes
+    }
+
+    /// Bytes the resident segments would occupy fully decoded; the
+    /// compression ratio is `resident_plain_bytes / resident_bytes`.
+    pub fn resident_plain_bytes(&self) -> usize {
+        self.inner.lock().resident_plain_bytes
+    }
+
+    /// Replace the auto-caching byte budget; shrinking below the
+    /// resident size drops every non-hot segment.
+    pub(crate) fn set_budget(&self, bytes: usize) {
         let mut inner = self.inner.lock();
-        inner.budget = pages;
-        if inner.map.len() > pages {
+        inner.budget_bytes = bytes;
+        if inner.resident_bytes > bytes {
             let hot = inner.hot.clone();
-            let before = inner.map.len();
-            inner.map.retain(|pid, _| hot.contains(&pid.file));
-            let evicted = (before - inner.map.len()) as u64;
-            inner.metrics.evict.add(evicted);
+            inner.evict_where(|pid| hot.contains(&pid.file));
         }
     }
 
@@ -179,12 +404,39 @@ impl SegCache {
         SegCache {
             inner: Mutex::new(SegCacheInner {
                 map: inner.map.clone(),
+                zones: inner
+                    .zones
+                    .iter()
+                    .map(|(pid, e)| {
+                        (*pid, ZoneEntry { zones: Arc::clone(&e.zones), confirmed: e.confirmed })
+                    })
+                    .collect(),
+                prefetched: inner.prefetched.clone(),
                 hot: inner.hot.clone(),
-                budget: inner.budget,
+                budget_bytes: inner.budget_bytes,
+                resident_bytes: inner.resident_bytes,
+                resident_plain_bytes: inner.resident_plain_bytes,
+                version: inner.version,
                 metrics: inner.metrics.clone(),
             }),
+            encoding: AtomicBool::new(self.encoding()),
         }
     }
+}
+
+/// Bundle of metric handles resolved by the pool's observer hookup
+/// (see [`crate::buffer::BufferPool::set_observer`]).
+pub(crate) struct SegMetricHandles {
+    pub hit: Counter,
+    pub miss: Counter,
+    pub evict: Counter,
+    pub prefetch_issued: Counter,
+    pub prefetch_useful: Counter,
+    pub resident_bytes: Gauge,
+    pub decode_us: Histogram,
+    pub decode_plain_us: Histogram,
+    pub decode_dict_us: Histogram,
+    pub decode_rle_us: Histogram,
 }
 
 impl std::fmt::Debug for SegCache {
@@ -192,8 +444,10 @@ impl std::fmt::Debug for SegCache {
         let inner = self.inner.lock();
         f.debug_struct("SegCache")
             .field("resident", &inner.map.len())
+            .field("resident_bytes", &inner.resident_bytes)
+            .field("zones", &inner.zones.len())
             .field("hot_files", &inner.hot.len())
-            .field("budget", &inner.budget)
+            .field("budget_bytes", &inner.budget_bytes)
             .finish()
     }
 }
@@ -209,9 +463,19 @@ mod tests {
         p
     }
 
+    /// A page big enough that its encoded bytes are nontrivial.
+    fn wide_page(rows: i64) -> Page {
+        let mut p = Page::new();
+        for i in 0..rows {
+            p.insert(&Tuple::new(vec![Value::Int(i), Value::Str(format!("v{}", i % 4))]).encode())
+                .unwrap();
+        }
+        p
+    }
+
     #[test]
     fn concurrent_get_or_decode_is_safe_and_correct() {
-        let cache = Arc::new(SegCache::new(64));
+        let cache = Arc::new(SegCache::new(64 * crate::page::PAGE_SIZE));
         let f = FileId(0);
         let pages: Vec<Page> = (0..8).map(one_row_page).collect();
         std::thread::scope(|s| {
@@ -229,11 +493,12 @@ mod tests {
             }
         });
         assert_eq!(cache.resident(), 8);
+        assert!(cache.resident_bytes() > 0);
     }
 
     #[test]
     fn deep_clone_diverges_from_original() {
-        let cache = SegCache::new(64);
+        let cache = SegCache::new(64 * crate::page::PAGE_SIZE);
         let f = FileId(3);
         let pid = PageId::new(f, 0);
         cache.get_or_decode(pid, &one_row_page(1), true).unwrap();
@@ -256,5 +521,75 @@ mod tests {
         assert_eq!(cache.resident(), 1, "hot files bypass the budget");
         cache.unmark_hot(f);
         assert_eq!(cache.resident(), 0);
+    }
+
+    #[test]
+    fn budget_is_in_resident_encoded_bytes() {
+        let page = wide_page(100);
+        // Pin encoding on: the compression assertion below must hold
+        // regardless of the ambient SPECDB_ENCODING default.
+        let probe = SegCache::new(usize::MAX);
+        probe.set_encoding(true);
+        let seg = probe.get_or_decode(PageId::new(FileId(9), 0), &page, true).unwrap();
+        let one = seg.encoded_bytes();
+        assert!(one > 0);
+        // Budget for exactly two segments: the third must be refused.
+        let cache = SegCache::new(2 * one);
+        cache.set_encoding(true);
+        for i in 0..3 {
+            cache.get_or_decode(PageId::new(FileId(1), i), &page, true).unwrap();
+        }
+        assert_eq!(cache.resident(), 2, "third segment exceeds the byte budget");
+        assert_eq!(cache.resident_bytes(), 2 * one);
+        assert!(cache.resident_plain_bytes() > cache.resident_bytes(), "encoded must compress");
+        // Shrinking the budget evicts down.
+        cache.set_budget(one - 1);
+        assert_eq!(cache.resident(), 0);
+        assert_eq!(cache.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn zone_maps_survive_segment_eviction() {
+        let cache = SegCache::new(usize::MAX);
+        let f = FileId(2);
+        let pid = PageId::new(f, 0);
+        cache.get_or_decode(pid, &wide_page(50), true).unwrap();
+        assert!(cache.zone_maps(pid).is_some());
+        cache.set_budget(0); // evict everything
+        assert_eq!(cache.resident(), 0);
+        let zones = cache.zone_maps(pid).expect("zones outlive eviction");
+        assert_eq!(zones[0].min, Some(Value::Int(0)));
+        assert_eq!(zones[0].max, Some(Value::Int(49)));
+        // A write to the page drops them (content changed).
+        cache.invalidate(pid);
+        assert!(cache.zone_maps(pid).is_none());
+    }
+
+    #[test]
+    fn prefetch_warms_and_marks_pages() {
+        let cache = SegCache::new(usize::MAX);
+        let pid = PageId::new(FileId(4), 0);
+        let page = wide_page(20);
+        let v = cache.version();
+        assert!(cache.prefetch(pid, &page, true, v));
+        assert!(cache.contains(pid));
+        assert!(!cache.prefetch(pid, &page, true, v), "already resident");
+        // Prefetch-only zones are unconfirmed: estimators must not see
+        // them until a regular read lands.
+        assert!(cache.confirmed_zone_maps(pid).is_none());
+        cache.get_or_decode(pid, &page, true).unwrap();
+        assert!(cache.confirmed_zone_maps(pid).is_some());
+    }
+
+    #[test]
+    fn stale_prefetch_is_discarded() {
+        let cache = SegCache::new(usize::MAX);
+        let pid = PageId::new(FileId(5), 0);
+        let v = cache.version();
+        // A write lands between page capture and the prefetch decode.
+        cache.invalidate(pid);
+        assert!(!cache.prefetch(pid, &wide_page(20), true, v), "stale version must be fenced");
+        assert!(!cache.contains(pid));
+        assert!(cache.zone_maps(pid).is_none());
     }
 }
