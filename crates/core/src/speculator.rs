@@ -67,6 +67,47 @@ impl Decision {
     pub fn is_idle(&self) -> bool {
         self.manipulation.is_null()
     }
+
+    /// Expected benefit per unit of build resource, in benefit-seconds
+    /// per build-second — the fleet-wide speculation governor's ranking
+    /// key. A decision that saves a lot but costs little to build ranks
+    /// highest; idle decisions rank at zero.
+    ///
+    /// ```
+    /// use specdb_core::{Decision, Manipulation};
+    /// use specdb_storage::VirtualTime;
+    ///
+    /// let cheap_win = Decision {
+    ///     manipulation: Manipulation::CreateIndex {
+    ///         table: "customer".into(),
+    ///         column: "c_nation".into(),
+    ///     },
+    ///     score: -2.0,
+    ///     build: VirtualTime::from_secs_f64(0.5),
+    ///     delta_secs: -2.0,
+    /// };
+    /// let dear_win = Decision { build: VirtualTime::from_secs(8), ..cheap_win.clone() };
+    /// assert!(cheap_win.benefit_rate() > dear_win.benefit_rate());
+    /// assert_eq!(Decision::idle().benefit_rate(), 0.0);
+    /// ```
+    pub fn benefit_rate(&self) -> f64 {
+        if self.is_idle() || self.score >= 0.0 {
+            return 0.0;
+        }
+        // Floor the denominator: a sub-millisecond build estimate would
+        // otherwise produce an unstable, effectively infinite priority.
+        (-self.score) / self.build.as_secs_f64().max(1e-3)
+    }
+
+    /// The do-nothing decision (`m∅`).
+    pub fn idle() -> Self {
+        Decision {
+            manipulation: Manipulation::Null,
+            score: 0.0,
+            build: VirtualTime::ZERO,
+            delta_secs: 0.0,
+        }
+    }
 }
 
 /// The Speculator component.

@@ -119,7 +119,7 @@ pub(crate) fn morsel_size(items: usize, threads: usize) -> usize {
 /// explicit thread request always exercises the full morsel path
 /// (dispatch, ordered merge, morsel spans), results being bit-identical
 /// at any worker count.
-pub(crate) fn effective_workers(threads: usize) -> usize {
+pub fn effective_workers(threads: usize) -> usize {
     static CORES: OnceLock<usize> = OnceLock::new();
     let cores = *CORES.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
     threads.min(cores).max(1)

@@ -141,6 +141,20 @@ impl ViewRegistry {
     ) -> impl Iterator<Item = &'a ViewDef> {
         self.by_key.values().filter(move |v| view_matches(&v.graph, graph, mode))
     }
+
+    /// Canonical keys of views whose defining graph is still contained
+    /// in `graph` under `mode` — the lease set a serving session holds
+    /// on the shared artifact cache. Sorted for deterministic iteration.
+    pub fn supported_keys(&self, graph: &QueryGraph, mode: MatchMode) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .by_key
+            .iter()
+            .filter(|(_, v)| view_matches(&v.graph, graph, mode))
+            .map(|(k, _)| k.clone())
+            .collect();
+        keys.sort();
+        keys
+    }
 }
 
 /// How view definitions are matched against query graphs.

@@ -21,6 +21,9 @@ pub enum CancelReason {
     Edit,
     /// The user issued GO while the build was still running.
     Go,
+    /// The fleet-wide speculation governor reclaimed the build slot for
+    /// a higher-priority candidate from another session.
+    Preempted,
 }
 
 /// Discriminant of [`Event`], used for sink-side filtering.

@@ -52,6 +52,9 @@ pub enum SpanKind {
     Operator,
     /// One morsel processed by a worker thread (wall clock only).
     Morsel,
+    /// A fleet-wide speculation-governor verdict (admit / deny /
+    /// preempt) over a candidate build (instant).
+    Governor,
 }
 
 impl SpanKind {
@@ -66,6 +69,7 @@ impl SpanKind {
             SpanKind::Execute => "execute",
             SpanKind::Operator => "operator",
             SpanKind::Morsel => "morsel",
+            SpanKind::Governor => "governor",
         }
     }
 }

@@ -1,0 +1,512 @@
+//! The shared speculative-artifact cache.
+//!
+//! PR 8 generalizes the engine's per-database [`ViewRegistry`] into a
+//! fleet-level cache: speculative materializations are keyed by the
+//! *canonical query* they answer ([`Database::graph_key`]), refcounted
+//! by per-session **leases**, deduplicated while building, and
+//! garbage-collected only when *no* session's partial query supports
+//! them any more — the multi-session form of the paper's Section 3.1
+//! GC convention ("the result of a manipulation persists as long as the
+//! current partial query indicates it will be useful").
+//!
+//! The cache tracks bookkeeping and policy only; the bytes live in the
+//! shared [`Database`]'s view registry as ordinary materialized tables.
+//! Sessions funnel every speculative build through
+//! [`SharedArtifactCache::begin_build`] so that concurrent sessions
+//! converging on the same canonical query produce one build, not N, and
+//! every completed build lands through
+//! [`SharedArtifactCache::complete_build`] so that a DDL-epoch bump
+//! racing the build discards the stale result instead of installing it.
+//!
+//! [`ViewRegistry`]: specdb_exec::ViewRegistry
+//! [`Database`]: specdb_exec::Database
+//! [`Database::graph_key`]: specdb_exec::Database::graph_key
+
+use parking_lot::Mutex;
+use specdb_obs::Observer;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Identifies one serving session within a [`SessionManager`].
+///
+/// [`SessionManager`]: crate::SessionManager
+pub type SessionId = u64;
+
+/// Outcome of [`SharedArtifactCache::begin_build`].
+#[derive(Debug)]
+pub enum BeginBuild {
+    /// No artifact exists for the key: the caller owns the build and
+    /// must finish it with [`SharedArtifactCache::complete_build`] or
+    /// [`SharedArtifactCache::abort_build`].
+    Started(BuildTicket),
+    /// Another session is already building this artifact; piggyback on
+    /// its result instead of duplicating the work.
+    InFlight,
+    /// The artifact is already installed under the given table name.
+    Ready(String),
+}
+
+/// Outcome of [`SharedArtifactCache::complete_build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompleteBuild {
+    /// The artifact was installed and is now visible to every session.
+    Installed,
+    /// A DDL-epoch bump (or a cancellation) raced the build: the result
+    /// is stale and was *not* installed. The caller must drop the
+    /// materialized table it just built.
+    Stale,
+}
+
+/// Claim on an in-flight build, returned by
+/// [`SharedArtifactCache::begin_build`].
+#[derive(Debug)]
+pub struct BuildTicket {
+    key: String,
+    session: SessionId,
+    epoch: u64,
+}
+
+impl BuildTicket {
+    /// The canonical query key being built.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// The session that owns the build.
+    pub fn session(&self) -> SessionId {
+        self.session
+    }
+}
+
+#[derive(Debug)]
+enum ArtifactState {
+    /// A session is building it; the table does not exist yet.
+    Building,
+    /// Installed: the materialized table is live in the shared database.
+    Ready(String),
+}
+
+#[derive(Debug)]
+struct Artifact {
+    state: ArtifactState,
+    builder: SessionId,
+    /// Sessions whose partial query currently supports this artifact.
+    /// Empty + Ready ⇒ garbage-collection candidate.
+    leases: BTreeSet<SessionId>,
+}
+
+#[derive(Default)]
+struct Totals {
+    hits: u64,
+    shared_hits: u64,
+    uses: u64,
+    cross_uses: u64,
+    installed: u64,
+    deduped: u64,
+    stale: u64,
+    collected: u64,
+}
+
+/// Point-in-time counters for the cache (see [`SharedArtifactCache::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Installed artifacts currently resident.
+    pub ready: u64,
+    /// Builds currently in flight.
+    pub building: u64,
+    /// Lookups that found a ready artifact.
+    pub hits: u64,
+    /// Lookups/uses served by an artifact built by a *different*
+    /// session — the cross-session wins.
+    pub shared_hits: u64,
+    /// Final-query plans that read an artifact (any builder).
+    pub uses: u64,
+    /// Builds installed.
+    pub installed: u64,
+    /// Builds avoided because an identical one was in flight or ready.
+    pub deduped: u64,
+    /// Builds discarded because a DDL epoch bump raced them.
+    pub stale: u64,
+    /// Artifacts garbage-collected after their last lease lapsed.
+    pub collected: u64,
+    /// Plan uses of artifacts built by a different session. Kept
+    /// separate from `shared_hits` (which also counts lookups) so the
+    /// reuse rate is defined over plan uses only.
+    cross_uses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of artifact uses served by another session's build —
+    /// the value of the `spec.cross_session_reuse` gauge.
+    pub fn cross_session_reuse(&self) -> f64 {
+        if self.uses == 0 {
+            0.0
+        } else {
+            self.cross_uses as f64 / self.uses as f64
+        }
+    }
+
+    /// Plan uses of artifacts built by a different session.
+    pub fn cross_uses(&self) -> u64 {
+        self.cross_uses
+    }
+}
+
+struct Inner {
+    entries: BTreeMap<String, Artifact>,
+    /// Table name → canonical key, for plan-side accounting
+    /// ([`SharedArtifactCache::note_use`] receives table names from
+    /// `QueryOutput::used_views`).
+    by_table: BTreeMap<String, String>,
+    /// Cache-level DDL epoch: bumped by [`SharedArtifactCache::invalidate`]
+    /// when base data changes; in-flight builds that began under an
+    /// older epoch complete as [`CompleteBuild::Stale`].
+    epoch: u64,
+    totals: Totals,
+}
+
+/// Refcounted, GC'd cache of speculative artifacts shared by every
+/// session of a [`SessionManager`] (and by the `multi_session` replay
+/// mode in `specdb-sim`).
+///
+/// ```
+/// use specdb_serve::{BeginBuild, CompleteBuild, SharedArtifactCache};
+///
+/// let cache = SharedArtifactCache::new();
+/// // Session 1 starts building σ(c_nation='FRANCE')(customer).
+/// let ticket = match cache.begin_build("sel(customer.c_nation=FRANCE)", 1) {
+///     BeginBuild::Started(t) => t,
+///     _ => unreachable!("first build must start"),
+/// };
+/// // Session 2 converges on the same query: the build is deduplicated.
+/// assert!(matches!(cache.begin_build("sel(customer.c_nation=FRANCE)", 2), BeginBuild::InFlight));
+/// // Session 1 installs; session 2's lookup is a cross-session hit.
+/// assert_eq!(cache.complete_build(ticket, "mv_01".into()), CompleteBuild::Installed);
+/// assert_eq!(cache.lookup("sel(customer.c_nation=FRANCE)", 2), Some("mv_01".into()));
+/// assert_eq!(cache.stats().shared_hits, 1);
+/// // Leases lapse (no session supports it) → the artifact is collected.
+/// cache.set_leases(1, &[]);
+/// cache.set_leases(2, &[]);
+/// assert_eq!(cache.collect_unleased(), vec![("sel(customer.c_nation=FRANCE)".into(), "mv_01".into())]);
+/// assert_eq!(cache.stats().ready, 0);
+/// ```
+pub struct SharedArtifactCache {
+    inner: Mutex<Inner>,
+    observer: Observer,
+}
+
+impl Default for SharedArtifactCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SharedArtifactCache {
+    /// An empty cache with observability disabled.
+    pub fn new() -> Self {
+        Self::with_observer(Observer::disabled())
+    }
+
+    /// An empty cache emitting `spec.shared_hits` /
+    /// `spec.cross_session_reuse` through the given observer.
+    pub fn with_observer(observer: Observer) -> Self {
+        SharedArtifactCache {
+            inner: Mutex::new(Inner {
+                entries: BTreeMap::new(),
+                by_table: BTreeMap::new(),
+                epoch: 0,
+                totals: Totals::default(),
+            }),
+            observer,
+        }
+    }
+
+    /// The cache's current DDL epoch.
+    pub fn epoch(&self) -> u64 {
+        self.inner.lock().epoch
+    }
+
+    /// Base data changed: bump the epoch so every in-flight build
+    /// completes as [`CompleteBuild::Stale`] instead of installing a
+    /// result computed over the old data.
+    pub fn invalidate(&self) {
+        self.inner.lock().epoch += 1;
+    }
+
+    /// Claim the build of artifact `key` for `session`. Exactly one
+    /// concurrent caller receives [`BeginBuild::Started`]; the rest see
+    /// [`BeginBuild::InFlight`] (deduplication) or
+    /// [`BeginBuild::Ready`].
+    pub fn begin_build(&self, key: &str, session: SessionId) -> BeginBuild {
+        let mut inner = self.inner.lock();
+        if let Some(a) = inner.entries.get(key) {
+            let out = match &a.state {
+                ArtifactState::Building => BeginBuild::InFlight,
+                ArtifactState::Ready(table) => BeginBuild::Ready(table.clone()),
+            };
+            inner.totals.deduped += 1;
+            return out;
+        }
+        let epoch = inner.epoch;
+        inner.entries.insert(
+            key.to_string(),
+            Artifact {
+                state: ArtifactState::Building,
+                builder: session,
+                leases: BTreeSet::from([session]),
+            },
+        );
+        BeginBuild::Started(BuildTicket { key: key.to_string(), session, epoch })
+    }
+
+    /// Install a finished build. Returns [`CompleteBuild::Stale`] — and
+    /// installs nothing — when the cache epoch advanced after
+    /// [`SharedArtifactCache::begin_build`] (DDL raced the build) or the
+    /// entry was invalidated; the caller must then drop the table.
+    pub fn complete_build(&self, ticket: BuildTicket, table: String) -> CompleteBuild {
+        let mut inner = self.inner.lock();
+        let fresh = inner.epoch == ticket.epoch
+            && matches!(
+                inner.entries.get(&ticket.key),
+                Some(a) if a.builder == ticket.session && matches!(a.state, ArtifactState::Building)
+            );
+        if !fresh {
+            inner.entries.remove(&ticket.key);
+            inner.totals.stale += 1;
+            return CompleteBuild::Stale;
+        }
+        let a = inner.entries.get_mut(&ticket.key).expect("checked above");
+        a.state = ArtifactState::Ready(table.clone());
+        inner.by_table.insert(table, ticket.key);
+        inner.totals.installed += 1;
+        CompleteBuild::Installed
+    }
+
+    /// Abandon an in-flight build (cancelled or failed).
+    pub fn abort_build(&self, ticket: BuildTicket) {
+        let mut inner = self.inner.lock();
+        if matches!(
+            inner.entries.get(&ticket.key),
+            Some(a) if a.builder == ticket.session && matches!(a.state, ArtifactState::Building)
+        ) {
+            inner.entries.remove(&ticket.key);
+        }
+    }
+
+    /// Look up a ready artifact by canonical key, taking a lease for
+    /// `session`. Counts a hit — a *shared* hit when the artifact was
+    /// built by a different session.
+    pub fn lookup(&self, key: &str, session: SessionId) -> Option<String> {
+        let mut inner = self.inner.lock();
+        let a = inner.entries.get_mut(key)?;
+        let ArtifactState::Ready(table) = &a.state else { return None };
+        let table = table.clone();
+        let cross = a.builder != session;
+        a.leases.insert(session);
+        inner.totals.hits += 1;
+        if cross {
+            inner.totals.shared_hits += 1;
+            self.observer.metrics().counter("spec.shared_hits").incr();
+        }
+        Some(table)
+    }
+
+    /// A final-query plan read the given materialized `table`. Returns
+    /// whether the use was cross-session (the artifact was built by a
+    /// session other than the reader) and updates the
+    /// `spec.cross_session_reuse` gauge. Unknown tables (ordinary views
+    /// not managed by the cache) return `false`.
+    pub fn note_use(&self, table: &str, session: SessionId) -> bool {
+        let mut inner = self.inner.lock();
+        let Some(key) = inner.by_table.get(table).cloned() else { return false };
+        let Some(a) = inner.entries.get_mut(&key) else { return false };
+        let cross = a.builder != session;
+        a.leases.insert(session);
+        inner.totals.uses += 1;
+        if cross {
+            inner.totals.cross_uses += 1;
+            inner.totals.shared_hits += 1;
+            self.observer.metrics().counter("spec.shared_hits").incr();
+        }
+        let reuse = inner.totals.cross_uses as f64 / inner.totals.uses as f64;
+        self.observer.metrics().gauge("spec.cross_session_reuse").set(reuse);
+        cross
+    }
+
+    /// Replace `session`'s lease set with exactly the artifacts in
+    /// `keys` (the canonical keys its partial query still supports —
+    /// see [`Database::supported_view_keys`]). An in-flight build keeps
+    /// its builder's lease regardless, so a build can never be collected
+    /// out from under its owner.
+    ///
+    /// [`Database::supported_view_keys`]: specdb_exec::Database::supported_view_keys
+    pub fn set_leases(&self, session: SessionId, keys: &[String]) {
+        let mut inner = self.inner.lock();
+        for (key, a) in inner.entries.iter_mut() {
+            let keep = keys.iter().any(|k| k == key)
+                || (a.builder == session && matches!(a.state, ArtifactState::Building));
+            if keep {
+                a.leases.insert(session);
+            } else {
+                a.leases.remove(&session);
+            }
+        }
+    }
+
+    /// Drop every lease held by `session` (disconnect).
+    pub fn release_session(&self, session: SessionId) {
+        let mut inner = self.inner.lock();
+        inner.entries.retain(|_, a| {
+            a.leases.remove(&session);
+            // An in-flight build whose owner vanishes is abandoned; its
+            // worker's `complete_build` will return `Stale`.
+            !(a.leases.is_empty()
+                && a.builder == session
+                && matches!(a.state, ArtifactState::Building))
+        });
+    }
+
+    /// Remove and return every ready artifact with zero leases — the
+    /// GC sweep. The caller must `drop_materialized` each returned
+    /// table from the shared database. Deterministic order (sorted by
+    /// canonical key).
+    pub fn collect_unleased(&self) -> Vec<(String, String)> {
+        let mut inner = self.inner.lock();
+        let doomed: Vec<(String, String)> = inner
+            .entries
+            .iter()
+            .filter_map(|(k, a)| match &a.state {
+                ArtifactState::Ready(t) if a.leases.is_empty() => Some((k.clone(), t.clone())),
+                _ => None,
+            })
+            .collect();
+        for (k, t) in &doomed {
+            inner.entries.remove(k);
+            inner.by_table.remove(t);
+            inner.totals.collected += 1;
+        }
+        doomed
+    }
+
+    /// Number of sessions currently leasing artifact `key` (0 if absent).
+    pub fn lease_count(&self, key: &str) -> usize {
+        self.inner.lock().entries.get(key).map_or(0, |a| a.leases.len())
+    }
+
+    /// Artifacts resident (ready + building).
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// True when no artifacts are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the cache counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock();
+        let (mut ready, mut building) = (0u64, 0u64);
+        for a in inner.entries.values() {
+            match a.state {
+                ArtifactState::Ready(_) => ready += 1,
+                ArtifactState::Building => building += 1,
+            }
+        }
+        CacheStats {
+            ready,
+            building,
+            hits: inner.totals.hits,
+            shared_hits: inner.totals.shared_hits,
+            uses: inner.totals.uses,
+            installed: inner.totals.installed,
+            deduped: inner.totals.deduped,
+            stale: inner.totals.stale,
+            collected: inner.totals.collected,
+            cross_uses: inner.totals.cross_uses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(cache: &SharedArtifactCache, key: &str, session: SessionId) -> BuildTicket {
+        match cache.begin_build(key, session) {
+            BeginBuild::Started(t) => t,
+            other => panic!("expected Started, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn build_dedupe_and_ready_paths() {
+        let cache = SharedArtifactCache::new();
+        let t = start(&cache, "k1", 1);
+        assert!(matches!(cache.begin_build("k1", 2), BeginBuild::InFlight));
+        assert_eq!(cache.complete_build(t, "mv_a".into()), CompleteBuild::Installed);
+        assert!(matches!(cache.begin_build("k1", 3), BeginBuild::Ready(t) if t == "mv_a"));
+        assert_eq!(cache.stats().deduped, 2);
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_in_flight_build() {
+        let cache = SharedArtifactCache::new();
+        let t = start(&cache, "k1", 1);
+        cache.invalidate();
+        assert_eq!(cache.complete_build(t, "mv_a".into()), CompleteBuild::Stale);
+        assert!(cache.is_empty(), "stale build must not install");
+        // A fresh build under the new epoch installs fine.
+        let t2 = start(&cache, "k1", 1);
+        assert_eq!(cache.complete_build(t2, "mv_b".into()), CompleteBuild::Installed);
+    }
+
+    #[test]
+    fn shared_hit_accounting() {
+        let cache = SharedArtifactCache::new();
+        let t = start(&cache, "k1", 1);
+        cache.complete_build(t, "mv_a".into());
+        assert_eq!(cache.lookup("k1", 1), Some("mv_a".into()));
+        assert_eq!(cache.stats().shared_hits, 0, "own lookup is not shared");
+        assert_eq!(cache.lookup("k1", 2), Some("mv_a".into()));
+        assert_eq!(cache.stats().shared_hits, 1);
+        assert!(cache.note_use("mv_a", 3), "foreign plan use is cross-session");
+        assert!(!cache.note_use("mv_a", 1), "builder's own use is not");
+        let s = cache.stats();
+        assert_eq!(s.uses, 2);
+        assert_eq!(s.cross_uses(), 1);
+        assert!((s.cross_session_reuse() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leases_guard_collection() {
+        let cache = SharedArtifactCache::new();
+        let t = start(&cache, "k1", 1);
+        cache.complete_build(t, "mv_a".into());
+        cache.set_leases(2, &["k1".into()]);
+        // Builder pivots away; session 2 still leases it.
+        cache.set_leases(1, &[]);
+        assert!(cache.collect_unleased().is_empty());
+        assert_eq!(cache.lease_count("k1"), 1);
+        // Session 2 disconnects: now collectable.
+        cache.release_session(2);
+        assert_eq!(cache.collect_unleased(), vec![("k1".into(), "mv_a".into())]);
+    }
+
+    #[test]
+    fn building_entries_are_never_collected() {
+        let cache = SharedArtifactCache::new();
+        let t = start(&cache, "k1", 1);
+        // Even a lease wipe keeps the in-flight build alive for its owner.
+        cache.set_leases(1, &[]);
+        assert!(cache.collect_unleased().is_empty());
+        assert_eq!(cache.complete_build(t, "mv_a".into()), CompleteBuild::Installed);
+    }
+
+    #[test]
+    fn release_abandons_owned_in_flight_build() {
+        let cache = SharedArtifactCache::new();
+        let t = start(&cache, "k1", 1);
+        cache.release_session(1);
+        assert_eq!(cache.complete_build(t, "mv_a".into()), CompleteBuild::Stale);
+    }
+}

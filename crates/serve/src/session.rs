@@ -1,0 +1,326 @@
+//! One serving session: per-user partial query, Learner profile, and
+//! speculative builds gated by the fleet governor.
+//!
+//! [`ServeSession`] is the multi-session counterpart of
+//! [`specdb_core::SpeculativeSession`]: same edit/GO lifecycle, same
+//! background build thread, but the database is *shared* with every
+//! other session, builds must win a slot from the [`Governor`], and
+//! speculative artifacts are registered in the [`SharedArtifactCache`]
+//! so any session's GO can reuse them.
+
+use crate::artifacts::{BeginBuild, CompleteBuild, SessionId, SharedArtifactCache};
+use crate::governor::{Admission, Governor};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use serde::Serialize;
+use specdb_core::session::apply_manipulation;
+use specdb_core::{Learner, Manipulation, Speculator, SpeculatorConfig};
+use specdb_exec::{CancelToken, Database, ExecResult, QueryOutput};
+use specdb_query::{EditOp, PartialQuery, Query};
+use specdb_storage::VirtualTime;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Counters describing one serving session's activity.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ServeSessionStats {
+    /// Speculative builds admitted and started.
+    pub issued: u64,
+    /// Builds that completed and installed their artifact.
+    pub completed: u64,
+    /// Builds cancelled (edit invalidation, GO, or preemption).
+    pub cancelled: u64,
+    /// Candidate builds the governor denied.
+    pub denied: u64,
+    /// Candidate builds skipped because the artifact already existed
+    /// (or was being built) fleet-wide.
+    pub deduped: u64,
+    /// Final queries executed.
+    pub queries: u64,
+    /// This session's GO plans that read an artifact built by a
+    /// *different* session.
+    pub shared_hits: u64,
+    /// Artifacts garbage-collected by this session's sweeps.
+    pub collected: u64,
+}
+
+enum WorkerEvent {
+    Done,
+    Cancelled,
+}
+
+struct Outstanding {
+    manipulation: Manipulation,
+    cancel: CancelToken,
+    handle: JoinHandle<()>,
+}
+
+/// One interactive session against the shared database.
+pub struct ServeSession {
+    id: SessionId,
+    name: String,
+    db: Arc<Mutex<Database>>,
+    speculator: Arc<Speculator>,
+    governor: Arc<Governor>,
+    artifacts: Arc<SharedArtifactCache>,
+    learner: Learner,
+    partial: PartialQuery,
+    outstanding: Option<Outstanding>,
+    events: (Sender<WorkerEvent>, Receiver<WorkerEvent>),
+    epoch: Instant,
+    stats: ServeSessionStats,
+}
+
+impl ServeSession {
+    /// A new session over the shared database. Sessions are normally
+    /// created through [`SessionManager::connect`], which wires the
+    /// shared governor and artifact cache.
+    ///
+    /// [`SessionManager::connect`]: crate::SessionManager::connect
+    pub fn new(
+        id: SessionId,
+        name: String,
+        db: Arc<Mutex<Database>>,
+        spec: SpeculatorConfig,
+        governor: Arc<Governor>,
+        artifacts: Arc<SharedArtifactCache>,
+    ) -> Self {
+        ServeSession {
+            id,
+            name,
+            db,
+            speculator: Arc::new(Speculator::new(spec)),
+            governor,
+            artifacts,
+            learner: Learner::default(),
+            partial: PartialQuery::new(),
+            outstanding: None,
+            events: unbounded(),
+            epoch: Instant::now(),
+            stats: ServeSessionStats::default(),
+        }
+    }
+
+    /// Session id.
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// Session name (from CONNECT).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn now(&self) -> VirtualTime {
+        VirtualTime::from_micros(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    fn drain_events(&mut self) {
+        while let Ok(ev) = self.events.1.try_recv() {
+            match ev {
+                WorkerEvent::Done => self.stats.completed += 1,
+                WorkerEvent::Cancelled => self.stats.cancelled += 1,
+            }
+        }
+    }
+
+    fn resolve_outstanding(&mut self, force_cancel: bool) {
+        if let Some(out) = &self.outstanding {
+            let finished = out.handle.is_finished();
+            let invalid = force_cancel
+                || self.speculator.should_cancel(&out.manipulation, self.partial.graph());
+            if finished || invalid {
+                if !finished {
+                    out.cancel.cancel();
+                }
+                let out = self.outstanding.take().unwrap();
+                let _ = out.handle.join();
+            }
+        }
+        self.drain_events();
+    }
+
+    /// Apply one user edit; may cancel the in-flight build, refresh the
+    /// session's artifact leases, and propose a new build to the
+    /// governor.
+    pub fn edit(&mut self, op: EditOp) {
+        let now = self.now();
+        self.learner.observe_edit(now, &op);
+        self.partial.apply(&op);
+        self.resolve_outstanding(false);
+        // Lease exactly the artifacts the new partial query supports.
+        let keys = self.db.lock().supported_view_keys(self.partial.graph());
+        self.artifacts.set_leases(self.id, &keys);
+        if self.outstanding.is_some() {
+            return;
+        }
+        let elapsed = self
+            .learner
+            .formulation_start()
+            .map(|s| now.saturating_sub(s))
+            .unwrap_or(VirtualTime::ZERO);
+        let decision = {
+            let db = self.db.lock();
+            self.speculator.decide(self.partial.graph(), &db, &self.learner, elapsed)
+        };
+        if decision.is_idle() {
+            return;
+        }
+        // Fleet-wide dedupe: if any session already built (or is
+        // building) this artifact, don't propose a duplicate.
+        let artifact_key = decision.manipulation.graph().map(Database::graph_key);
+        if let Some(key) = &artifact_key {
+            match self.artifacts.begin_build(key, self.id) {
+                BeginBuild::Started(ticket) => {
+                    // We hold the build claim; now win a slot or give
+                    // the claim back.
+                    match self.governor.admit(self.id, decision.benefit_rate()) {
+                        Admission::Admit | Admission::Preempt(_) => {
+                            self.spawn_build(decision.manipulation.clone(), Some(ticket));
+                        }
+                        Admission::Deny => {
+                            self.artifacts.abort_build(ticket);
+                            self.stats.denied += 1;
+                        }
+                    }
+                }
+                BeginBuild::InFlight | BeginBuild::Ready(_) => {
+                    self.stats.deduped += 1;
+                }
+            }
+            return;
+        }
+        // Non-materializing manipulations (index, histogram, staging)
+        // still consume a governor slot but register no artifact.
+        match self.governor.admit(self.id, decision.benefit_rate()) {
+            Admission::Admit | Admission::Preempt(_) => {
+                self.spawn_build(decision.manipulation, None);
+            }
+            Admission::Deny => self.stats.denied += 1,
+        }
+    }
+
+    fn spawn_build(&mut self, m: Manipulation, ticket: Option<crate::artifacts::BuildTicket>) {
+        let cancel = CancelToken::new();
+        self.governor.attach_cancel(self.id, cancel.clone());
+        let db = Arc::clone(&self.db);
+        let governor = Arc::clone(&self.governor);
+        let artifacts = Arc::clone(&self.artifacts);
+        let tx = self.events.0.clone();
+        let token = cancel.clone();
+        let id = self.id;
+        let manipulation = m.clone();
+        let handle = std::thread::spawn(move || {
+            let result = {
+                let mut db = db.lock();
+                apply_manipulation(&mut db, &manipulation, token)
+            };
+            governor.finish(id);
+            match result {
+                Ok(applied) => {
+                    if let Some(ticket) = ticket {
+                        let table = applied.table.clone().unwrap_or_default();
+                        if artifacts.complete_build(ticket, table.clone()) == CompleteBuild::Stale {
+                            // A DDL epoch bump raced the build: the
+                            // result answers a stale snapshot. Drop it.
+                            db.lock().drop_materialized(&table);
+                            let _ = tx.send(WorkerEvent::Cancelled);
+                            return;
+                        }
+                    }
+                    let _ = tx.send(WorkerEvent::Done);
+                }
+                Err(_) => {
+                    if let Some(ticket) = ticket {
+                        artifacts.abort_build(ticket);
+                    }
+                    let _ = tx.send(WorkerEvent::Cancelled);
+                }
+            }
+        });
+        self.stats.issued += 1;
+        self.outstanding = Some(Outstanding { manipulation: m, cancel, handle });
+    }
+
+    /// Cancel the in-flight build, if any. Returns whether one was
+    /// cancelled.
+    pub fn cancel(&mut self) -> bool {
+        let had = self.outstanding.is_some();
+        self.resolve_outstanding(true);
+        had
+    }
+
+    /// The user pressed GO: resolve the in-flight build, execute the
+    /// final query, account cross-session artifact hits, and run the
+    /// lease-aware GC sweep.
+    pub fn go(&mut self) -> ExecResult<GoOutcome> {
+        self.resolve_outstanding(true);
+        let now = self.now();
+        let final_query: Query = self.partial.query().clone();
+        self.learner.observe_go(now, &final_query.graph);
+        let (result, collected) = {
+            let mut db = self.db.lock();
+            let r = db.execute(&final_query)?;
+            // Lease against the final query, then sweep artifacts no
+            // session supports any more.
+            let keys = db.supported_view_keys(&final_query.graph);
+            self.artifacts.set_leases(self.id, &keys);
+            let doomed = self.artifacts.collect_unleased();
+            for (_, table) in &doomed {
+                db.drop_materialized(table);
+            }
+            for table in db.unsupported_staged(&final_query.graph) {
+                db.unstage(&table);
+            }
+            (r, doomed.len() as u64)
+        };
+        self.stats.collected += collected;
+        self.stats.queries += 1;
+        let mut shared_hit = false;
+        for view in &result.used_views {
+            if self.artifacts.note_use(view, self.id) {
+                self.stats.shared_hits += 1;
+                shared_hit = true;
+            }
+        }
+        Ok(GoOutcome { output: result, shared_hit })
+    }
+
+    /// The current partial query graph.
+    pub fn partial(&self) -> &specdb_query::QueryGraph {
+        self.partial.graph()
+    }
+
+    /// Session counters (drains pending worker events first).
+    pub fn stats(&mut self) -> ServeSessionStats {
+        self.drain_events();
+        self.stats
+    }
+
+    /// Tear down: cancel in-flight work and release every artifact
+    /// lease. Called by [`SessionManager::disconnect`].
+    ///
+    /// [`SessionManager::disconnect`]: crate::SessionManager::disconnect
+    pub fn close(&mut self) {
+        self.resolve_outstanding(true);
+        self.artifacts.release_session(self.id);
+        let doomed = self.artifacts.collect_unleased();
+        if !doomed.is_empty() {
+            let mut db = self.db.lock();
+            for (_, table) in &doomed {
+                db.drop_materialized(table);
+            }
+        }
+    }
+}
+
+/// Result of [`ServeSession::go`].
+#[derive(Debug)]
+pub struct GoOutcome {
+    /// The final query's output.
+    pub output: QueryOutput,
+    /// Whether the plan read at least one artifact built by a
+    /// different session.
+    pub shared_hit: bool,
+}

@@ -15,6 +15,8 @@
 //!   asynchronous manipulations during recorded think time,
 //! * [`multi`] — multi-user replay: several traces share the engine and
 //!   a processor-sharing disk (Figure 7),
+//! * [`multi_session`] — concurrent-session replay under the
+//!   `specdb-serve` fleet governor and shared-artifact accounting,
 //! * [`report`] — the improvement metric, bucketing, and table rendering,
 //! * [`dashboard`] — self-contained HTML speculation-timeline rendering
 //!   from a traced replay's events and spans.
@@ -22,6 +24,7 @@
 pub mod dashboard;
 pub mod dataset;
 pub mod multi;
+pub mod multi_session;
 pub mod replay;
 pub mod report;
 
@@ -30,5 +33,6 @@ pub use dataset::{
     materialize_subset_joins_up_to, DatasetSpec,
 };
 pub use multi::{replay_multi, MultiOutcome};
+pub use multi_session::{replay_multi_session, MultiSessionConfig, MultiSessionOutcome};
 pub use replay::{replay_trace, ProfileKind, QueryMeasurement, ReplayConfig, ReplayOutcome};
 pub use report::{bucketize, improvement, Bucket, BucketRow, PairedRun};

@@ -45,14 +45,14 @@ impl Default for ProfileKind {
     }
 }
 
-enum ProfileState {
+pub(crate) enum ProfileState {
     Learner(Box<Learner>),
     Oracle(OracleProfile),
     Uniform(UniformProfile),
 }
 
 impl ProfileState {
-    fn new(kind: &ProfileKind) -> Self {
+    pub(crate) fn new(kind: &ProfileKind) -> Self {
         match kind {
             ProfileKind::Learner(cfg) => ProfileState::Learner(Box::new(Learner::new(cfg.clone()))),
             ProfileKind::Oracle(o) => ProfileState::Oracle(o.clone()),
@@ -60,7 +60,7 @@ impl ProfileState {
         }
     }
 
-    fn as_profile(&self) -> &dyn Profile {
+    pub(crate) fn as_profile(&self) -> &dyn Profile {
         match self {
             ProfileState::Learner(l) => l.as_ref(),
             ProfileState::Oracle(o) => o,
@@ -68,19 +68,19 @@ impl ProfileState {
         }
     }
 
-    fn observe_edit(&mut self, at: VirtualTime, op: &specdb_query::EditOp) {
+    pub(crate) fn observe_edit(&mut self, at: VirtualTime, op: &specdb_query::EditOp) {
         if let ProfileState::Learner(l) = self {
             l.observe_edit(at, op);
         }
     }
 
-    fn observe_go(&mut self, at: VirtualTime, g: &specdb_query::QueryGraph) {
+    pub(crate) fn observe_go(&mut self, at: VirtualTime, g: &specdb_query::QueryGraph) {
         if let ProfileState::Learner(l) = self {
             l.observe_go(at, g);
         }
     }
 
-    fn formulation_start(&self) -> Option<VirtualTime> {
+    pub(crate) fn formulation_start(&self) -> Option<VirtualTime> {
         match self {
             ProfileState::Learner(l) => l.formulation_start(),
             _ => None,
@@ -237,30 +237,36 @@ impl ReplayOutcome {
     }
 }
 
-struct Pending {
-    manipulation: Manipulation,
-    table: Option<String>,
-    finish_at: VirtualTime,
-    duration: VirtualTime,
+pub(crate) struct Pending {
+    pub(crate) manipulation: Manipulation,
+    pub(crate) table: Option<String>,
+    pub(crate) finish_at: VirtualTime,
+    pub(crate) duration: VirtualTime,
     /// Estimated per-query benefit (positive seconds) at issue time.
-    benefit_secs: f64,
+    pub(crate) benefit_secs: f64,
     /// Raw predicted per-query time change (negative = beneficial),
     /// kept for benefit calibration when the result is used at GO.
-    predicted_delta_secs: f64,
+    pub(crate) predicted_delta_secs: f64,
 }
 
 /// A completed materialization awaiting its verdict: read by a final
 /// query (used) or dropped untouched (wasted).
-struct CompletedView {
-    used: bool,
-    predicted_delta_secs: f64,
+pub(crate) struct CompletedView {
+    pub(crate) used: bool,
+    pub(crate) predicted_delta_secs: f64,
 }
 
-fn cancel_pending(observer: &Observer, out: &mut ReplayOutcome, p: &Pending, reason: CancelReason) {
+pub(crate) fn cancel_pending(
+    observer: &Observer,
+    out: &mut ReplayOutcome,
+    p: &Pending,
+    reason: CancelReason,
+) {
     out.cancelled += 1;
     let counter = match reason {
         CancelReason::Edit => "spec.cancelled.edit",
         CancelReason::Go => "spec.cancelled.go",
+        CancelReason::Preempted => "spec.cancelled.preempt",
     };
     observer.metrics().counter(counter).incr();
     if observer.wants(EventKind::SpecCancelled) {
@@ -273,7 +279,7 @@ fn cancel_pending(observer: &Observer, out: &mut ReplayOutcome, p: &Pending, rea
 }
 
 /// Short label for an edit op (event payloads and trace instants).
-fn edit_label(op: &specdb_query::EditOp) -> &'static str {
+pub(crate) fn edit_label(op: &specdb_query::EditOp) -> &'static str {
     use specdb_query::EditOp;
     match op {
         EditOp::AddRelation(_) => "add_relation",
@@ -289,13 +295,134 @@ fn edit_label(op: &specdb_query::EditOp) -> &'static str {
     }
 }
 
-fn rollback(db: &mut Database, pending: &Pending) {
+pub(crate) fn rollback(db: &mut Database, pending: &Pending) {
     match (&pending.manipulation, &pending.table) {
         (_, Some(t)) => db.drop_materialized(t),
         (Manipulation::CreateIndex { table, column }, None) => db.drop_index(table, column),
         (Manipulation::CreateHistogram { table, column }, None) => db.drop_histogram(table, column),
         (Manipulation::DataStage { table, .. }, None) => db.unstage(table),
         _ => {}
+    }
+}
+
+/// Register a finished build for used-vs-wasted accounting.
+pub(crate) fn complete(
+    observer: &Observer,
+    out: &mut ReplayOutcome,
+    completed_views: &mut HashMap<String, CompletedView>,
+    p: &Pending,
+    at: VirtualTime,
+) {
+    out.completed += 1;
+    out.manipulation_times.push(p.duration);
+    observer.metrics().counter("spec.completed").incr();
+    observer
+        .metrics()
+        .histogram("lat.spec_build_secs")
+        .record(p.duration.as_secs_f64());
+    if observer.wants(EventKind::SpecCompleted) {
+        observer.emit_at(
+            at.as_micros(),
+            Event::SpecCompleted {
+                manipulation: p.manipulation.to_string(),
+                table: p.table.clone().unwrap_or_default(),
+                build_secs: p.duration.as_secs_f64(),
+            },
+        );
+    }
+    if let Some(table) = &p.table {
+        completed_views.insert(
+            table.clone(),
+            CompletedView { used: false, predicted_delta_secs: p.predicted_delta_secs },
+        );
+    }
+}
+
+/// Issue the best manipulation at `at` if the slot is free; returns
+/// the new pending state. Shared verbatim by the single-session replay
+/// and the multi-session governor replay so the two stay bit-identical.
+pub(crate) fn issue(
+    db: &mut Database,
+    speculator: &Speculator,
+    profile: &ProfileState,
+    pq: &PartialQuery,
+    out: &mut ReplayOutcome,
+    at: VirtualTime,
+) -> ExecResult<Option<Pending>> {
+    issue_gated(db, speculator, profile, pq, out, at, &mut |_| true)
+}
+
+/// [`issue`], with an admission gate consulted between the speculator's
+/// decision and its execution. The multi-session replay hangs the
+/// fleet governor here; a gate that always admits reproduces the
+/// single-session path exactly (same decisions, same effects, same
+/// counters), which is what keeps the governor's single-session replay
+/// bit-identical to the pre-governor one.
+pub(crate) fn issue_gated(
+    db: &mut Database,
+    speculator: &Speculator,
+    profile: &ProfileState,
+    pq: &PartialQuery,
+    out: &mut ReplayOutcome,
+    at: VirtualTime,
+    admit: &mut dyn FnMut(&specdb_core::Decision) -> bool,
+) -> ExecResult<Option<Pending>> {
+    let observer = db.observer().clone();
+    observer.set_now_micros(at.as_micros());
+    let elapsed_formulation =
+        profile.formulation_start().map(|s| at.saturating_sub(s)).unwrap_or_default();
+    // Wall-clock decision latency: observational only, never fed
+    // back into the virtual clock or the decision itself.
+    let t0 = std::time::Instant::now();
+    let decision = speculator.decide(pq.graph(), db, profile.as_profile(), elapsed_formulation);
+    observer
+        .metrics()
+        .histogram("lat.decide_us")
+        .record(t0.elapsed().as_micros() as f64);
+    if decision.is_idle() {
+        return Ok(None);
+    }
+    if !admit(&decision) {
+        return Ok(None);
+    }
+    observer.metrics().counter("spec.decisions").incr();
+    if observer.wants(EventKind::SpecDecision) {
+        observer.emit(Event::SpecDecision {
+            manipulation: decision.manipulation.to_string(),
+            score: decision.score,
+            predicted_build_secs: decision.build.as_secs_f64(),
+            predicted_delta_secs: decision.delta_secs,
+        });
+    }
+    // Execute now to learn the true duration and effects; the effects
+    // become usable at `at + duration` (cancellation before then
+    // rolls them back).
+    match apply_manipulation(db, &decision.manipulation, CancelToken::new()) {
+        Ok(applied) => {
+            out.issued += 1;
+            observer.metrics().counter("spec.issued").incr();
+            // The cost model predicted `decision.build`; the engine
+            // just measured the true virtual build time.
+            observer
+                .calibration()
+                .record_build(decision.build.as_secs_f64(), applied.elapsed.as_secs_f64());
+            if observer.wants(EventKind::SpecStarted) {
+                observer.emit(Event::SpecStarted {
+                    manipulation: decision.manipulation.to_string(),
+                    table: applied.table.clone().unwrap_or_default(),
+                });
+            }
+            Ok(Some(Pending {
+                manipulation: decision.manipulation,
+                table: applied.table,
+                finish_at: at + applied.elapsed,
+                duration: applied.elapsed,
+                benefit_secs: (-decision.delta_secs).max(0.0),
+                predicted_delta_secs: decision.delta_secs,
+            }))
+        }
+        Err(e) if e.is_cancelled() => Ok(None),
+        Err(e) => Err(e),
     }
 }
 
@@ -326,106 +453,6 @@ pub fn replay_trace(
     // Virtual instant the current question (formulation) started —
     // feeds the `lat.time_to_go_secs` histogram.
     let mut question_start: Option<VirtualTime> = None;
-
-    // Register a finished build for used-vs-wasted accounting.
-    fn complete(
-        observer: &Observer,
-        out: &mut ReplayOutcome,
-        completed_views: &mut HashMap<String, CompletedView>,
-        p: &Pending,
-        at: VirtualTime,
-    ) {
-        out.completed += 1;
-        out.manipulation_times.push(p.duration);
-        observer.metrics().counter("spec.completed").incr();
-        observer
-            .metrics()
-            .histogram("lat.spec_build_secs")
-            .record(p.duration.as_secs_f64());
-        if observer.wants(EventKind::SpecCompleted) {
-            observer.emit_at(
-                at.as_micros(),
-                Event::SpecCompleted {
-                    manipulation: p.manipulation.to_string(),
-                    table: p.table.clone().unwrap_or_default(),
-                    build_secs: p.duration.as_secs_f64(),
-                },
-            );
-        }
-        if let Some(table) = &p.table {
-            completed_views.insert(
-                table.clone(),
-                CompletedView { used: false, predicted_delta_secs: p.predicted_delta_secs },
-            );
-        }
-    }
-
-    // Issue the best manipulation at `at` if the slot is free; returns
-    // the new pending state. (A helper closure is not possible here —
-    // too many disjoint borrows — so this is a macro-free inner fn.)
-    fn issue(
-        db: &mut Database,
-        speculator: &Speculator,
-        profile: &ProfileState,
-        pq: &PartialQuery,
-        out: &mut ReplayOutcome,
-        at: VirtualTime,
-    ) -> ExecResult<Option<Pending>> {
-        let observer = db.observer().clone();
-        observer.set_now_micros(at.as_micros());
-        let elapsed_formulation =
-            profile.formulation_start().map(|s| at.saturating_sub(s)).unwrap_or_default();
-        // Wall-clock decision latency: observational only, never fed
-        // back into the virtual clock or the decision itself.
-        let t0 = std::time::Instant::now();
-        let decision = speculator.decide(pq.graph(), db, profile.as_profile(), elapsed_formulation);
-        observer
-            .metrics()
-            .histogram("lat.decide_us")
-            .record(t0.elapsed().as_micros() as f64);
-        if decision.is_idle() {
-            return Ok(None);
-        }
-        observer.metrics().counter("spec.decisions").incr();
-        if observer.wants(EventKind::SpecDecision) {
-            observer.emit(Event::SpecDecision {
-                manipulation: decision.manipulation.to_string(),
-                score: decision.score,
-                predicted_build_secs: decision.build.as_secs_f64(),
-                predicted_delta_secs: decision.delta_secs,
-            });
-        }
-        // Execute now to learn the true duration and effects; the effects
-        // become usable at `at + duration` (cancellation before then
-        // rolls them back).
-        match apply_manipulation(db, &decision.manipulation, CancelToken::new()) {
-            Ok(applied) => {
-                out.issued += 1;
-                observer.metrics().counter("spec.issued").incr();
-                // The cost model predicted `decision.build`; the engine
-                // just measured the true virtual build time.
-                observer
-                    .calibration()
-                    .record_build(decision.build.as_secs_f64(), applied.elapsed.as_secs_f64());
-                if observer.wants(EventKind::SpecStarted) {
-                    observer.emit(Event::SpecStarted {
-                        manipulation: decision.manipulation.to_string(),
-                        table: applied.table.clone().unwrap_or_default(),
-                    });
-                }
-                Ok(Some(Pending {
-                    manipulation: decision.manipulation,
-                    table: applied.table,
-                    finish_at: at + applied.elapsed,
-                    duration: applied.elapsed,
-                    benefit_secs: (-decision.delta_secs).max(0.0),
-                    predicted_delta_secs: decision.delta_secs,
-                }))
-            }
-            Err(e) if e.is_cancelled() => Ok(None),
-            Err(e) => Err(e),
-        }
-    }
 
     for te in &trace.edits {
         let now = te.at + offset;

@@ -19,6 +19,8 @@
 //! * [`trace`] — user-behaviour model, trace generation and replay format
 //! * [`sim`] — discrete-event experiment harness reproducing the paper
 //! * [`obs`] — metrics, structured events and prediction calibration
+//! * [`serve`] — multi-session serving: fleet governor, shared artifact
+//!   cache, TCP wire protocol (see `docs/serving.md`)
 //!
 //! ## Quickstart
 //!
@@ -56,6 +58,7 @@ pub use specdb_core as core;
 pub use specdb_exec as exec;
 pub use specdb_obs as obs;
 pub use specdb_query as query;
+pub use specdb_serve as serve;
 pub use specdb_sim as sim;
 pub use specdb_storage as storage;
 pub use specdb_tpch as tpch;

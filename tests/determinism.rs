@@ -154,6 +154,70 @@ fn replay_identical_with_encodings_on_and_off() {
     }
 }
 
+/// The fleet governor is behaviour-neutral for a lone session: the
+/// multi-session replay of a single trace must produce the bit-identical
+/// [`ReplayOutcome`] as the pre-governor single-session path — at one
+/// *and* several worker threads (the acceptance bar for PR 8's serving
+/// layer).
+///
+/// [`ReplayOutcome`]: specdb::sim::replay::ReplayOutcome
+#[test]
+fn single_session_under_governor_identical_to_plain_replay() {
+    use specdb::sim::{replay_multi_session, MultiSessionConfig};
+    let base = build_base_db(&DatasetSpec::tiny()).unwrap();
+    let trace = UserModel::default().generate("u", 1234);
+    for threads in [1usize, 4] {
+        let single = {
+            let mut db = base.clone();
+            db.set_threads(threads);
+            replay_trace(&mut db, &trace, &ReplayConfig::speculative()).unwrap()
+        };
+        assert!(single.issued > 0, "trace must exercise speculation");
+        let multi = {
+            let mut db = base.clone();
+            db.set_threads(threads);
+            replay_multi_session(
+                &mut db,
+                std::slice::from_ref(&trace),
+                &MultiSessionConfig::speculative(),
+            )
+            .unwrap()
+        };
+        assert_eq!(
+            multi.per_session[0], single,
+            "the governor changed a lone session's replay at {threads} threads"
+        );
+        assert_eq!(multi.shared_hits, 0);
+        assert_eq!(multi.preempted, 0);
+    }
+}
+
+/// The concurrent multi-session replay itself is deterministic and
+/// thread-count-invariant: same traces, same fleet outcome — counters,
+/// timings, shared-hit accounting — at 1 and 4 worker threads.
+#[test]
+fn multi_session_replay_is_deterministic() {
+    use specdb::sim::{replay_multi_session, MultiSessionConfig};
+    let base = build_base_db(&DatasetSpec::tiny()).unwrap();
+    let traces: Vec<_> = (0..3)
+        .map(|i| {
+            let cfg = specdb::trace::UserModelConfig { queries: 6, ..Default::default() };
+            UserModel::new(cfg, specdb::tpch::ExploreDomain::tpch())
+                .generate(&format!("u{i}"), 800 + i)
+        })
+        .collect();
+    let run = |threads: usize| {
+        let mut db = base.clone();
+        db.set_threads(threads);
+        replay_multi_session(&mut db, &traces, &MultiSessionConfig::speculative()).unwrap()
+    };
+    let a = run(1);
+    let b = run(1);
+    assert_eq!(a, b, "multi-session replay must be reproducible");
+    let parallel = run(4);
+    assert_eq!(a, parallel, "4 worker threads changed the fleet outcome");
+}
+
 #[test]
 fn multi_user_replay_is_deterministic() {
     use specdb::sim::replay_multi;
