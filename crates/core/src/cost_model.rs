@@ -125,6 +125,41 @@ impl CostModel {
             Manipulation::CreateHistogram { table, column } => {
                 self.score_histogram(table, column, partial, db, profile, elapsed)
             }
+            // Generic entry point has no sequence probability; callers
+            // with predictor output use `score_prediction` directly.
+            Manipulation::PredictQuery { graph } => {
+                self.score_prediction(graph, 1.0, db, profile, elapsed)
+            }
+        }
+    }
+
+    /// Score a predicted *completed* query (whole-query speculation):
+    /// Theorem 3.1 extended from part-survival to sequence probability —
+    /// `seq_prob` (the predictor's probability of reaching exactly this
+    /// final query) replaces `f⊆(qm)`, and the benefit is the same
+    /// scan-result-vs-recompute delta, completion-weighted. No depth
+    /// multiplier: a predicted query is consumed by the GO it targets.
+    pub fn score_prediction(
+        &self,
+        qm: &QueryGraph,
+        seq_prob: f64,
+        db: &Database,
+        profile: &dyn Profile,
+        elapsed: VirtualTime,
+    ) -> Scored {
+        let Ok(est) = db.estimate_materialization(qm) else {
+            return Scored { score: 0.0, build: VirtualTime::ZERO, delta_secs: 0.0 };
+        };
+        let delta = est.scan_result.as_secs_f64() - est.compute_now.as_secs_f64();
+        let required = -self.config.min_relative_benefit * est.compute_now.as_secs_f64();
+        if delta > required {
+            return Scored { score: 0.0, build: est.build, delta_secs: delta };
+        }
+        let p_c = self.completion(profile, elapsed, est.build);
+        Scored {
+            score: p_c * seq_prob.clamp(0.0, 1.0) * delta,
+            build: est.build,
+            delta_secs: delta,
         }
     }
 

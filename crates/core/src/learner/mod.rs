@@ -18,10 +18,12 @@
 //! alternative survival estimator for the learner ablation.
 
 pub mod logistic;
+pub mod predict;
 pub mod survival;
 pub mod think;
 
 use logistic::OnlineLogistic;
+use predict::EditPredictor;
 use serde::{Deserialize, Serialize};
 use specdb_query::{EditOp, Join, PartialQuery, QueryGraph, Selection};
 use specdb_storage::VirtualTime;
@@ -41,6 +43,14 @@ pub trait Profile {
     fn p_join_persists(&self) -> f64;
     /// P(think time exceeds `elapsed + additional`, given `elapsed`).
     fn p_think_exceeds(&self, elapsed: VirtualTime, additional: VirtualTime) -> f64;
+
+    /// Top-`k` predicted *completed* queries reachable from the current
+    /// partial, each with its sequence probability (whole-query
+    /// speculation, ROADMAP item 2). Profiles without a predictive edit
+    /// model return no candidates.
+    fn predict_completions(&self, _partial: &QueryGraph, _k: usize) -> Vec<(QueryGraph, f64)> {
+        Vec::new()
+    }
 
     /// `f⊆(qm)`: P(every part of `qm` survives to the final query),
     /// under per-part independence.
@@ -185,10 +195,14 @@ pub struct Learner {
     sel_persist: DecayCounter,
     join_persist: DecayCounter,
     think: ThinkTimeModel,
+    #[serde(default)]
+    predictor: EditPredictor,
     // Formulation-tracking state: transient, per-formulation — not part
     // of the persisted profile.
     #[serde(skip)]
     mirror: PartialQuery,
+    #[serde(skip)]
+    history: Vec<EditOp>,
     #[serde(skip)]
     seen: HashMap<Part, ()>,
     #[serde(skip)]
@@ -215,7 +229,9 @@ impl Learner {
             sel_persist: DecayCounter::new(decay, config.persistence_prior, config.prior_weight),
             join_persist: DecayCounter::new(decay, config.persistence_prior, config.prior_weight),
             think: ThinkTimeModel::default(),
+            predictor: EditPredictor::default(),
             mirror: PartialQuery::new(),
+            history: Vec::new(),
             seen: HashMap::new(),
             formulation_start: None,
             prev_final: None,
@@ -260,6 +276,7 @@ impl Learner {
             }
             _ => {}
         }
+        self.history.push(op.clone());
         self.mirror.apply(op);
     }
 
@@ -294,6 +311,7 @@ impl Learner {
         if let Some(start) = self.formulation_start.take() {
             self.think.observe(at.saturating_sub(start));
         }
+        self.predictor.observe_formulation(&std::mem::take(&mut self.history));
         self.prev_final = Some(final_graph.clone());
         self.mirror = PartialQuery::from_query(specdb_query::Query::star(final_graph.clone()));
         self.observed_gos += 1;
@@ -302,6 +320,18 @@ impl Learner {
     /// Access to the think-time model (read-only).
     pub fn think_model(&self) -> &ThinkTimeModel {
         &self.think
+    }
+
+    /// Access to the edit-sequence predictor (read-only).
+    pub fn predictor(&self) -> &EditPredictor {
+        &self.predictor
+    }
+
+    /// Train the predictive edit model on one completed formulation
+    /// without touching the survival/persistence/think estimators —
+    /// the offline path for trace-corpus training splits.
+    pub fn train_predictor(&mut self, formulation_ops: &[EditOp]) {
+        self.predictor.observe_formulation(formulation_ops);
     }
 
     /// Serialize the trained profile (cross-session persistence).
@@ -350,6 +380,10 @@ impl Profile for Learner {
 
     fn p_think_exceeds(&self, elapsed: VirtualTime, additional: VirtualTime) -> f64 {
         self.think.p_exceeds(elapsed, additional)
+    }
+
+    fn predict_completions(&self, partial: &QueryGraph, k: usize) -> Vec<(QueryGraph, f64)> {
+        self.predictor.predict(&self.history, partial, k)
     }
 }
 

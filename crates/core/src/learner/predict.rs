@@ -1,0 +1,328 @@
+//! Predictive edit model: an n-gram/Markov chain over edit-operation
+//! sequences (ROADMAP item 2, after *Speculative Ad-hoc Querying*).
+//!
+//! The paper's Learner estimates whether parts *survive*; this module
+//! learns what the user will *do next*. Each observed formulation is a
+//! sequence of [`EditOp`]s terminated by GO; the predictor counts
+//! transitions `context → next op` where the context is the last
+//! [`ORDER`] edits, abstracted to `(kind, relation, column)` shape so
+//! that estimates generalize across predicate constants. Counts are
+//! kept at every order from [`ORDER`] down to 0, and prediction backs
+//! off to shorter contexts (with a stupid-backoff discount, `BACKOFF`)
+//! when a specific context was never observed. Transition
+//! values keep one *concrete* representative op, so a beam search can
+//! replay predicted edits against the live partial query and emit
+//! complete candidate queries — the top-k predicted *futures* the
+//! speculator can pre-execute during think time.
+//!
+//! Everything is deterministic: contexts and successors live in
+//! `BTreeMap`s, ties break on canonical keys, and no wall-clock or RNG
+//! state participates. Two learners fed the same edit stream produce
+//! bit-identical predictions at any thread count.
+
+use serde::{Deserialize, Serialize};
+use specdb_query::{canonical_key, EditOp, PartialQuery, Query, QueryGraph};
+use std::collections::BTreeMap;
+
+/// Markov order: number of trailing edits forming the context.
+pub const ORDER: usize = 2;
+/// Beam width of the completion search.
+const BEAM_WIDTH: usize = 8;
+/// Maximum predicted edits appended before forcing the beam to stop.
+const MAX_DEPTH: usize = 6;
+/// Successors expanded per beam state.
+const BRANCH: usize = 4;
+/// Transitions rarer than this are not followed.
+const MIN_STEP_PROB: f64 = 0.02;
+/// Stupid-backoff penalty per order level dropped: an unseen order-2
+/// context falls back to the order-1 (then order-0) table, discounted
+/// so specific contexts always dominate when available.
+const BACKOFF: f64 = 0.4;
+
+/// One observed successor of a context: how often it followed, plus a
+/// concrete representative op the beam search can replay.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct NextEntry {
+    count: f64,
+    op: EditOp,
+}
+
+/// All observed successors of one context.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct ContextStats {
+    total: f64,
+    next: BTreeMap<String, NextEntry>,
+}
+
+/// The n-gram edit-sequence predictor. Part of the persisted profile:
+/// serializes with the [`Learner`](crate::Learner) and restores
+/// bit-identically.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EditPredictor {
+    transitions: BTreeMap<String, ContextStats>,
+    formulations: u64,
+}
+
+/// Shape-level token: op kind + relation/column coordinates, without
+/// predicate constants, so counts pool across values.
+fn abstract_token(op: &EditOp) -> String {
+    match op {
+        EditOp::AddRelation(r) => format!("+r:{r}"),
+        EditOp::RemoveRelation(r) => format!("-r:{r}"),
+        EditOp::AddSelection(s) => format!("+s:{}.{}", s.rel, s.pred.column),
+        EditOp::RemoveSelection(s) => format!("-s:{}.{}", s.rel, s.pred.column),
+        EditOp::UpdateSelection { old, new } => {
+            format!("~s:{}.{}>{}.{}", old.rel, old.pred.column, new.rel, new.pred.column)
+        }
+        EditOp::AddJoin(j) => format!("+j:{j}"),
+        EditOp::RemoveJoin(j) => format!("-j:{j}"),
+        EditOp::AddProjection(r, c) => format!("+p:{r}.{c}"),
+        EditOp::RemoveProjection(r, c) => format!("-p:{r}.{c}"),
+        EditOp::Go => "go".to_string(),
+    }
+}
+
+/// Value-level token: distinguishes successors that differ only in the
+/// predicate constant (selection displays include the value).
+fn concrete_token(op: &EditOp) -> String {
+    match op {
+        EditOp::AddSelection(s) => format!("+S:{s}"),
+        EditOp::RemoveSelection(s) => format!("-S:{s}"),
+        EditOp::UpdateSelection { old, new } => format!("~S:{old}>{new}"),
+        other => abstract_token(other),
+    }
+}
+
+/// The context key for a position given the abstract tokens before it:
+/// the last `n` tokens, `^`-padded at the start of a formulation. Keys
+/// of different orders cannot collide: order-2 keys contain `|`,
+/// order-1 keys are a bare token, and the order-0 key is `*`.
+fn context_key_n(toks: &[String], n: usize) -> String {
+    if n == 0 {
+        return "*".to_string();
+    }
+    let mut parts: Vec<&str> = Vec::with_capacity(n);
+    for i in 0..n {
+        let idx = toks.len() as isize - n as isize + i as isize;
+        parts.push(if idx < 0 { "^" } else { &toks[idx as usize] });
+    }
+    parts.join("|")
+}
+
+impl EditPredictor {
+    /// Train on one completed formulation. `ops` is the edit stream of a
+    /// single formulation; everything from the first GO onward is
+    /// ignored (GO itself is appended as the terminal symbol).
+    pub fn observe_formulation(&mut self, ops: &[EditOp]) {
+        let body: Vec<&EditOp> = ops.iter().take_while(|o| !o.is_go()).collect();
+        let go = EditOp::Go;
+        let mut toks: Vec<String> = Vec::with_capacity(body.len());
+        for op in body.into_iter().chain(std::iter::once(&go)) {
+            // Every order from ORDER down to 0 records the transition, so
+            // prediction can back off from unseen specific contexts.
+            for order in 0..=ORDER {
+                let ctx = context_key_n(&toks, order);
+                let stats = self.transitions.entry(ctx).or_default();
+                stats.total += 1.0;
+                let entry = stats
+                    .next
+                    .entry(concrete_token(op))
+                    .or_insert_with(|| NextEntry { count: 0.0, op: op.clone() });
+                entry.count += 1.0;
+            }
+            if !op.is_go() {
+                toks.push(abstract_token(op));
+            }
+        }
+        self.formulations += 1;
+    }
+
+    /// Number of formulations trained on.
+    pub fn formulations(&self) -> u64 {
+        self.formulations
+    }
+
+    /// Number of distinct contexts with observed successors.
+    pub fn contexts(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Successor table for a beam position: the most specific context
+    /// with observations wins, discounted by [`BACKOFF`] per order
+    /// level dropped (stupid backoff).
+    fn lookup(&self, toks: &[String]) -> Option<(&ContextStats, f64)> {
+        let mut penalty = 1.0;
+        for order in (0..=ORDER).rev() {
+            if let Some(stats) = self.transitions.get(&context_key_n(toks, order)) {
+                return Some((stats, penalty));
+            }
+            penalty *= BACKOFF;
+        }
+        None
+    }
+
+    /// Top-`k` predicted completed queries from the current partial,
+    /// each with its sequence probability (product of step
+    /// probabilities along the predicted edit path, ending in GO).
+    ///
+    /// `history` is the current formulation's edit stream so far; it
+    /// seeds the Markov context. A prediction of "GO next" yields the
+    /// current partial itself as a candidate completed query.
+    pub fn predict(
+        &self,
+        history: &[EditOp],
+        partial: &QueryGraph,
+        k: usize,
+    ) -> Vec<(QueryGraph, f64)> {
+        if k == 0 || partial.is_empty() || self.formulations == 0 {
+            return Vec::new();
+        }
+        struct State {
+            pq: PartialQuery,
+            toks: Vec<String>,
+            logp: f64,
+        }
+        let init_toks: Vec<String> =
+            history.iter().filter(|o| !o.is_go()).map(abstract_token).collect();
+        let mut beam = vec![State {
+            pq: PartialQuery::from_query(Query::star(partial.clone())),
+            toks: init_toks,
+            logp: 0.0,
+        }];
+        let mut found: BTreeMap<String, (QueryGraph, f64)> = BTreeMap::new();
+        for _depth in 0..=MAX_DEPTH {
+            let mut next_beam: Vec<State> = Vec::new();
+            for st in &beam {
+                let Some((stats, penalty)) = self.lookup(&st.toks) else {
+                    continue;
+                };
+                let mut entries: Vec<(&String, &NextEntry)> = stats.next.iter().collect();
+                entries.sort_by(|a, b| b.1.count.total_cmp(&a.1.count).then_with(|| a.0.cmp(b.0)));
+                for (_tok, e) in entries.into_iter().take(BRANCH) {
+                    let p = penalty * e.count / stats.total.max(1e-12);
+                    if p < MIN_STEP_PROB {
+                        continue;
+                    }
+                    let logp = st.logp + p.ln();
+                    if e.op.is_go() {
+                        let g = st.pq.graph().clone();
+                        if g.is_empty() {
+                            continue;
+                        }
+                        let prob = logp.exp();
+                        let slot =
+                            found.entry(canonical_key(&g)).or_insert_with(|| (g.clone(), 0.0));
+                        if prob > slot.1 {
+                            slot.1 = prob;
+                        }
+                    } else {
+                        let mut pq = st.pq.clone();
+                        pq.apply(&e.op);
+                        let mut toks = st.toks.clone();
+                        toks.push(abstract_token(&e.op));
+                        next_beam.push(State { pq, toks, logp });
+                    }
+                }
+            }
+            next_beam.sort_by(|a, b| b.logp.total_cmp(&a.logp).then_with(|| a.toks.cmp(&b.toks)));
+            next_beam.truncate(BEAM_WIDTH);
+            beam = next_beam;
+            if beam.is_empty() {
+                break;
+            }
+        }
+        let mut out: Vec<(String, QueryGraph, f64)> =
+            found.into_iter().map(|(key, (g, p))| (key, g, p)).collect();
+        out.sort_by(|a, b| b.2.total_cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
+        out.truncate(k);
+        out.into_iter().map(|(_, g, p)| (g, p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specdb_query::{CompareOp, Join, Predicate, Selection};
+
+    fn sel(rel: &str, col: &str, v: i64) -> Selection {
+        Selection::new(rel, Predicate::new(col, CompareOp::Lt, v))
+    }
+
+    fn formulation(v: i64) -> Vec<EditOp> {
+        vec![
+            EditOp::AddRelation("orders".into()),
+            EditOp::AddJoin(Join::new("orders", "o_custkey", "customer", "c_custkey")),
+            EditOp::AddSelection(sel("orders", "o_totalprice", v)),
+            EditOp::Go,
+        ]
+    }
+
+    #[test]
+    fn learns_go_transition_and_predicts_current_partial() {
+        let mut p = EditPredictor::default();
+        for v in 0..10 {
+            p.observe_formulation(&formulation(v));
+        }
+        assert_eq!(p.formulations(), 10);
+        // Mid-formulation: all three edits applied, GO should be the
+        // top-probability next step → the partial itself is predicted.
+        let ops = &formulation(99)[..3];
+        let mut pq = PartialQuery::new();
+        for op in ops {
+            pq.apply(op);
+        }
+        let preds = p.predict(ops, pq.graph(), 3);
+        assert!(!preds.is_empty());
+        assert_eq!(&preds[0].0, pq.graph(), "top prediction must be the imminent GO");
+        assert!(preds[0].1 > 0.9, "p(GO|ctx) should dominate: {}", preds[0].1);
+    }
+
+    #[test]
+    fn multi_edit_lookahead_completes_the_query() {
+        // Every formulation follows join → selection(42) → GO; after
+        // only the join the predictor must look two edits ahead.
+        let mut p = EditPredictor::default();
+        for _ in 0..10 {
+            p.observe_formulation(&formulation(42));
+        }
+        let ops = &formulation(42)[..2];
+        let mut pq = PartialQuery::new();
+        for op in ops {
+            pq.apply(op);
+        }
+        let preds = p.predict(ops, pq.graph(), 3);
+        let mut expect = pq.graph().clone();
+        expect.add_selection(sel("orders", "o_totalprice", 42));
+        assert!(
+            preds.iter().any(|(g, _)| g == &expect),
+            "lookahead must predict the completed query"
+        );
+    }
+
+    #[test]
+    fn predictions_are_deterministic_and_serializable() {
+        let mut p = EditPredictor::default();
+        for v in 0..7 {
+            p.observe_formulation(&formulation(v % 3));
+        }
+        let ops = &formulation(1)[..2];
+        let mut pq = PartialQuery::new();
+        for op in ops {
+            pq.apply(op);
+        }
+        let a = p.predict(ops, pq.graph(), 5);
+        let b = p.predict(ops, pq.graph(), 5);
+        assert_eq!(a, b);
+        let json = serde_json::to_string(&p).unwrap();
+        let restored: EditPredictor = serde_json::from_str(&json).unwrap();
+        assert_eq!(restored.predict(ops, pq.graph(), 5), a);
+    }
+
+    #[test]
+    fn untrained_predictor_stays_silent() {
+        let p = EditPredictor::default();
+        let g = QueryGraph::relation("orders");
+        assert!(p.predict(&[], &g, 3).is_empty());
+        assert!(p.predict(&[], &QueryGraph::new(), 3).is_empty());
+    }
+}

@@ -33,6 +33,7 @@ pub mod space;
 pub mod speculator;
 
 pub use cost_model::{CostModel, CostModelConfig};
+pub use learner::predict::EditPredictor;
 pub use learner::{Learner, LearnerConfig, OracleProfile, Profile, UniformProfile};
 pub use manipulation::Manipulation;
 pub use session::SpeculativeSession;

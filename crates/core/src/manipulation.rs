@@ -47,6 +47,17 @@ pub enum Manipulation {
         /// Sub-query to materialize.
         graph: QueryGraph,
     },
+    /// Pre-execute a *predicted completed query* during think time
+    /// (whole-query speculation, ROADMAP item 2). Unlike the
+    /// materialization manipulations above, the graph is usually a
+    /// *superset* of the current partial query — the predictor's guess
+    /// at what the user will eventually GO with. An exact hit serves
+    /// the GO instantly; a near miss can still be salvaged through the
+    /// subsumption rewrite algebra.
+    PredictQuery {
+        /// The predicted final query graph.
+        graph: QueryGraph,
+    },
 }
 
 impl Manipulation {
@@ -54,7 +65,9 @@ impl Manipulation {
     /// materialization of either flavour.
     pub fn graph(&self) -> Option<&QueryGraph> {
         match self {
-            Manipulation::Materialize { graph } | Manipulation::Rewrite { graph } => Some(graph),
+            Manipulation::Materialize { graph }
+            | Manipulation::Rewrite { graph }
+            | Manipulation::PredictQuery { graph } => Some(graph),
             _ => None,
         }
     }
@@ -73,7 +86,9 @@ impl Manipulation {
             Manipulation::DataStage { table, .. }
             | Manipulation::CreateHistogram { table, .. }
             | Manipulation::CreateIndex { table, .. } => vec![table.clone()],
-            Manipulation::Materialize { graph } | Manipulation::Rewrite { graph } => {
+            Manipulation::Materialize { graph }
+            | Manipulation::Rewrite { graph }
+            | Manipulation::PredictQuery { graph } => {
                 graph.relations().map(str::to_string).collect()
             }
         }
@@ -96,6 +111,14 @@ impl Manipulation {
             Manipulation::Materialize { graph } | Manipulation::Rewrite { graph } => {
                 partial.contains(graph)
             }
+            // Containment is *reversed* for predictions: the build stays
+            // plausible while the evolving partial stays inside the
+            // predicted future. Extra partial selections never cancel —
+            // subsumption keeps them as residual filters at GO.
+            Manipulation::PredictQuery { graph } => {
+                partial.relations().all(|r| graph.has_relation(r))
+                    && partial.joins().all(|pj| graph.joins().any(|gj| gj == pj))
+            }
         }
     }
 
@@ -107,9 +130,9 @@ impl Manipulation {
             Manipulation::DataStage { table, .. } => db.is_staged(table),
             Manipulation::CreateHistogram { table, column } => db.has_histogram(table, column),
             Manipulation::CreateIndex { table, column } => db.has_index(table, column),
-            Manipulation::Materialize { graph } | Manipulation::Rewrite { graph } => {
-                db.has_view(graph)
-            }
+            Manipulation::Materialize { graph }
+            | Manipulation::Rewrite { graph }
+            | Manipulation::PredictQuery { graph } => db.has_view(graph),
         }
     }
 
@@ -122,6 +145,7 @@ impl Manipulation {
             Manipulation::CreateIndex { .. } => "index",
             Manipulation::Materialize { .. } => "materialize",
             Manipulation::Rewrite { .. } => "rewrite",
+            Manipulation::PredictQuery { .. } => "predict",
         }
     }
 }
@@ -137,6 +161,7 @@ impl fmt::Display for Manipulation {
             Manipulation::CreateIndex { table, column } => write!(f, "index({table}.{column})"),
             Manipulation::Materialize { graph } => write!(f, "materialize{graph}"),
             Manipulation::Rewrite { graph } => write!(f, "rewrite{graph}"),
+            Manipulation::PredictQuery { graph } => write!(f, "predict{graph}"),
         }
     }
 }
@@ -191,6 +216,32 @@ mod tests {
         let unrelated =
             Manipulation::CreateIndex { table: "customer".into(), column: "c_acctbal".into() };
         assert!(!unrelated.supported_by(&p));
+    }
+
+    #[test]
+    fn prediction_support_is_reversed_containment() {
+        // Prediction: the full partial plus one more selection.
+        let mut predicted = partial();
+        predicted.add_selection(Selection::new(
+            "orders",
+            Predicate::new("o_orderpriority", CompareOp::Le, 2i64),
+        ));
+        let m = Manipulation::PredictQuery { graph: predicted.clone() };
+        // Supported while the partial grows *inside* the prediction...
+        assert!(m.supported_by(&partial()));
+        assert!(m.supported_by(&predicted));
+        // ...even when the user adds a selection the predictor missed
+        // (subsumption keeps it as a residual filter at GO)...
+        let mut stronger = predicted.clone();
+        stronger.add_selection(Selection::new(
+            "customer",
+            Predicate::new("c_acctbal", CompareOp::Lt, 500i64),
+        ));
+        assert!(m.supported_by(&stronger));
+        // ...but a relation or join outside the prediction cancels it.
+        let mut pivoted = partial();
+        pivoted.add_join(Join::new("lineitem", "l_orderkey", "orders", "o_orderkey"));
+        assert!(!m.supported_by(&pivoted));
     }
 
     #[test]

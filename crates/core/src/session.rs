@@ -87,7 +87,9 @@ fn apply_manipulation_inner(
             let out = db.create_index(table, column)?;
             Ok(Applied { elapsed: out.elapsed, table: None })
         }
-        Manipulation::Materialize { graph } | Manipulation::Rewrite { graph } => {
+        Manipulation::Materialize { graph }
+        | Manipulation::Rewrite { graph }
+        | Manipulation::PredictQuery { graph } => {
             let out = db.materialize(graph, cancel)?;
             Ok(Applied { elapsed: out.elapsed, table: Some(out.table) })
         }
@@ -327,6 +329,13 @@ impl Profile for SpeculativeSession {
     }
     fn p_think_exceeds(&self, elapsed: VirtualTime, additional: VirtualTime) -> f64 {
         self.learner.p_think_exceeds(elapsed, additional)
+    }
+    fn predict_completions(
+        &self,
+        partial: &specdb_query::QueryGraph,
+        k: usize,
+    ) -> Vec<(specdb_query::QueryGraph, f64)> {
+        self.learner.predict_completions(partial, k)
     }
 }
 

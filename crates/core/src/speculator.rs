@@ -35,6 +35,12 @@ pub struct SpeculatorConfig {
     /// Produces bit-identical decisions either way; on by default, and
     /// the decision-loop benchmark's no-cache arm turns it off.
     pub incremental: bool,
+    /// Whole-query speculation: also score the profile's top-k predicted
+    /// *completed* queries as candidates (`SPECDB_PREDICT`, default on).
+    pub predict: bool,
+    /// How many predicted completions to consider per decision
+    /// (`SPECDB_PREDICT_TOPK`, default 3).
+    pub predict_topk: usize,
 }
 
 impl Default for SpeculatorConfig {
@@ -44,8 +50,27 @@ impl Default for SpeculatorConfig {
             cost: CostModelConfig::default(),
             min_benefit_secs: 0.0,
             incremental: true,
+            predict: predict_from_env(),
+            predict_topk: predict_topk_from_env(),
         }
     }
+}
+
+/// Whole-query speculation toggle from `SPECDB_PREDICT`; unset, empty,
+/// and anything but `0`/`false` mean *on*.
+pub fn predict_from_env() -> bool {
+    match std::env::var("SPECDB_PREDICT") {
+        Ok(v) => !(v == "0" || v.eq_ignore_ascii_case("false")),
+        Err(_) => true,
+    }
+}
+
+/// Predicted-completion fan-out from `SPECDB_PREDICT_TOPK` (default 3).
+pub fn predict_topk_from_env() -> usize {
+    std::env::var("SPECDB_PREDICT_TOPK")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
 }
 
 /// The speculator's choice for the current partial query.
@@ -120,6 +145,8 @@ pub struct Speculator {
     incremental: Option<Mutex<IncrementalSpace>>,
     cost_model: CostModel,
     min_benefit: f64,
+    predict: bool,
+    predict_topk: usize,
 }
 
 impl Default for Speculator {
@@ -138,6 +165,8 @@ impl Speculator {
                 .then(|| Mutex::new(IncrementalSpace::new(config.space))),
             cost_model: CostModel::new(config.cost),
             min_benefit: config.min_benefit_secs.max(0.0),
+            predict: config.predict,
+            predict_topk: config.predict_topk,
         }
     }
 
@@ -179,6 +208,28 @@ impl Speculator {
                 };
             }
         }
+        // Whole-query candidates: the profile's top-k predicted completed
+        // queries, scored by sequence probability × benefit. Injected
+        // after the one-step manipulations so ties (strict `<` above)
+        // keep the paper's behaviour.
+        let mut predicted_n = 0u64;
+        if self.predict && !partial.is_empty() {
+            for (graph, prob) in profile.predict_completions(partial, self.predict_topk) {
+                if db.has_view(&graph) {
+                    continue;
+                }
+                predicted_n += 1;
+                let scored = self.cost_model.score_prediction(&graph, prob, db, profile, elapsed);
+                if scored.score < best.score {
+                    best = Decision {
+                        manipulation: Manipulation::PredictQuery { graph },
+                        score: scored.score,
+                        build: scored.build,
+                        delta_secs: scored.delta_secs,
+                    };
+                }
+            }
+        }
         if best.score > -self.min_benefit {
             best = Decision {
                 manipulation: Manipulation::Null,
@@ -192,10 +243,19 @@ impl Speculator {
         // background workers during the think-time window. Fire-and-
         // forget and version-fenced — replay determinism cannot observe
         // whether (or when) the warm-up lands; only wall-clock does.
-        let prefetched =
-            if best.is_idle() { 0 } else { db.prefetch_tables(&best.manipulation.base_tables()) };
+        let prefetched = if best.is_idle() {
+            0
+        } else {
+            let kind = if matches!(best.manipulation, Manipulation::PredictQuery { .. }) {
+                specdb_storage::PrefetchKind::Prediction
+            } else {
+                specdb_storage::PrefetchKind::Manipulation
+            };
+            db.prefetch_tables_kind(&best.manipulation.base_tables(), kind)
+        };
         span.finish_with(virt_now, |a| {
             a.push(("candidates", scored_n.into()));
+            a.push(("predicted", predicted_n.into()));
             a.push(("idle", best.is_idle().into()));
             a.push(("score", best.score.into()));
             if !best.is_idle() {

@@ -381,8 +381,22 @@ impl Database {
     /// version-fenced against concurrent writes, so deterministic replay
     /// is untouched whether or not (or how fast) the warm-up runs.
     /// Returns the number of pages enqueued; `segcache.prefetch_issued`
-    /// / `segcache.prefetch_useful` count the outcome.
+    /// and the kind-split `segcache.prefetch_useful.manip` /
+    /// `segcache.prefetch_useful.predict` counters record the outcome.
     pub fn prefetch_tables(&self, tables: &[String]) -> u64 {
+        self.prefetch_tables_kind(tables, specdb_storage::PrefetchKind::Manipulation)
+    }
+
+    /// [`Database::prefetch_tables`] with an explicit [`PrefetchKind`]
+    /// label, so warm-ups issued for predicted completed queries are
+    /// accounted separately from one-step manipulation warm-ups.
+    ///
+    /// [`PrefetchKind`]: specdb_storage::PrefetchKind
+    pub fn prefetch_tables_kind(
+        &self,
+        tables: &[String],
+        kind: specdb_storage::PrefetchKind,
+    ) -> u64 {
         /// Upper bound on pages enqueued per decision, so a huge
         /// predicted scan cannot swamp the workers (or the cache) before
         /// GO.
@@ -413,7 +427,7 @@ impl Database {
         let enqueued = work.len() as u64;
         crate::parallel::WorkerPool::global().spawn(move || {
             for (pid, page, small) in work {
-                cache.prefetch(pid, &page, small, version);
+                cache.prefetch(pid, &page, small, version, kind);
             }
         });
         enqueued
@@ -740,7 +754,27 @@ impl Database {
             Some(hit) => hit,
             None => {
                 plan_cache_hit = false;
+                // Wall-clock cost of the rewrite search; recorded as
+                // `lat.salvage_rewrite_us` when a subsumption (non-exact)
+                // view match salvages the query. Observational only —
+                // virtual accounting never sees it.
+                let t_rewrite = std::time::Instant::now();
                 let (chosen, used_views) = self.choose_rewrite(query)?;
+                if self.match_mode == MatchMode::Subsume && !used_views.is_empty() {
+                    let qkey = canonical_key(&query.graph);
+                    let salvaged = used_views.iter().any(|name| {
+                        self.views
+                            .iter()
+                            .any(|v| &v.name == name && canonical_key(&v.graph) != qkey)
+                    });
+                    if salvaged {
+                        self.pool
+                            .observer()
+                            .metrics()
+                            .histogram("lat.salvage_rewrite_us")
+                            .record(t_rewrite.elapsed().as_micros() as f64);
+                    }
+                }
                 let plan = optimizer::plan_query_with(
                     &self.catalog,
                     &self.pool,

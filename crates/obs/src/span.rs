@@ -236,7 +236,7 @@ impl Tracer {
         self.0.is_some()
     }
 
-    /// Spans recorded but discarded because [`SPAN_CAP`] was reached.
+    /// Spans recorded but discarded because the span cap (`SPAN_CAP`) was reached.
     pub fn dropped(&self) -> u64 {
         self.0.as_ref().map_or(0, |i| i.dropped.load(Ordering::Relaxed))
     }

@@ -165,7 +165,7 @@ struct Inner {
 }
 
 /// Refcounted, GC'd cache of speculative artifacts shared by every
-/// session of a [`SessionManager`] (and by the `multi_session` replay
+/// session of a [`SessionManager`](crate::SessionManager) (and by the `multi_session` replay
 /// mode in `specdb-sim`).
 ///
 /// ```

@@ -92,6 +92,10 @@ pub enum Admission {
 
 struct Build {
     priority: f64,
+    /// Display form of the candidate manipulation — the final
+    /// tie-breaker when two in-flight builds share a priority, so the
+    /// preemption victim never depends on map iteration order.
+    key: String,
     cancel: Option<CancelToken>,
 }
 
@@ -127,11 +131,11 @@ pub struct GovernorStats {
 ///     min_benefit_rate: 0.0,
 /// });
 /// // Session 1's build takes the only slot.
-/// assert_eq!(gov.admit(1, 2.0), Admission::Admit);
+/// assert_eq!(gov.admit(1, 2.0, "materialize{a}"), Admission::Admit);
 /// // A weaker candidate from session 2 is denied...
-/// assert_eq!(gov.admit(2, 1.0), Admission::Deny);
+/// assert_eq!(gov.admit(2, 1.0, "materialize{b}"), Admission::Deny);
 /// // ...but a stronger one from session 3 preempts session 1.
-/// assert_eq!(gov.admit(3, 5.0), Admission::Preempt(1));
+/// assert_eq!(gov.admit(3, 5.0, "predict{c}"), Admission::Preempt(1));
 /// gov.finish(3);
 /// assert_eq!(gov.outstanding(), 0);
 /// ```
@@ -166,14 +170,16 @@ impl Governor {
 
     /// Ask for a build slot for `session` at the given priority
     /// (benefit-seconds per build-second; see
-    /// [`Decision::benefit_rate`]). On [`Admission::Preempt`], the
-    /// victim's [`CancelToken`] — if one was attached — has already
-    /// been cancelled; the caller only needs bookkeeping.
+    /// [`Decision::benefit_rate`]) for the candidate identified by
+    /// `key` (its display form; used only to break priority ties
+    /// deterministically). On [`Admission::Preempt`], the victim's
+    /// [`CancelToken`] — if one was attached — has already been
+    /// cancelled; the caller only needs bookkeeping.
     ///
     /// [`Decision::benefit_rate`]: specdb_core::Decision::benefit_rate
-    pub fn admit(&self, session: SessionId, priority: f64) -> Admission {
+    pub fn admit(&self, session: SessionId, priority: f64, key: &str) -> Admission {
         let mut st = self.state.lock();
-        let verdict = self.decide_locked(&mut st, session, priority);
+        let verdict = self.decide_locked(&mut st, session, priority, key);
         match verdict {
             Admission::Admit => st.admitted += 1,
             Admission::Preempt(_) => {
@@ -188,25 +194,39 @@ impl Governor {
         verdict
     }
 
-    fn decide_locked(&self, st: &mut State, session: SessionId, priority: f64) -> Admission {
+    fn decide_locked(
+        &self,
+        st: &mut State,
+        session: SessionId,
+        priority: f64,
+        key: &str,
+    ) -> Admission {
         // One-outstanding-per-session still holds inside the fleet rule:
         // a session must resolve its own build before proposing another.
         if priority <= self.cfg.min_benefit_rate || st.outstanding.contains_key(&session) {
             return Admission::Deny;
         }
         if st.outstanding.len() < self.cfg.max_outstanding {
-            st.outstanding.insert(session, Build { priority, cancel: None });
+            st.outstanding
+                .insert(session, Build { priority, key: key.to_string(), cancel: None });
             return Admission::Admit;
         }
         if !self.cfg.preempt {
             return Admission::Deny;
         }
-        // Weakest in-flight build; ties fall to the lowest session id
-        // (deterministic — BTreeMap iterates in id order).
+        // Weakest in-flight build; priority ties fall to the lowest
+        // (session id, candidate key) pair, never to map iteration
+        // order, so the victim is the same in every run and at every
+        // thread count.
         let victim = st
             .outstanding
             .iter()
-            .min_by(|a, b| a.1.priority.total_cmp(&b.1.priority))
+            .min_by(|a, b| {
+                a.1.priority
+                    .total_cmp(&b.1.priority)
+                    .then_with(|| a.0.cmp(b.0))
+                    .then_with(|| a.1.key.cmp(&b.1.key))
+            })
             .map(|(id, b)| (*id, b.priority));
         match victim {
             Some((vid, vprio)) if priority > vprio => {
@@ -215,7 +235,8 @@ impl Governor {
                         token.cancel();
                     }
                 }
-                st.outstanding.insert(session, Build { priority, cancel: None });
+                st.outstanding
+                    .insert(session, Build { priority, key: key.to_string(), cancel: None });
                 Admission::Preempt(vid)
             }
             _ => Admission::Deny,
@@ -290,33 +311,46 @@ mod tests {
     #[test]
     fn budget_is_enforced() {
         let g = gov(2, false);
-        assert_eq!(g.admit(1, 1.0), Admission::Admit);
-        assert_eq!(g.admit(2, 1.0), Admission::Admit);
-        assert_eq!(g.admit(3, 9.0), Admission::Deny, "no preemption configured");
+        assert_eq!(g.admit(1, 1.0, "a"), Admission::Admit);
+        assert_eq!(g.admit(2, 1.0, "b"), Admission::Admit);
+        assert_eq!(g.admit(3, 9.0, "c"), Admission::Deny, "no preemption configured");
         assert!(g.finish(1));
-        assert_eq!(g.admit(3, 9.0), Admission::Admit);
+        assert_eq!(g.admit(3, 9.0, "c"), Admission::Admit);
         assert_eq!(g.outstanding(), 2);
     }
 
     #[test]
     fn preemption_cancels_weakest_victim() {
         let g = gov(2, true);
-        g.admit(1, 1.0);
-        g.admit(2, 3.0);
+        g.admit(1, 1.0, "a");
+        g.admit(2, 3.0, "b");
         let token = CancelToken::new();
         g.attach_cancel(1, token.clone());
-        assert_eq!(g.admit(3, 2.0), Admission::Preempt(1), "session 1 is the weakest");
+        assert_eq!(g.admit(3, 2.0, "c"), Admission::Preempt(1), "session 1 is the weakest");
         assert!(token.is_cancelled(), "victim's build must stop at the next morsel");
-        assert_eq!(g.admit(4, 1.9), Admission::Deny, "weaker than both survivors");
+        assert_eq!(g.admit(4, 1.9, "d"), Admission::Deny, "weaker than both survivors");
         let s = g.stats();
         assert_eq!((s.admitted, s.denied, s.preempted), (3, 1, 1));
     }
 
     #[test]
+    fn equal_priority_victim_is_lowest_session_then_key() {
+        let g = gov(2, true);
+        // Two in-flight builds at exactly the same priority: the victim
+        // must be the lower session id regardless of insertion order.
+        g.admit(7, 1.0, "materialize{z}");
+        g.admit(3, 1.0, "materialize{a}");
+        assert_eq!(g.admit(9, 2.0, "c"), Admission::Preempt(3), "lowest session id loses the tie");
+        // Refill and preempt again: now 7 (the remaining equal-priority
+        // build) is the deterministic victim.
+        assert_eq!(g.admit(1, 2.0, "d"), Admission::Preempt(7));
+    }
+
+    #[test]
     fn one_outstanding_per_session_still_holds() {
         let g = gov(4, true);
-        assert_eq!(g.admit(1, 1.0), Admission::Admit);
-        assert_eq!(g.admit(1, 5.0), Admission::Deny, "own slot must be freed first");
+        assert_eq!(g.admit(1, 1.0, "a"), Admission::Admit);
+        assert_eq!(g.admit(1, 5.0, "b"), Admission::Deny, "own slot must be freed first");
     }
 
     #[test]
@@ -326,13 +360,13 @@ mod tests {
             preempt: true,
             min_benefit_rate: 0.5,
         });
-        assert_eq!(g.admit(1, 0.4), Admission::Deny);
-        assert_eq!(g.admit(1, 0.6), Admission::Admit);
+        assert_eq!(g.admit(1, 0.4, "a"), Admission::Deny);
+        assert_eq!(g.admit(1, 0.6, "a"), Admission::Admit);
     }
 
     #[test]
     fn zero_priority_never_admits() {
         let g = gov(4, true);
-        assert_eq!(g.admit(1, 0.0), Admission::Deny, "idle decisions rank at zero");
+        assert_eq!(g.admit(1, 0.0, "a"), Admission::Deny, "idle decisions rank at zero");
     }
 }

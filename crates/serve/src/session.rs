@@ -175,7 +175,8 @@ impl ServeSession {
                 BeginBuild::Started(ticket) => {
                     // We hold the build claim; now win a slot or give
                     // the claim back.
-                    match self.governor.admit(self.id, decision.benefit_rate()) {
+                    let cand = decision.manipulation.to_string();
+                    match self.governor.admit(self.id, decision.benefit_rate(), &cand) {
                         Admission::Admit | Admission::Preempt(_) => {
                             self.spawn_build(decision.manipulation.clone(), Some(ticket));
                         }
@@ -193,7 +194,8 @@ impl ServeSession {
         }
         // Non-materializing manipulations (index, histogram, staging)
         // still consume a governor slot but register no artifact.
-        match self.governor.admit(self.id, decision.benefit_rate()) {
+        let cand = decision.manipulation.to_string();
+        match self.governor.admit(self.id, decision.benefit_rate(), &cand) {
             Admission::Admit | Admission::Preempt(_) => {
                 self.spawn_build(decision.manipulation, None);
             }

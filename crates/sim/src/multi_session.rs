@@ -13,7 +13,7 @@
 //! queries, with cross-session reuse accounted per use.
 //!
 //! **Bit-identity.** With one trace and a budget ≥ 1, the loop reduces
-//! exactly to [`replay_trace`]: it drains, cancels, issues, and
+//! exactly to [`crate::replay::replay_trace`]: it drains, cancels, issues, and
 //! garbage-collects through the very same `pub(crate)` helpers, the
 //! governor admits every candidate (a free slot always exists and
 //! non-idle decisions always carry a positive benefit rate), and the
@@ -243,11 +243,23 @@ pub fn replay_multi_session(
             if !cv.used {
                 s.out.wasted += 1;
                 observer.metrics().counter("spec.wasted").incr();
+                if cv.predicted {
+                    s.out.predicted_wasted += 1;
+                    observer.metrics().counter("spec.predicted_wasted").incr();
+                }
                 if observer.wants(EventKind::SpecWasted) {
                     observer.emit(Event::SpecWasted { table: table.clone() });
                 }
             }
         }
+    }
+    let predicted_issued: u64 = sessions.iter().map(|s| s.out.predicted_issued).sum();
+    if predicted_issued > 0 {
+        let wasted: u64 = sessions.iter().map(|s| s.out.predicted_wasted).sum();
+        observer
+            .metrics()
+            .gauge("spec.prediction_waste_ratio")
+            .set(wasted as f64 / predicted_issued as f64);
     }
 
     let gov = governor.stats();
@@ -304,7 +316,7 @@ fn try_issue(
                     }
                 }
             }
-            match governor.admit(si as u64, d.benefit_rate()) {
+            match governor.admit(si as u64, d.benefit_rate(), &d.manipulation.to_string()) {
                 Admission::Admit => {
                     admitted = true;
                     true
@@ -478,6 +490,7 @@ fn process_go(
     // Settle this session's own bets first (verbatim single-session
     // accounting), then the fleet's: a read of a committed foreign
     // build is a shared hit and marks the *builder's* bet as paid off.
+    let go_key = Database::graph_key(&final_query.graph);
     for view in &result.used_views {
         let s = &mut sessions[si];
         if let Some(cv) = s.completed_views.get_mut(view) {
@@ -485,6 +498,15 @@ fn process_go(
                 cv.used = true;
                 s.out.used += 1;
                 observer.metrics().counter("spec.used").incr();
+                if cv.predicted {
+                    if cv.artifact_key.as_deref() == Some(go_key.as_str()) {
+                        s.out.predicted_hits += 1;
+                        observer.metrics().counter("spec.predicted_hits").incr();
+                    } else {
+                        s.out.salvaged_hits += 1;
+                        observer.metrics().counter("spec.salvaged_hits").incr();
+                    }
+                }
                 if observer.wants(EventKind::SpecUsed) {
                     observer.emit(Event::SpecUsed { table: view.clone() });
                 }
@@ -511,6 +533,17 @@ fn process_go(
                 cv.used = true;
                 o.out.used += 1;
                 observer.metrics().counter("spec.used").incr();
+                // The builder's prediction paid off through a *foreign*
+                // GO: classify against that GO's query key.
+                if cv.predicted {
+                    if cv.artifact_key.as_deref() == Some(go_key.as_str()) {
+                        o.out.predicted_hits += 1;
+                        observer.metrics().counter("spec.predicted_hits").incr();
+                    } else {
+                        o.out.salvaged_hits += 1;
+                        observer.metrics().counter("spec.salvaged_hits").incr();
+                    }
+                }
                 if observer.wants(EventKind::SpecUsed) {
                     observer.emit(Event::SpecUsed { table: view.clone() });
                 }
@@ -593,6 +626,10 @@ fn settle_drop(
         if !cv.used {
             sessions[owner].out.wasted += 1;
             observer.metrics().counter("spec.wasted").incr();
+            if cv.predicted {
+                sessions[owner].out.predicted_wasted += 1;
+                observer.metrics().counter("spec.predicted_wasted").incr();
+            }
             if observer.wants(EventKind::SpecWasted) {
                 observer.emit(Event::SpecWasted { table: table.to_string() });
             }

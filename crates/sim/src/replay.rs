@@ -188,6 +188,18 @@ pub struct ReplayOutcome {
     pub used: u64,
     /// Completed materializations dropped without ever being read.
     pub wasted: u64,
+    /// Whole-query predictions issued (`PredictQuery` manipulations).
+    pub predicted_issued: u64,
+    /// Predicted queries whose artifact matched the GO query exactly —
+    /// the answer was already sitting there when the user hit GO.
+    pub predicted_hits: u64,
+    /// Predicted queries that missed the GO query but were still read
+    /// through the subsumption rewrite (residual filters on top of the
+    /// predicted partial materialization).
+    pub salvaged_hits: u64,
+    /// Predicted builds thrown away: cancelled mid-build or completed
+    /// but never read by any final query.
+    pub predicted_wasted: u64,
 }
 
 impl ReplayOutcome {
@@ -235,6 +247,16 @@ impl ReplayOutcome {
             (self.cancelled + self.wasted) as f64 / self.issued as f64
         }
     }
+
+    /// Fraction of issued whole-query predictions whose work was thrown
+    /// away (cancelled or never read). Zero when prediction is off.
+    pub fn prediction_waste_ratio(&self) -> f64 {
+        if self.predicted_issued == 0 {
+            0.0
+        } else {
+            self.predicted_wasted as f64 / self.predicted_issued as f64
+        }
+    }
 }
 
 pub(crate) struct Pending {
@@ -247,6 +269,12 @@ pub(crate) struct Pending {
     /// Raw predicted per-query time change (negative = beneficial),
     /// kept for benefit calibration when the result is used at GO.
     pub(crate) predicted_delta_secs: f64,
+    /// True for whole-query predictions (`PredictQuery`).
+    pub(crate) predicted: bool,
+    /// Canonical key of the built artifact's graph (materializations
+    /// only) — compared against the GO query's key to classify a
+    /// prediction as an exact hit or a subsumption salvage.
+    pub(crate) artifact_key: Option<String>,
 }
 
 /// A completed materialization awaiting its verdict: read by a final
@@ -254,6 +282,8 @@ pub(crate) struct Pending {
 pub(crate) struct CompletedView {
     pub(crate) used: bool,
     pub(crate) predicted_delta_secs: f64,
+    pub(crate) predicted: bool,
+    pub(crate) artifact_key: Option<String>,
 }
 
 pub(crate) fn cancel_pending(
@@ -263,6 +293,10 @@ pub(crate) fn cancel_pending(
     reason: CancelReason,
 ) {
     out.cancelled += 1;
+    if p.predicted {
+        out.predicted_wasted += 1;
+        observer.metrics().counter("spec.predicted_wasted").incr();
+    }
     let counter = match reason {
         CancelReason::Edit => "spec.cancelled.edit",
         CancelReason::Go => "spec.cancelled.go",
@@ -333,7 +367,12 @@ pub(crate) fn complete(
     if let Some(table) = &p.table {
         completed_views.insert(
             table.clone(),
-            CompletedView { used: false, predicted_delta_secs: p.predicted_delta_secs },
+            CompletedView {
+                used: false,
+                predicted_delta_secs: p.predicted_delta_secs,
+                predicted: p.predicted,
+                artifact_key: p.artifact_key.clone(),
+            },
         );
     }
 }
@@ -401,6 +440,12 @@ pub(crate) fn issue_gated(
         Ok(applied) => {
             out.issued += 1;
             observer.metrics().counter("spec.issued").incr();
+            let predicted = decision.manipulation.kind() == "predict";
+            if predicted {
+                out.predicted_issued += 1;
+                observer.metrics().counter("spec.predicted_issued").incr();
+            }
+            let artifact_key = decision.manipulation.graph().map(Database::graph_key);
             // The cost model predicted `decision.build`; the engine
             // just measured the true virtual build time.
             observer
@@ -419,6 +464,8 @@ pub(crate) fn issue_gated(
                 duration: applied.elapsed,
                 benefit_secs: (-decision.delta_secs).max(0.0),
                 predicted_delta_secs: decision.delta_secs,
+                predicted,
+                artifact_key,
             }))
         }
         Err(e) if e.is_cancelled() => Ok(None),
@@ -515,12 +562,26 @@ pub fn replay_trace(
             // Settle bets: a completed materialization read by this plan
             // counts as used exactly once, and its predicted per-query
             // benefit is calibrated against the realized saving.
+            let go_key = Database::graph_key(&final_query.graph);
             for view in &result.used_views {
                 if let Some(cv) = completed_views.get_mut(view) {
                     if !cv.used {
                         cv.used = true;
                         out.used += 1;
                         observer.metrics().counter("spec.used").incr();
+                        // Classify a used prediction: an artifact whose
+                        // graph key equals the GO query's key served the
+                        // answer outright; anything else got there
+                        // through the subsumption rewrite.
+                        if cv.predicted {
+                            if cv.artifact_key.as_deref() == Some(go_key.as_str()) {
+                                out.predicted_hits += 1;
+                                observer.metrics().counter("spec.predicted_hits").incr();
+                            } else {
+                                out.salvaged_hits += 1;
+                                observer.metrics().counter("spec.salvaged_hits").incr();
+                            }
+                        }
                         if observer.wants(EventKind::SpecUsed) {
                             observer.emit(Event::SpecUsed { table: view.clone() });
                         }
@@ -553,6 +614,10 @@ pub fn replay_trace(
                     if !cv.used {
                         out.wasted += 1;
                         observer.metrics().counter("spec.wasted").incr();
+                        if cv.predicted {
+                            out.predicted_wasted += 1;
+                            observer.metrics().counter("spec.predicted_wasted").incr();
+                        }
                         if observer.wants(EventKind::SpecWasted) {
                             observer.emit(Event::SpecWasted { table: name.clone() });
                         }
@@ -570,6 +635,10 @@ pub fn replay_trace(
                     if !cv.used {
                         out.wasted += 1;
                         observer.metrics().counter("spec.wasted").incr();
+                        if cv.predicted {
+                            out.predicted_wasted += 1;
+                            observer.metrics().counter("spec.predicted_wasted").incr();
+                        }
                         if observer.wants(EventKind::SpecWasted) {
                             observer.emit(Event::SpecWasted { table: table.clone() });
                         }
@@ -605,10 +674,20 @@ pub fn replay_trace(
         if !cv.used {
             out.wasted += 1;
             observer.metrics().counter("spec.wasted").incr();
+            if cv.predicted {
+                out.predicted_wasted += 1;
+                observer.metrics().counter("spec.predicted_wasted").incr();
+            }
             if observer.wants(EventKind::SpecWasted) {
                 observer.emit(Event::SpecWasted { table: table.clone() });
             }
         }
+    }
+    if out.predicted_issued > 0 {
+        observer
+            .metrics()
+            .gauge("spec.prediction_waste_ratio")
+            .set(out.prediction_waste_ratio());
     }
     let virt_end = trace.edits.last().map(|te| (te.at + offset).as_micros()).unwrap_or(0);
     let (queries_n, issued, completed, cancelled, used, wasted) =

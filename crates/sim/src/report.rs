@@ -226,6 +226,14 @@ pub struct SpeculationSummary {
     pub hit_rate: f64,
     /// Fraction of issued manipulations whose work was thrown away.
     pub waste_ratio: f64,
+    /// Whole-query predictions issued.
+    pub predicted_issued: u64,
+    /// Predictions whose artifact matched the GO query exactly.
+    pub predicted_hits: u64,
+    /// Predictions read through the subsumption rewrite instead.
+    pub salvaged_hits: u64,
+    /// Fraction of issued predictions whose work was thrown away.
+    pub prediction_waste_ratio: f64,
 }
 
 impl SpeculationSummary {
@@ -238,6 +246,9 @@ impl SpeculationSummary {
             collected: outcomes.iter().map(|o| o.collected).sum(),
             used: outcomes.iter().map(|o| o.used).sum(),
             wasted: outcomes.iter().map(|o| o.wasted).sum(),
+            predicted_issued: outcomes.iter().map(|o| o.predicted_issued).sum(),
+            predicted_hits: outcomes.iter().map(|o| o.predicted_hits).sum(),
+            salvaged_hits: outcomes.iter().map(|o| o.salvaged_hits).sum(),
             ..Default::default()
         };
         let resolved = s.used + s.wasted;
@@ -246,6 +257,10 @@ impl SpeculationSummary {
         }
         if s.issued > 0 {
             s.waste_ratio = (s.cancelled + s.wasted) as f64 / s.issued as f64;
+        }
+        if s.predicted_issued > 0 {
+            let wasted: u64 = outcomes.iter().map(|o| o.predicted_wasted).sum();
+            s.prediction_waste_ratio = wasted as f64 / s.predicted_issued as f64;
         }
         s
     }
@@ -275,6 +290,17 @@ pub fn render_speculation_summary(
         summary.waste_ratio * 100.0
     )
     .unwrap();
+    if summary.predicted_issued > 0 {
+        writeln!(
+            s,
+            "   predicted {}  exact hits {}  salvaged {}  prediction waste {:.1}%",
+            summary.predicted_issued,
+            summary.predicted_hits,
+            summary.salvaged_hits,
+            summary.prediction_waste_ratio * 100.0
+        )
+        .unwrap();
+    }
     if let Some(cal) = calibration {
         if let Some(build) = cal.build_report() {
             writeln!(

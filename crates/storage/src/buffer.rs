@@ -57,7 +57,8 @@ impl PoolMetrics {
             miss: m.counter("segcache.miss"),
             evict: m.counter("segcache.evictions"),
             prefetch_issued: m.counter("segcache.prefetch_issued"),
-            prefetch_useful: m.counter("segcache.prefetch_useful"),
+            prefetch_useful_manip: m.counter("segcache.prefetch_useful.manip"),
+            prefetch_useful_predict: m.counter("segcache.prefetch_useful.predict"),
             resident_bytes: m.gauge("segcache.resident_bytes"),
             decode_us: m.histogram("segcache.decode_us"),
             decode_plain_us: m.histogram("lat.decode_plain_us"),

@@ -36,5 +36,5 @@ pub use disk::{DiskModel, ResourceDemand};
 pub use error::{StorageError, StorageResult};
 pub use heap::{HeapFile, TupleId};
 pub use page::{FileId, Page, PageId, PAGE_SIZE};
-pub use segcache::{encoding_from_env, SegCache};
+pub use segcache::{encoding_from_env, PrefetchKind, SegCache};
 pub use tuple::{Tuple, Value};

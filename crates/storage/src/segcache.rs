@@ -17,8 +17,11 @@
 //!   eviction: they are a few dozen bytes per page, and a retained zone
 //!   map lets a re-scan skip the page without re-decoding it.
 //! - **Prefetch marks** track pages warmed speculatively (see
-//!   [`SegCache::prefetch`]); a later regular lookup that hits a marked
-//!   page counts as `segcache.prefetch_useful`.
+//!   [`SegCache::prefetch`]), remembering *why* each page was warmed
+//!   ([`PrefetchKind`]); a later regular lookup that hits a marked page
+//!   counts as `segcache.prefetch_useful.manip` or
+//!   `segcache.prefetch_useful.predict` depending on whether a one-step
+//!   manipulation or a whole-query prediction issued the warm-up.
 //!
 //! The cache is a wall-clock fast path only. Virtual-time I/O accounting
 //! happens in [`crate::buffer::BufferPool::read_page`] *before* any
@@ -51,6 +54,18 @@ pub fn encoding_from_env() -> bool {
     }
 }
 
+/// Why a page was speculatively warmed. Useful-prefetch accounting is
+/// split by kind so the observability layer can tell whether warm hits
+/// came from one-step manipulation builds or from whole-query
+/// prediction pre-execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefetchKind {
+    /// Warmed ahead of a one-step speculative manipulation build.
+    Manipulation,
+    /// Warmed ahead of a predicted completed query's pre-execution.
+    Prediction,
+}
+
 /// Metric handles bumped by the cache (no-ops until an observer is
 /// installed via [`SegCache::set_metrics`]).
 #[derive(Clone, Default)]
@@ -59,7 +74,8 @@ struct SegMetrics {
     miss: Counter,
     evict: Counter,
     prefetch_issued: Counter,
-    prefetch_useful: Counter,
+    prefetch_useful_manip: Counter,
+    prefetch_useful_predict: Counter,
     resident_bytes: Gauge,
     /// Wall-clock decode cost per page, microseconds. Observational
     /// only — never feeds virtual accounting.
@@ -100,8 +116,9 @@ struct SegCacheInner {
     /// Zone maps by page, retained after segment eviction (dropped only
     /// when the page is overwritten or its file freed).
     zones: HashMap<PageId, ZoneEntry>,
-    /// Pages inserted by speculative prefetch and not yet re-read.
-    prefetched: HashSet<PageId>,
+    /// Pages inserted by speculative prefetch and not yet re-read,
+    /// tagged with the kind of speculation that warmed them.
+    prefetched: HashMap<PageId, PrefetchKind>,
     /// Files pinned into the cache regardless of size or budget
     /// (materialized speculation results, explicitly cached tables).
     hot: HashSet<FileId>,
@@ -189,7 +206,8 @@ impl SegCache {
             miss: m.miss,
             evict: m.evict,
             prefetch_issued: m.prefetch_issued,
-            prefetch_useful: m.prefetch_useful,
+            prefetch_useful_manip: m.prefetch_useful_manip,
+            prefetch_useful_predict: m.prefetch_useful_predict,
             resident_bytes: m.resident_bytes,
             decode_us: m.decode_us,
             decode_plain_us: m.decode_plain_us,
@@ -230,8 +248,11 @@ impl SegCache {
             if let Some(seg) = inner.map.get(&pid) {
                 let seg = Arc::clone(seg);
                 inner.metrics.hit.incr();
-                if inner.prefetched.remove(&pid) {
-                    inner.metrics.prefetch_useful.incr();
+                if let Some(kind) = inner.prefetched.remove(&pid) {
+                    match kind {
+                        PrefetchKind::Manipulation => inner.metrics.prefetch_useful_manip.incr(),
+                        PrefetchKind::Prediction => inner.metrics.prefetch_useful_predict.incr(),
+                    }
                 }
                 // A regular read confirms the page's zones for
                 // deterministic consumers.
@@ -263,9 +284,18 @@ impl SegCache {
     /// predicted query, without touching hit/miss accounting. `version`
     /// must be [`SegCache::version`] observed when the page image was
     /// captured; if the cache has been invalidated since, the result is
-    /// discarded (the image may be stale). Returns `true` if the page
-    /// was newly warmed.
-    pub fn prefetch(&self, pid: PageId, page: &Page, small_file: bool, version: u64) -> bool {
+    /// discarded (the image may be stale). `kind` records whether a
+    /// manipulation or a whole-query prediction is warming the page, so
+    /// a later useful hit is attributed to the right counter. Returns
+    /// `true` if the page was newly warmed.
+    pub fn prefetch(
+        &self,
+        pid: PageId,
+        page: &Page,
+        small_file: bool,
+        version: u64,
+        kind: PrefetchKind,
+    ) -> bool {
         let cache_hot;
         let metrics;
         {
@@ -291,7 +321,7 @@ impl SegCache {
         let fits = inner.resident_bytes + seg.encoded_bytes() <= inner.budget_bytes;
         if cache_hot || inner.hot.contains(&pid.file) || (small_file && fits) {
             inner.insert(pid, &seg);
-            inner.prefetched.insert(pid);
+            inner.prefetched.insert(pid, kind);
             return true;
         }
         false
@@ -431,7 +461,8 @@ pub(crate) struct SegMetricHandles {
     pub miss: Counter,
     pub evict: Counter,
     pub prefetch_issued: Counter,
-    pub prefetch_useful: Counter,
+    pub prefetch_useful_manip: Counter,
+    pub prefetch_useful_predict: Counter,
     pub resident_bytes: Gauge,
     pub decode_us: Histogram,
     pub decode_plain_us: Histogram,
@@ -571,9 +602,9 @@ mod tests {
         let pid = PageId::new(FileId(4), 0);
         let page = wide_page(20);
         let v = cache.version();
-        assert!(cache.prefetch(pid, &page, true, v));
+        assert!(cache.prefetch(pid, &page, true, v, PrefetchKind::Manipulation));
         assert!(cache.contains(pid));
-        assert!(!cache.prefetch(pid, &page, true, v), "already resident");
+        assert!(!cache.prefetch(pid, &page, true, v, PrefetchKind::Prediction), "already resident");
         // Prefetch-only zones are unconfirmed: estimators must not see
         // them until a regular read lands.
         assert!(cache.confirmed_zone_maps(pid).is_none());
@@ -588,7 +619,10 @@ mod tests {
         let v = cache.version();
         // A write lands between page capture and the prefetch decode.
         cache.invalidate(pid);
-        assert!(!cache.prefetch(pid, &wide_page(20), true, v), "stale version must be fenced");
+        assert!(
+            !cache.prefetch(pid, &wide_page(20), true, v, PrefetchKind::Manipulation),
+            "stale version must be fenced"
+        );
         assert!(!cache.contains(pid));
         assert!(cache.zone_maps(pid).is_none());
     }

@@ -274,6 +274,17 @@ impl UserModel {
             .collect()
     }
 
+    /// Generate a train / held-out split for offline predictor
+    /// evaluation: `train + held_out` users with disjoint derived
+    /// seeds, the first `train` forming the training corpus. The split
+    /// is deterministic in `base_seed`, so accuracy floors measured on
+    /// it are stable across runs and machines.
+    pub fn generate_split(&self, train: usize, held_out: usize, base_seed: u64) -> CorpusSplit {
+        let mut all = self.generate_cohort(train + held_out, base_seed);
+        let held_out = all.split_off(train);
+        CorpusSplit { train: all, held_out }
+    }
+
     fn sample_think(&self, rng: &mut StdRng) -> f64 {
         let cfg = &self.config;
         // Box-Muller standard normal.
@@ -282,6 +293,29 @@ impl UserModel {
         let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
         let sample = (cfg.think_median_secs.ln() + cfg.think_sigma * z).exp();
         sample.clamp(cfg.think_min_secs, cfg.think_max_secs)
+    }
+}
+
+/// A train / held-out partition of a generated cohort, for training
+/// and evaluating the edit predictor offline (see
+/// [`UserModel::generate_split`]).
+#[derive(Debug, Clone)]
+pub struct CorpusSplit {
+    /// Traces whose formulations feed predictor training.
+    pub train: Vec<Trace>,
+    /// Disjoint traces reserved for accuracy measurement.
+    pub held_out: Vec<Trace>,
+}
+
+impl CorpusSplit {
+    /// Total formulations (completed queries) in the training half.
+    pub fn train_formulations(&self) -> usize {
+        self.train.iter().map(|t| t.formulations().len()).sum()
+    }
+
+    /// Total formulations in the held-out half.
+    pub fn held_out_formulations(&self) -> usize {
+        self.held_out.iter().map(|t| t.formulations().len()).sum()
     }
 }
 
@@ -308,6 +342,20 @@ mod tests {
 
     fn small_model() -> UserModel {
         UserModel::default()
+    }
+
+    #[test]
+    fn split_is_deterministic_and_disjoint() {
+        let m = small_model();
+        let a = m.generate_split(2, 1, 9);
+        let b = m.generate_split(2, 1, 9);
+        assert_eq!(a.train.len(), 2);
+        assert_eq!(a.held_out.len(), 1);
+        assert_eq!(a.train[0].edits, b.train[0].edits, "split must be seed-deterministic");
+        assert_eq!(a.held_out[0].edits, b.held_out[0].edits);
+        assert_ne!(a.train[0].seed, a.held_out[0].seed, "halves must use disjoint seeds");
+        assert!(a.train_formulations() > 0);
+        assert!(a.held_out_formulations() > 0);
     }
 
     #[test]

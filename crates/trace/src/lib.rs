@@ -23,5 +23,5 @@ pub mod gen;
 pub mod stats;
 
 pub use event::{FormulationView, TimedEdit, Trace};
-pub use gen::{UserModel, UserModelConfig};
-pub use stats::TraceStats;
+pub use gen::{CorpusSplit, UserModel, UserModelConfig};
+pub use stats::{SplitSummary, TraceStats};

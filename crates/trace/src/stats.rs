@@ -6,6 +6,7 @@
 //! distribution table (min/avg/max and 25/50/75 percentiles).
 
 use crate::event::Trace;
+use crate::gen::CorpusSplit;
 use serde::{Deserialize, Serialize};
 use specdb_query::QueryGraph;
 
@@ -120,6 +121,44 @@ impl TraceStats {
     }
 }
 
+/// Side-by-side statistics of a train / held-out corpus split —
+/// emitted with predictor evaluations so accuracy numbers can be read
+/// against the corpus they were measured on.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SplitSummary {
+    /// Section 5 statistics over the training traces.
+    pub train: TraceStats,
+    /// Section 5 statistics over the held-out traces.
+    pub held_out: TraceStats,
+    /// Formulations available for training.
+    pub train_formulations: usize,
+    /// Formulations reserved for evaluation.
+    pub held_out_formulations: usize,
+}
+
+impl SplitSummary {
+    /// Summarize both halves of a split (each must be non-empty).
+    pub fn of(split: &CorpusSplit) -> SplitSummary {
+        SplitSummary {
+            train: TraceStats::compute(&split.train),
+            held_out: TraceStats::compute(&split.held_out),
+            train_formulations: split.train_formulations(),
+            held_out_formulations: split.held_out_formulations(),
+        }
+    }
+
+    /// One-line render for logs and bench JSON sidecars.
+    pub fn render(&self) -> String {
+        format!(
+            "split: train {} traces / {} formulations, held-out {} traces / {} formulations",
+            self.train.traces,
+            self.train_formulations,
+            self.held_out.traces,
+            self.held_out_formulations
+        )
+    }
+}
+
 /// Tracks how many consecutive final queries each part survives.
 struct RunTracker<T: Eq + std::hash::Hash + Clone> {
     active: std::collections::HashMap<T, usize>,
@@ -216,6 +255,16 @@ mod tests {
         let table = stats.think_time_table();
         assert!(table.contains("Duration"));
         assert!(table.contains("min"));
+    }
+
+    #[test]
+    fn split_summary_covers_both_halves() {
+        let split = UserModel::default().generate_split(3, 2, 77);
+        let s = SplitSummary::of(&split);
+        assert_eq!(s.train.traces, 3);
+        assert_eq!(s.held_out.traces, 2);
+        assert!(s.train_formulations > 0 && s.held_out_formulations > 0);
+        assert!(s.render().contains("held-out"));
     }
 
     #[test]

@@ -154,6 +154,43 @@ fn replay_identical_with_encodings_on_and_off() {
     }
 }
 
+/// Whole-query prediction keeps the determinism contract: for each
+/// setting of the predictor knob a full speculative replay is
+/// bit-identical across repeat runs and worker-thread counts, and
+/// turning the predictor on or off never changes *answers* — only the
+/// speculation lifecycle may differ between settings.
+///
+/// [`ReplayOutcome`]: specdb::sim::replay::ReplayOutcome
+#[test]
+fn replay_identical_with_prediction_on_and_off() {
+    let base = build_base_db(&DatasetSpec::tiny()).unwrap();
+    let trace = UserModel::default().generate("u", 1234);
+    let run = |threads: usize, predict: bool| {
+        let mut db = base.clone();
+        db.set_threads(threads);
+        let mut cfg = ReplayConfig::speculative();
+        cfg.speculator.predict = predict;
+        cfg.speculator.predict_topk = 3;
+        replay_trace(&mut db, &trace, &cfg).unwrap()
+    };
+    let mut per_setting = Vec::new();
+    for predict in [true, false] {
+        let serial = run(1, predict);
+        assert!(serial.issued > 0, "trace must exercise speculation");
+        assert_eq!(serial, run(1, predict), "predict={predict} replay must be reproducible");
+        let parallel = run(4, predict);
+        assert_eq!(serial, parallel, "4 worker threads changed the predict={predict} replay");
+        per_setting.push(serial);
+    }
+    let (on, off) = (&per_setting[0], &per_setting[1]);
+    assert!(on.predicted_issued > 0, "predictor must issue whole-query candidates");
+    assert_eq!(off.predicted_issued, 0, "predict=off must never issue predictions");
+    assert_eq!(on.queries.len(), off.queries.len());
+    for (a, b) in on.queries.iter().zip(&off.queries) {
+        assert_eq!(a.rows, b.rows, "prediction must never change answers");
+    }
+}
+
 /// The fleet governor is behaviour-neutral for a lone session: the
 /// multi-session replay of a single trace must produce the bit-identical
 /// [`ReplayOutcome`] as the pre-governor single-session path — at one

@@ -72,6 +72,50 @@ fn materialization_correctness_under_rewriting() {
 }
 
 #[test]
+fn subsumption_salvage_matches_cold_execution() {
+    use specdb::exec::MatchMode;
+    // A near-miss prediction: the speculated query over-shoots the
+    // user's final GO (missing one selection), so serving it requires
+    // subsumption salvage — rewrite onto the superset view plus a
+    // residual filter. The salvaged answer must be bit-identical to a
+    // cold execution: same rows, same order, same count.
+    let base = tpch_db(2);
+    let mut predicted = QueryGraph::new();
+    predicted.add_join(Join::new("orders", "o_custkey", "customer", "c_custkey"));
+    predicted.add_selection(Selection::new(
+        "customer",
+        Predicate::new("c_nation", CompareOp::Eq, "GERMANY"),
+    ));
+    let mut go = predicted.clone();
+    go.add_selection(Selection::new(
+        "orders",
+        Predicate::new("o_orderpriority", CompareOp::Le, 2i64),
+    ));
+    let q = Query::star(go);
+
+    let mut cold = base.clone();
+    let expected = cold.execute(&q).unwrap();
+    assert!(expected.row_count > 0, "differential needs a non-empty answer");
+    assert!(expected.used_views.is_empty(), "cold run must touch base tables only");
+
+    let mut warm = base.clone();
+    warm.set_observer(specdb::obs::Observer::enabled());
+    warm.set_match_mode(MatchMode::Subsume);
+    warm.materialize(&predicted, CancelToken::new()).unwrap();
+    let got = warm.execute(&q).unwrap();
+    assert!(!got.used_views.is_empty(), "subsumption must salvage the predicted view");
+    assert_eq!(expected.row_count, got.row_count);
+    assert_eq!(expected.rows, got.rows, "salvaged rows must match cold execution exactly");
+
+    // The salvage path accounts its rewrite time.
+    let rendered = warm.observer().metrics().snapshot().render();
+    assert!(
+        rendered.contains("lat.salvage_rewrite_us"),
+        "salvage rewrite timing must be recorded:\n{rendered}"
+    );
+}
+
+#[test]
 fn cost_based_mode_never_worse_than_forced_estimates() {
     let mut db = tpch_db(2);
     db.set_view_mode(ViewMode::CostBased);

@@ -119,6 +119,89 @@ fn logistic_mode_generalizes_across_constants() {
     }
 }
 
+/// Train a predictor offline from the training half of a split.
+fn predictor_from_split(split: &specdb::trace::CorpusSplit) -> Learner {
+    let mut learner = Learner::new(LearnerConfig::default());
+    for t in &split.train {
+        for f in t.formulations() {
+            let ops: Vec<EditOp> = f.edits.iter().map(|te| te.op.clone()).collect();
+            learner.train_predictor(&ops);
+        }
+    }
+    learner
+}
+
+/// Held-out hit rate: at the instant just before each GO, does the
+/// final query's canonical key appear in the predictor's top-k?
+fn held_out_hit_rate(learner: &Learner, traces: &[specdb::trace::Trace], k: usize) -> f64 {
+    use specdb::query::canonical_key;
+    let (mut hits, mut total) = (0usize, 0usize);
+    for t in traces {
+        let mut pq = PartialQuery::new();
+        let mut hist: Vec<EditOp> = Vec::new();
+        for te in &t.edits {
+            if te.op.is_go() {
+                let final_key = canonical_key(pq.graph());
+                let preds = learner.predictor().predict(&hist, pq.graph(), k);
+                total += 1;
+                if preds.iter().any(|(g, _)| canonical_key(g) == final_key) {
+                    hits += 1;
+                }
+                hist.clear();
+            } else {
+                hist.push(te.op.clone());
+            }
+            pq.apply(&te.op);
+        }
+    }
+    assert!(total > 0, "held-out corpus must contain formulations");
+    hits as f64 / total as f64
+}
+
+#[test]
+fn predictor_clears_accuracy_floors_on_held_out_split() {
+    let model = UserModel::default();
+    let split = model.generate_split(8, 2, 4242);
+    let learner = predictor_from_split(&split);
+    assert!(learner.predictor().formulations() > 300, "training corpus too small");
+    let top1 = held_out_hit_rate(&learner, &split.held_out, 1);
+    let top3 = held_out_hit_rate(&learner, &split.held_out, 3);
+    assert!(top1 >= 0.6, "top-1 held-out hit rate {top1:.3} below floor");
+    assert!(top3 >= 0.7, "top-3 held-out hit rate {top3:.3} below floor");
+    assert!(top3 >= top1, "top-3 can never lose to top-1");
+}
+
+#[test]
+fn predictor_is_deterministic_across_runs() {
+    let model = UserModel::default();
+    let split = model.generate_split(4, 1, 99);
+    // Two independent training runs over the same corpus must agree on
+    // every prediction, and a serialized round-trip must too.
+    let a = predictor_from_split(&split);
+    let b = predictor_from_split(&split);
+    let json = serde_json::to_string(a.predictor()).unwrap();
+    let c: specdb::core::EditPredictor = serde_json::from_str(&json).unwrap();
+    let mut pq = PartialQuery::new();
+    let mut hist: Vec<EditOp> = Vec::new();
+    let mut compared = 0usize;
+    for te in &split.held_out[0].edits {
+        if te.op.is_go() {
+            let pa = a.predictor().predict(&hist, pq.graph(), 3);
+            let pb = b.predictor().predict(&hist, pq.graph(), 3);
+            let pc = c.predict(&hist, pq.graph(), 3);
+            assert_eq!(pa, pb, "identical training must give identical predictions");
+            assert_eq!(pa, pc, "serde round-trip must preserve behaviour");
+            assert_eq!(pa, a.predictor().predict(&hist, pq.graph(), 3), "repeat calls agree");
+            compared += pa.len();
+            hist.clear();
+        } else {
+            hist.push(te.op.clone());
+        }
+        pq.apply(&te.op);
+    }
+    assert!(compared > 0, "determinism check must compare real predictions");
+}
+
 #[test]
 fn profile_products_bound_by_parts() {
     // f⊆ of a larger graph can never exceed f⊆ of its sub-graph.
